@@ -1,0 +1,105 @@
+// Command obladi-proxy runs the trusted Obladi proxy, connecting on-site
+// clients to an (untrusted) obladi-storage server. Clients speak the line
+// protocol of internal/clientproto, one transaction session per connection:
+//
+//	BEGIN
+//	READ <key>
+//	WRITE <key> <hex-value>
+//	DELETE <key>
+//	COMMIT
+//	ABORT
+//
+// Responses are single lines: OK [hex-value|NONE] or ERR <message>.
+//
+// Usage:
+//
+//	obladi-proxy -storage localhost:7000 -listen :7100 -keys 8192 -seed s3cret
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"obladi"
+	"obladi/internal/clientproto"
+	"obladi/internal/kvtxn"
+)
+
+// dbAdapter exposes the public API as the kvtxn.DB the protocol server
+// consumes.
+type dbAdapter struct {
+	db *obladi.DB
+}
+
+func (a dbAdapter) Begin() kvtxn.Txn { return txnAdapter{a.db.Begin()} }
+func (a dbAdapter) Close() error     { return a.db.Close() }
+
+type txnAdapter struct {
+	tx *obladi.Txn
+}
+
+func (t txnAdapter) Read(key string) ([]byte, bool, error) { return t.tx.Read(key) }
+func (t txnAdapter) ReadMany(keys []string) ([]kvtxn.Value, error) {
+	res, err := t.tx.ReadMany(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kvtxn.Value, len(res))
+	for i, r := range res {
+		out[i] = kvtxn.Value{Key: r.Key, Value: r.Value, Found: r.Found}
+	}
+	return out, nil
+}
+func (t txnAdapter) Write(key string, value []byte) error { return t.tx.Write(key, value) }
+func (t txnAdapter) Delete(key string) error              { return t.tx.Delete(key) }
+func (t txnAdapter) Commit() error                        { return t.tx.Commit() }
+func (t txnAdapter) Abort()                               { t.tx.Abort() }
+
+func main() {
+	storageAddr := flag.String("storage", "localhost:7000", "obladi-storage server address")
+	listen := flag.String("listen", ":7100", "address for client connections")
+	keys := flag.Int("keys", 8192, "maximum distinct keys (ORAM capacity)")
+	valueSize := flag.Int("value-size", 256, "maximum value size in bytes")
+	seed := flag.String("seed", "", "key seed (required to recover an existing store)")
+	interval := flag.Duration("batch-interval", 5*time.Millisecond, "read batch interval Δ")
+	readBatches := flag.Int("read-batches", 4, "read batches per epoch (R)")
+	readBatch := flag.Int("read-batch-size", 32, "read batch size (bread)")
+	writeBatch := flag.Int("write-batch-size", 32, "write batch size (bwrite)")
+	flag.Parse()
+
+	opt := obladi.Options{
+		MaxKeys:        *keys,
+		MaxValueSize:   *valueSize,
+		ReadBatches:    *readBatches,
+		ReadBatchSize:  *readBatch,
+		WriteBatchSize: *writeBatch,
+		BatchInterval:  *interval,
+		RemoteAddr:     *storageAddr,
+	}
+	if *seed != "" {
+		opt.KeySeed = []byte(*seed)
+	}
+	db, err := obladi.Open(opt)
+	if err != nil {
+		log.Fatalf("opening store: %v", err)
+	}
+	defer db.Close()
+
+	srv, err := clientproto.NewServer(dbAdapter{db}, *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("obladi-proxy: storage=%s clients=%s epoch≈%v\n",
+		*storageAddr, srv.Addr(), *interval*time.Duration(*readBatches))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	st := db.Stats()
+	fmt.Printf("obladi-proxy: %d epochs, %d committed, %d aborted\n", st.Epochs, st.Committed, st.Aborted)
+}

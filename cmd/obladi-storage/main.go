@@ -1,0 +1,76 @@
+// Command obladi-storage runs the untrusted cloud storage server: an ORAM
+// bucket tree with shadow paging, the recovery log, and a plain KV namespace
+// for the NoPriv baseline, served over TCP.
+//
+// The server stores only ciphertext and padded, encrypted log records; it
+// learns nothing about the workload beyond Obladi's fixed batch schedule.
+//
+// Usage:
+//
+//	obladi-storage -listen :7000 -buckets 65536 [-latency server-wan]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"obladi/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "address to listen on")
+	buckets := flag.Int("buckets", 1<<16, "number of ORAM buckets to provision (must cover the proxy's tree)")
+	latency := flag.String("latency", "", "inject a latency profile for experiments: server | server-wan | dynamo")
+	scale := flag.Float64("latency-scale", 1.0, "scale factor applied to the injected latency profile")
+	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown")
+	flag.Parse()
+
+	mem := storage.NewMemBackend(*buckets)
+	if *persist != "" {
+		if loaded, err := storage.LoadMemBackend(*persist); err == nil {
+			mem = loaded
+			n, _ := mem.NumBuckets()
+			fmt.Printf("obladi-storage: restored %d buckets from %s\n", n, *persist)
+		} else if !os.IsNotExist(err) {
+			// A corrupt snapshot must not be silently ignored.
+			if _, statErr := os.Stat(*persist); statErr == nil {
+				log.Fatalf("loading snapshot %s: %v", *persist, err)
+			}
+		}
+	}
+	var backend storage.Backend = mem
+	switch *latency {
+	case "":
+	case "server":
+		backend = storage.WithLatency(backend, storage.ProfileServer.Scaled(*scale))
+	case "server-wan":
+		backend = storage.WithLatency(backend, storage.ProfileServerWAN.Scaled(*scale))
+	case "dynamo":
+		backend = storage.WithLatency(backend, storage.ProfileDynamo.Scaled(*scale))
+	default:
+		log.Fatalf("unknown latency profile %q", *latency)
+	}
+
+	srv, err := storage.NewServer(backend, *listen)
+	if err != nil {
+		log.Fatalf("starting storage server: %v", err)
+	}
+	fmt.Printf("obladi-storage: serving %d buckets on %s\n", *buckets, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("obladi-storage: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if *persist != "" {
+		if err := mem.SaveTo(*persist); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		fmt.Printf("obladi-storage: state saved to %s\n", *persist)
+	}
+}

@@ -1,0 +1,118 @@
+// Healthcare: the paper's motivating scenario — a medical practice keeps
+// electronic health records in the cloud without revealing which patients
+// are being treated, or how often. Chart lookups for an oncology patient
+// are indistinguishable from any other access.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"obladi"
+)
+
+// chartKey addresses a patient's chart; visitKey one dated visit note.
+func chartKey(patient string) string        { return "chart/" + patient }
+func visitKey(patient string, n int) string { return fmt.Sprintf("visit/%s/%d", patient, n) }
+func visitCountKey(patient string) string   { return "visits/" + patient }
+
+func main() {
+	db, err := obladi.Open(obladi.Options{
+		MaxKeys:       4096,
+		MaxValueSize:  512,
+		BatchInterval: 2 * time.Millisecond,
+		ReadBatches:   5, // FreeHealth-style: short read-mostly transactions
+		KeySeed:       []byte("clinic-demo"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Admit patients. The oncology patient's chart is written exactly like
+	// everyone else's: the storage trace is identical either way.
+	patients := []struct{ name, condition string }{
+		{"alice", "annual checkup"},
+		{"bob", "stage II lymphoma"}, // the sensitive record
+		{"carol", "sprained ankle"},
+	}
+	for _, p := range patients {
+		p := p
+		err := db.Update(func(tx *obladi.Txn) error {
+			if err := tx.Write(chartKey(p.name), []byte(p.condition)); err != nil {
+				return err
+			}
+			return tx.Write(visitCountKey(p.name), []byte("0"))
+		})
+		if err != nil {
+			log.Fatalf("admitting %s: %v", p.name, err)
+		}
+	}
+	fmt.Println("admitted 3 patients")
+
+	// Bob attends frequent chemotherapy appointments. Against plain cloud
+	// storage, this access frequency alone reveals the diagnosis; through
+	// Obladi each visit is an indistinguishable batch slot.
+	recordVisit := func(patient, note string) error {
+		return db.Update(func(tx *obladi.Txn) error {
+			cnt, found, err := tx.Read(visitCountKey(patient))
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("unknown patient %s", patient)
+			}
+			var n int
+			fmt.Sscanf(string(cnt), "%d", &n)
+			if err := tx.Write(visitKey(patient, n), []byte(note)); err != nil {
+				return err
+			}
+			return tx.Write(visitCountKey(patient), []byte(fmt.Sprint(n+1)))
+		})
+	}
+	for week := 1; week <= 4; week++ {
+		if err := recordVisit("bob", fmt.Sprintf("chemo cycle %d", week)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := recordVisit("alice", "blood panel normal"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recorded 5 visits (4 of them bob's — invisible to storage)")
+
+	// A consultation opens the full chart: one transaction, batched reads.
+	err = db.View(func(tx *obladi.Txn) error {
+		chart, _, err := tx.Read(chartKey("bob"))
+		if err != nil {
+			return err
+		}
+		cnt, _, err := tx.Read(visitCountKey("bob"))
+		if err != nil {
+			return err
+		}
+		var n int
+		fmt.Sscanf(string(cnt), "%d", &n)
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = visitKey("bob", i)
+		}
+		visits, err := tx.ReadMany(keys)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bob's chart: %s\n", chart)
+		for _, v := range visits {
+			fmt.Printf("  - %s\n", v.Value)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("\nadversary's view: %d identical read batches, %d identical write batches —\n",
+		st.ReadBatchSlots/uint64(32), st.Epochs)
+	fmt.Println("no correlation between bob's appointment schedule and any storage access.")
+}

@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obladi/internal/baseline"
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/freehealth"
+	"obladi/internal/kvtxn"
+	"obladi/internal/ringoram"
+	"obladi/internal/smallbank"
+	"obladi/internal/storage"
+	"obladi/internal/tpcc"
+	"obladi/internal/workload"
+)
+
+func newRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// proxyOpts configures a throwaway Obladi proxy for microbenchmarks.
+type proxyOpts struct {
+	params     *ringoram.Params // nil = derive from numKeys
+	numKeys    int
+	profile    storage.Profile
+	scale      float64
+	durability bool
+	ckptEvery  int
+	txns       int
+}
+
+// proxyThroughput measures committed single-write transactions per second
+// on a manually-driven proxy.
+func proxyThroughput(cfg Config, opt proxyOpts) (float64, error) {
+	p := ringoram.Params{
+		NumBlocks: opt.numKeys, Z: 16, S: 24, A: 16,
+		KeySize: 24, ValueSize: 64, Seed: cfg.Seed,
+	}
+	if opt.params != nil {
+		p = *opt.params
+	}
+	var backend storage.Backend = storage.NewMemBackend(p.Geometry().NumBuckets)
+	if opt.profile.Name != "" && opt.profile.Name != "dummy" {
+		backend = storage.WithLatency(backend, opt.profile.Scaled(opt.scale))
+	}
+	proxy, err := core.New(backend, core.Config{
+		Params: p, Key: cryptoutil.KeyFromSeed([]byte("bench")),
+		ReadBatches: 4, ReadBatchSize: 16, WriteBatchSize: 32,
+		DisableDurability:   !opt.durability,
+		FullCheckpointEvery: opt.ckptEvery,
+		Parallelism:         128,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer proxy.Close()
+	rng := newRand(cfg.Seed)
+	start := time.Now()
+	done := 0
+	for done < opt.txns {
+		// A small group of write txns per epoch.
+		group := 8
+		if opt.txns-done < group {
+			group = opt.txns - done
+		}
+		chans := make([]<-chan error, group)
+		for i := 0; i < group; i++ {
+			tx := proxy.Begin()
+			if err := tx.Write(fmt.Sprintf("key-%d", rng.IntN(opt.numKeys)), []byte("v")); err != nil {
+				return 0, err
+			}
+			chans[i] = tx.CommitAsync()
+		}
+		if err := proxy.EndEpoch(); err != nil {
+			return 0, err
+		}
+		for _, ch := range chans {
+			<-ch // conflicts abort; both outcomes count as completed ops
+		}
+		done += group
+	}
+	return opsPerSec(done, time.Since(start)), nil
+}
+
+// appEngine is one (engine, app) pairing for Figure 9 / Figure 10f.
+type appEngine struct {
+	name string
+	db   kvtxn.DB
+}
+
+// engineSpec identifies the five systems of Figure 9.
+type engineSpec struct {
+	name string
+	wan  bool
+	kind string // obladi | nopriv | mysql
+}
+
+func fig9Engines() []engineSpec {
+	return []engineSpec{
+		{"Obladi", false, "obladi"},
+		{"NoPriv", false, "nopriv"},
+		{"MySQL", false, "mysql"},
+		{"ObladiW", true, "obladi"},
+		{"NoPrivW", true, "nopriv"},
+	}
+}
+
+// appSpec describes one application workload.
+type appSpec struct {
+	name    string
+	numKeys int
+	valSize int
+	// epoch shape per §6.4: TPC-C needs more read batches and a larger
+	// write batch; FreeHealth is read-mostly with a small write batch.
+	readBatches, readBatch, writeBatch int
+	load                               func(db kvtxn.DB, quick bool) error
+	next                               func(db kvtxn.DB, seed uint64) func() error
+}
+
+func appSpecs(cfg Config) []appSpec {
+	tpccCfg := tpcc.Defaults()
+	sbCfg := smallbank.Defaults()
+	fhCfg := freehealth.Defaults()
+	if !cfg.Quick {
+		tpccCfg.Warehouses = 4
+		tpccCfg.CustomersPerDist = 20
+		tpccCfg.Items = 100
+		sbCfg.Accounts = 400
+		fhCfg.Patients = 80
+	}
+	return []appSpec{
+		{
+			name: "TPC-C", numKeys: 16384, valSize: tpcc.MinValueSize * 2,
+			readBatches: 8, readBatch: 48, writeBatch: 96,
+			load: func(db kvtxn.DB, quick bool) error { return tpcc.Load(db, tpccCfg) },
+			next: func(db kvtxn.DB, seed uint64) func() error {
+				c := tpcc.NewClient(db, tpccCfg, seed)
+				return func() error { _, err := c.Next(); return err }
+			},
+		},
+		{
+			name: "FreeHealth", numKeys: 8192, valSize: freehealth.MinValueSize * 2,
+			readBatches: 5, readBatch: 32, writeBatch: 24,
+			load: func(db kvtxn.DB, quick bool) error { return freehealth.Load(db, fhCfg) },
+			next: func(db kvtxn.DB, seed uint64) func() error {
+				c := freehealth.NewClient(db, fhCfg, seed)
+				return func() error { _, err := c.Next(); return err }
+			},
+		},
+		{
+			name: "Smallbank", numKeys: 4096, valSize: 64,
+			readBatches: 4, readBatch: 32, writeBatch: 48,
+			load: func(db kvtxn.DB, quick bool) error { return smallbank.Load(db, sbCfg) },
+			next: func(db kvtxn.DB, seed uint64) func() error {
+				c := smallbank.NewClient(db, sbCfg, seed)
+				return func() error { _, err := c.Next(); return err }
+			},
+		},
+	}
+}
+
+// buildEngine assembles a DB for an engine spec and app spec.
+func buildEngine(cfg Config, es engineSpec, as appSpec, batchInterval time.Duration) (*appEngine, error) {
+	var prof storage.Profile
+	if es.wan {
+		prof = storage.ProfileServerWAN.Scaled(cfg.LatencyScale / 8)
+	} else {
+		prof = storage.ProfileServer.Scaled(cfg.LatencyScale)
+	}
+	switch es.kind {
+	case "obladi":
+		p := ringoram.Params{
+			NumBlocks: as.numKeys, Z: 16, S: 24, A: 16,
+			KeySize: 48, ValueSize: as.valSize, Seed: cfg.Seed,
+		}
+		var backend storage.Backend = storage.NewMemBackend(p.Geometry().NumBuckets)
+		backend = storage.WithLatency(backend, prof)
+		proxy, err := core.New(backend, core.Config{
+			Params: p, Key: cryptoutil.KeyFromSeed([]byte("fig9")),
+			ReadBatches:       as.readBatches,
+			ReadBatchSize:     as.readBatch,
+			WriteBatchSize:    as.writeBatch,
+			BatchInterval:     batchInterval,
+			EagerBatches:      true,
+			DisableDurability: true, // Figure 9 isolates the data path
+			Parallelism:       256,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &appEngine{name: es.name, db: kvtxn.ProxyDB{P: proxy}}, nil
+	case "nopriv":
+		store := storage.WithLatency(storage.NewMemBackend(0), prof)
+		return &appEngine{name: es.name, db: baseline.NewNoPriv(store)}, nil
+	case "mysql":
+		store := storage.WithLatency(storage.NewMemBackend(0), prof)
+		return &appEngine{name: es.name, db: baseline.NewTwoPL(store)}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown engine kind %q", es.kind)
+}
+
+// runAppClients drives concurrent clients for a fixed transaction budget and
+// returns throughput (committed txns/s) and mean latency.
+func runAppClients(db kvtxn.DB, next func(db kvtxn.DB, seed uint64) func() error, clients, txnsPerClient int, seed uint64) (float64, time.Duration) {
+	var committed, latencySum int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			run := next(db, seed+uint64(c))
+			for i := 0; i < txnsPerClient; i++ {
+				t0 := time.Now()
+				err := run()
+				if err == nil {
+					atomic.AddInt64(&committed, 1)
+					atomic.AddInt64(&latencySum, int64(time.Since(t0)))
+				} else if !errors.Is(err, kvtxn.ErrAborted) {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	n := atomic.LoadInt64(&committed)
+	if n == 0 {
+		return 0, 0
+	}
+	return opsPerSec(int(n), elapsed), time.Duration(latencySum / n)
+}
+
+// fig9 measures all five engines across the three applications.
+func fig9(cfg Config) (map[string]map[string][2]float64, error) {
+	// Epoch-based commits need many concurrent clients to amortize: a
+	// synchronous client commits once per epoch, so offered concurrency is
+	// what fills Obladi's batches (the paper drives hundreds of clients).
+	clients, txns := 64, 6
+	if cfg.Quick {
+		clients, txns = 32, 4
+	}
+	out := make(map[string]map[string][2]float64)
+	for _, as := range appSpecs(cfg) {
+		out[as.name] = make(map[string][2]float64)
+		for _, es := range fig9Engines() {
+			eng, err := buildEngine(cfg, es, as, 500*time.Microsecond)
+			if err != nil {
+				return nil, err
+			}
+			if err := as.load(eng.db, cfg.Quick); err != nil {
+				eng.db.Close()
+				return nil, fmt.Errorf("loading %s on %s: %w", as.name, es.name, err)
+			}
+			tput, lat := runAppClients(eng.db, as.next, clients, txns, cfg.Seed)
+			out[as.name][es.name] = [2]float64{tput, float64(lat.Microseconds()) / 1000}
+			eng.db.Close()
+		}
+	}
+	return out, nil
+}
+
+// Fig9a reproduces Figure 9a: application throughput per engine.
+func Fig9a(cfg Config) ([]Row, error) {
+	m, err := fig9(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, as := range appSpecs(cfg) {
+		for _, es := range fig9Engines() {
+			rows = append(rows, Row{"fig9a", es.name, as.name, m[as.name][es.name][0], "txn/s"})
+		}
+	}
+	return rows, nil
+}
+
+// Fig9b reproduces Figure 9b: application latency per engine.
+func Fig9b(cfg Config) ([]Row, error) {
+	m, err := fig9(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, as := range appSpecs(cfg) {
+		for _, es := range fig9Engines() {
+			rows = append(rows, Row{"fig9b", es.name, as.name, m[as.name][es.name][1], "ms"})
+		}
+	}
+	return rows, nil
+}
+
+// Fig10f reproduces Figure 10f: application throughput on Obladi as a
+// function of the epoch duration (batch interval sweep).
+func Fig10f(cfg Config) ([]Row, error) {
+	intervals := []time.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond, 12 * time.Millisecond}
+	clients, txns := 48, 5
+	if cfg.Quick {
+		intervals = intervals[:3]
+		clients, txns = 24, 4
+	}
+	var rows []Row
+	for _, as := range appSpecs(cfg) {
+		for _, iv := range intervals {
+			eng, err := buildEngine(cfg, engineSpec{"Obladi", false, "obladi"}, as, iv)
+			if err != nil {
+				return nil, err
+			}
+			if err := as.load(eng.db, cfg.Quick); err != nil {
+				eng.db.Close()
+				return nil, err
+			}
+			tput, _ := runAppClients(eng.db, as.next, clients, txns, cfg.Seed)
+			epochMs := float64((iv * time.Duration(as.readBatches)).Microseconds()) / 1000
+			rows = append(rows, Row{"fig10f", as.name, fmt.Sprintf("%.1fms", epochMs), tput, "txn/s"})
+			eng.db.Close()
+		}
+	}
+	return rows, nil
+}
+
+// AblationEpochCommit compares Obladi's delayed epoch commit against an
+// epoch of one batch (commit "immediately"), the design decision DESIGN.md
+// calls out. Returns throughput for both settings.
+func AblationEpochCommit(cfg Config) ([]Row, error) {
+	cfg.setDefaults()
+	var rows []Row
+	for _, bpe := range []int{1, 8} {
+		rate, err := proxyThroughput(cfg, proxyOpts{
+			numKeys: 2_000,
+			profile: storage.ProfileServer,
+			scale:   cfg.LatencyScale,
+			txns:    32 * bpe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{"ablation-epoch", "Obladi", fmt.Sprintf("%d batches/epoch", bpe), rate, "txn/s"})
+	}
+	return rows, nil
+}
+
+// AblationReadCache compares version-cache serving on/off (§6.3).
+func AblationReadCache(cfg Config) ([]Row, error) {
+	cfg.setDefaults()
+	var rows []Row
+	for _, disable := range []bool{false, true} {
+		p := ringoram.Params{
+			NumBlocks: 512, Z: 8, S: 12, A: 8, KeySize: 24, ValueSize: 64, Seed: cfg.Seed,
+		}
+		backend := storage.WithLatency(storage.NewMemBackend(p.Geometry().NumBuckets), storage.ProfileServer.Scaled(cfg.LatencyScale))
+		proxy, err := core.New(backend, core.Config{
+			Params: p, Key: cryptoutil.KeyFromSeed([]byte("ab-rc")),
+			ReadBatches: 6, ReadBatchSize: 8, WriteBatchSize: 48,
+			DisableDurability: true,
+			DisableReadCache:  disable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Hot-key workload: many reads of one key per epoch.
+		mix := workload.NewMix(workload.NewZipfian(64, 0.99), 1.0, "h")
+		rng := newRand(cfg.Seed)
+		seedTx := proxy.Begin()
+		for i := 0; i < 32; i++ {
+			if err := seedTx.Write(mix.Key(i), []byte("v")); err != nil {
+				return nil, err
+			}
+		}
+		ch := seedTx.CommitAsync()
+		if err := proxy.EndEpoch(); err != nil {
+			return nil, err
+		}
+		<-ch
+		start := time.Now()
+		const reads = 24
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < reads; i++ {
+				tx := proxy.Begin()
+				tx.Read(mix.Next(rng).Key)
+				tx.Abort()
+			}
+		}()
+	pump:
+		for {
+			select {
+			case <-done:
+				break pump
+			default:
+				if err := proxy.Advance(); err != nil {
+					return nil, err
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		name := "cache on"
+		if disable {
+			name = "cache off"
+		}
+		rows = append(rows, Row{"ablation-readcache", "Obladi", name, opsPerSec(reads, time.Since(start)), "reads/s"})
+		proxy.Close()
+	}
+	return rows, nil
+}

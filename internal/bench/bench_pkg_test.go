@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg is an extra-small configuration so harness tests stay fast.
+func quickCfg() Config {
+	return Config{Quick: true, LatencyScale: 0.5, Seed: 7}
+}
+
+func TestNamesAndDescribe(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 experiments (every table and figure), got %d: %v", len(names), names)
+	}
+	for _, n := range names {
+		if Describe(n) == "" {
+			t.Fatalf("experiment %q has no description", n)
+		}
+	}
+	if _, err := Run("nonsense", quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPrintFormatsRows(t *testing.T) {
+	rows := []Row{
+		{"figX", "s", "1", 12.5, "ops/s"},
+		{"figX", "s", "2", 13.5, "ops/s"},
+	}
+	var buf bytes.Buffer
+	if err := Print(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "12.50") {
+		t.Fatalf("print output:\n%s", out)
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig10a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series, x string) float64 {
+		for _, r := range rows {
+			if r.Series == series && r.X == x {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing row %s/%s", series, x)
+		return 0
+	}
+	// Shape assertions from the paper: parallelism hurts on the dummy
+	// backend (CPU bound) but wins by a large factor on the WAN backend.
+	if seq, par := get("Sequential", "server WAN"), get("Parallel", "server WAN"); par < 3*seq {
+		t.Errorf("parallel (%.0f) should dominate sequential (%.0f) on WAN", par, seq)
+	}
+	if seq, par := get("Sequential", "server"), get("Parallel", "server"); par < seq {
+		t.Errorf("parallel (%.0f) should beat sequential (%.0f) on server", par, seq)
+	}
+	// Crypto costs something on the CPU-bound dummy backend.
+	if plain, crypto := get("Parallel", "dummy"), get("ParallelCrypto", "dummy"); crypto > plain*1.5 {
+		t.Errorf("crypto (%.0f) unexpectedly faster than plain (%.0f) on dummy", crypto, plain)
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig10b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput on the latency-bound server backend must grow with batch
+	// size (inter-request parallelism).
+	var first, last float64
+	for _, r := range rows {
+		if r.Series == "server" {
+			if first == 0 {
+				first = r.Value
+			}
+			last = r.Value
+		}
+	}
+	if first == 0 || last <= first {
+		t.Errorf("server throughput did not grow with batch size: %v -> %v", first, last)
+	}
+}
+
+func TestFig10dShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig10d(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delayed visibility ("Normal") must beat write-through ("Write Back")
+	// on the remote backends.
+	vals := map[string]map[string]float64{}
+	for _, r := range rows {
+		if vals[r.X] == nil {
+			vals[r.X] = map[string]float64{}
+		}
+		vals[r.X][r.Series] = r.Value
+	}
+	for _, backend := range []string{"server", "server WAN"} {
+		if vals[backend]["Normal"] < vals[backend]["Write Back"] {
+			t.Errorf("%s: delayed visibility (%.0f) slower than write-through (%.0f)",
+				backend, vals[backend]["Normal"], vals[backend]["Write Back"])
+		}
+	}
+}
+
+func TestTable11bProducesAllRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Table11b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Levels": false, "Slowdown": false, "RecTime": false, "Network": false, "Pos": false, "Perm": false, "Paths": false}
+	for _, r := range rows {
+		if _, ok := want[r.Series]; ok {
+			want[r.Series] = true
+		}
+	}
+	for series, seen := range want {
+		if !seen {
+			t.Errorf("table11b missing series %q", series)
+		}
+	}
+	// Levels must grow with database size.
+	var levels []float64
+	for _, r := range rows {
+		if r.Series == "Levels" {
+			levels = append(levels, r.Value)
+		}
+	}
+	if len(levels) < 2 || levels[1] <= levels[0] {
+		t.Errorf("levels do not grow with size: %v", levels)
+	}
+}
+
+func TestAblationEpochCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := AblationEpochCommit(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestAblationReadCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := AblationReadCache(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig11a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rarer full checkpoints must not reduce throughput. Per-backend runs
+	// are short, so assert on the cross-backend average of first vs last
+	// frequency points.
+	bySeries := map[string][]float64{}
+	for _, r := range rows {
+		bySeries[r.Series] = append(bySeries[r.Series], r.Value)
+	}
+	var first, last float64
+	for series, vals := range bySeries {
+		if len(vals) < 2 {
+			t.Fatalf("%s: %d points", series, len(vals))
+		}
+		first += vals[0]
+		last += vals[len(vals)-1]
+	}
+	if last < first*0.85 {
+		t.Errorf("throughput fell as full checkpoints got rarer: %.0f -> %.0f", first, last)
+	}
+}
+
+func TestFig10eShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig10e(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the WAN backend, larger epochs must help (more local serving and
+	// write dedup).
+	var wan []float64
+	for _, r := range rows {
+		if r.Series == "server WAN" {
+			wan = append(wan, r.Value)
+		}
+	}
+	if len(wan) < 2 {
+		t.Fatalf("missing WAN series: %+v", rows)
+	}
+	if wan[len(wan)-1] <= wan[0]*0.9 {
+		t.Errorf("WAN gain did not grow with epoch size: %v", wan)
+	}
+}

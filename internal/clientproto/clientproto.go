@@ -1,0 +1,247 @@
+// Package clientproto implements the line protocol between on-site
+// application clients and the Obladi proxy (cmd/obladi-proxy). One TCP
+// connection carries one transaction session at a time:
+//
+//	BEGIN                     -> OK
+//	READ <key>                -> OK <hex-value> | OK NONE
+//	WRITE <key> <hex-value>   -> OK
+//	DELETE <key>              -> OK
+//	COMMIT                    -> OK          (durably committed)
+//	ABORT                     -> OK
+//
+// Errors answer ERR <message>; a transaction-fatal error (abort) also closes
+// the session's transaction.
+package clientproto
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"obladi/internal/kvtxn"
+)
+
+// Server serves the client protocol over a kvtxn.DB.
+type Server struct {
+	db kvtxn.DB
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts listening on addr.
+func NewServer(db kvtxn.DB, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("clientproto: listen: %w", err)
+	}
+	s := &Server{db: db, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for sessions to finish their current
+// command.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one client session.
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	var tx kvtxn.Txn
+	defer func() {
+		if tx != nil {
+			tx.Abort()
+		}
+	}()
+	reply := func(format string, args ...interface{}) bool {
+		if _, err := fmt.Fprintf(w, format+"\n", args...); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		ok := true
+		switch cmd := strings.ToUpper(fields[0]); {
+		case cmd == "BEGIN":
+			if tx != nil {
+				ok = reply("ERR transaction already open")
+				break
+			}
+			tx = s.db.Begin()
+			ok = reply("OK")
+		case tx == nil:
+			ok = reply("ERR no transaction (BEGIN first)")
+		case cmd == "READ" && len(fields) == 2:
+			v, found, err := tx.Read(fields[1])
+			switch {
+			case err != nil:
+				tx.Abort()
+				tx = nil
+				ok = reply("ERR %v", err)
+			case !found:
+				ok = reply("OK NONE")
+			default:
+				ok = reply("OK %s", hex.EncodeToString(v))
+			}
+		case cmd == "WRITE" && len(fields) == 3:
+			v, err := hex.DecodeString(fields[2])
+			if err != nil {
+				ok = reply("ERR bad hex value")
+				break
+			}
+			if err := tx.Write(fields[1], v); err != nil {
+				tx.Abort()
+				tx = nil
+				ok = reply("ERR %v", err)
+				break
+			}
+			ok = reply("OK")
+		case cmd == "DELETE" && len(fields) == 2:
+			if err := tx.Delete(fields[1]); err != nil {
+				tx.Abort()
+				tx = nil
+				ok = reply("ERR %v", err)
+				break
+			}
+			ok = reply("OK")
+		case cmd == "COMMIT":
+			err := tx.Commit()
+			tx = nil
+			if err != nil {
+				ok = reply("ERR %v", err)
+			} else {
+				ok = reply("OK")
+			}
+		case cmd == "ABORT":
+			tx.Abort()
+			tx = nil
+			ok = reply("OK")
+		default:
+			ok = reply("ERR unknown command %q", fields[0])
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// Client is a convenience client for the line protocol (used by tests and
+// tools; applications embed the library instead).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialClient connects to a proxy server.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one command line and parses the reply.
+func (c *Client) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", fmt.Errorf("clientproto: %s", resp[4:])
+	}
+	if resp == "OK" {
+		return "", nil
+	}
+	if strings.HasPrefix(resp, "OK ") {
+		return resp[3:], nil
+	}
+	return "", fmt.Errorf("clientproto: malformed reply %q", resp)
+}
+
+// Begin starts a transaction on this connection.
+func (c *Client) Begin() error {
+	_, err := c.roundTrip("BEGIN")
+	return err
+}
+
+// Read fetches a key.
+func (c *Client) Read(key string) ([]byte, bool, error) {
+	resp, err := c.roundTrip("READ " + key)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp == "NONE" {
+		return nil, false, nil
+	}
+	v, err := hex.DecodeString(resp)
+	return v, err == nil, err
+}
+
+// Write stores a key.
+func (c *Client) Write(key string, value []byte) error {
+	_, err := c.roundTrip(fmt.Sprintf("WRITE %s %s", key, hex.EncodeToString(value)))
+	return err
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key string) error {
+	_, err := c.roundTrip("DELETE " + key)
+	return err
+}
+
+// Commit commits the open transaction.
+func (c *Client) Commit() error {
+	_, err := c.roundTrip("COMMIT")
+	return err
+}
+
+// Abort aborts the open transaction.
+func (c *Client) Abort() error {
+	_, err := c.roundTrip("ABORT")
+	return err
+}

@@ -1,0 +1,176 @@
+package clientproto
+
+import (
+	"strings"
+	"testing"
+
+	"obladi/internal/enginetest"
+)
+
+// newStack builds a full stack: Obladi proxy over checked storage, served
+// through the client protocol.
+func newStack(t *testing.T) *Client {
+	t.Helper()
+	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 256, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(eng.DB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.DB.Close()
+		if v := eng.Checker.Violation(); v != nil {
+			t.Error(v)
+		}
+	})
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	c := newStack(t)
+	must(t, c.Begin())
+	must(t, c.Write("hello", []byte("world")))
+	v, found, err := c.Read("hello")
+	if err != nil || !found || string(v) != "world" {
+		t.Fatalf("read own write: %q %v %v", v, found, err)
+	}
+	must(t, c.Commit())
+
+	must(t, c.Begin())
+	v, found, err = c.Read("hello")
+	if err != nil || !found || string(v) != "world" {
+		t.Fatalf("read after commit: %q %v %v", v, found, err)
+	}
+	_, found, err = c.Read("absent")
+	if err != nil || found {
+		t.Fatalf("absent key: %v %v", found, err)
+	}
+	must(t, c.Delete("hello"))
+	must(t, c.Commit())
+
+	must(t, c.Begin())
+	_, found, err = c.Read("hello")
+	if err != nil || found {
+		t.Fatalf("deleted key visible: %v %v", found, err)
+	}
+	must(t, c.Abort())
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c := newStack(t)
+	// Command before BEGIN.
+	if _, _, err := c.Read("x"); err == nil || !strings.Contains(err.Error(), "no transaction") {
+		t.Fatalf("read without txn: %v", err)
+	}
+	must(t, c.Begin())
+	if err := c.Begin(); err == nil {
+		t.Fatal("double BEGIN accepted")
+	}
+	// Bad hex.
+	if _, err := c.roundTrip("WRITE k zzzz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	// Unknown command.
+	if _, err := c.roundTrip("FROB k"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	must(t, c.Abort())
+}
+
+func TestProtocolAbortDiscards(t *testing.T) {
+	c := newStack(t)
+	must(t, c.Begin())
+	must(t, c.Write("tmp", []byte("x")))
+	must(t, c.Abort())
+	must(t, c.Begin())
+	_, found, err := c.Read("tmp")
+	if err != nil || found {
+		t.Fatalf("aborted write visible: %v %v", found, err)
+	}
+	must(t, c.Abort())
+}
+
+func TestProtocolConcurrentSessions(t *testing.T) {
+	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 256, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(eng.DB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		eng.DB.Close()
+	}()
+	c1, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Each session commits with retries: a session that lingers across an
+	// epoch boundary without requesting commit aborts by design (epoch
+	// fate sharing), so interactive clients always retry.
+	commitKV := func(c *Client, k, v string) {
+		t.Helper()
+		for attempt := 0; attempt < 10; attempt++ {
+			if err := c.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Write(k, []byte(v)); err != nil {
+				continue
+			}
+			if err := c.Commit(); err == nil {
+				return
+			}
+		}
+		t.Fatalf("could not commit %s", k)
+	}
+	commitKV(c1, "a", "1")
+	commitKV(c2, "b", "2")
+
+	// Interactive sessions straddle epochs and may abort; retry as any
+	// Obladi client would.
+	ok := false
+	for attempt := 0; attempt < 10 && !ok; attempt++ {
+		if err := c1.Begin(); err != nil {
+			continue
+		}
+		va, _, err := c1.Read("a")
+		if err != nil {
+			continue // session txn aborted; BEGIN again
+		}
+		vb, _, err := c1.Read("b")
+		if err != nil {
+			continue
+		}
+		if string(va) != "1" || string(vb) != "2" {
+			t.Fatalf("a=%q b=%q", va, vb)
+		}
+		must(t, c1.Abort())
+		ok = true
+	}
+	if !ok {
+		t.Fatal("read session aborted on every attempt")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

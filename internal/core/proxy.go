@@ -1,0 +1,566 @@
+// Package core implements the Obladi proxy — the paper's primary
+// contribution (§5–§8): a trusted coordinator that runs serializable
+// transactions over an oblivious store while revealing nothing about the
+// workload beyond a fixed, deterministic batch schedule.
+//
+// Time is partitioned into epochs. Each epoch issues R fixed-size read
+// batches at a fixed interval Δ followed by one fixed-size write batch;
+// batches are padded with dummy requests and deduplicated, so the storage
+// server observes the same request pattern whatever the transactions do.
+// Transactions execute under MVTSO against a version cache; commit decisions
+// are delayed to the epoch boundary (delayed visibility), where the epoch's
+// final write set is flushed to the ORAM, metadata is checkpointed to the
+// recovery unit, and clients are notified.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"obladi/internal/cryptoutil"
+	"obladi/internal/mvtso"
+	"obladi/internal/oramexec"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+	"obladi/internal/wal"
+)
+
+// Public errors.
+var (
+	// ErrAborted is returned when a transaction aborts (conflict, cascading
+	// abort, epoch boundary, or proxy shutdown).
+	ErrAborted = errors.New("obladi: transaction aborted")
+	// ErrEpochFull is returned when an epoch ran out of read-batch slots or
+	// write-batch capacity for this transaction.
+	ErrEpochFull = errors.New("obladi: epoch capacity exhausted")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("obladi: proxy closed")
+	// ErrValueTooLarge is returned for values exceeding the ORAM block size.
+	ErrValueTooLarge = errors.New("obladi: value exceeds configured ValueSize")
+)
+
+// Config assembles a proxy. The batching parameters mirror Table 1 of the
+// paper: R read batches of size bread issued every Δ, one write batch of
+// size bwrite.
+type Config struct {
+	// Params configures the underlying Ring ORAM.
+	Params ringoram.Params
+	// Key encrypts ORAM slots and recovery records. Required unless
+	// Params.DisableEncryption is set.
+	Key *cryptoutil.Key
+
+	// ReadBatches is R, the number of read batches per epoch (default 4).
+	ReadBatches int
+	// ReadBatchSize is bread (default 32).
+	ReadBatchSize int
+	// WriteBatchSize is bwrite (default 32).
+	WriteBatchSize int
+	// BatchInterval is Δ. Zero selects manual mode: the caller drives
+	// batches with StepReadBatch/EndEpoch (tests, deterministic examples).
+	BatchInterval time.Duration
+	// EagerBatches fires a read batch as soon as it fills instead of
+	// waiting out Δ. The batch schedule then tracks offered load, which is
+	// observable; the paper keeps the schedule fixed, so this knob exists
+	// for throughput experiments only.
+	EagerBatches bool
+
+	// Parallelism caps concurrent storage operations.
+	Parallelism int
+	// WriteThrough disables delayed write-back (Figure 10d ablation).
+	WriteThrough bool
+	// DisableReadCache makes repeat reads of an epoch-resident key consume
+	// a fresh batch slot instead of being served from the version cache
+	// (§6.3 ablation).
+	DisableReadCache bool
+
+	// DisableDurability skips the recovery unit entirely (microbenchmarks
+	// that isolate ORAM throughput; Figure 10 runs without durability).
+	DisableDurability bool
+	// FullCheckpointEvery is the full-checkpoint cadence (Figure 11a).
+	FullCheckpointEvery int
+}
+
+func (c *Config) setDefaults() error {
+	if c.ReadBatches <= 0 {
+		c.ReadBatches = 4
+	}
+	if c.ReadBatchSize <= 0 {
+		c.ReadBatchSize = 32
+	}
+	if c.WriteBatchSize <= 0 {
+		c.WriteBatchSize = 32
+	}
+	if c.Key == nil && !c.Params.DisableEncryption {
+		return errors.New("core: nil key with encryption enabled")
+	}
+	return nil
+}
+
+// Stats is a snapshot of proxy counters.
+type Stats struct {
+	Epochs           uint64
+	Committed        uint64
+	Aborted          uint64
+	ReadBatchSlots   uint64 // total read-batch slots issued
+	RealReads        uint64 // slots carrying real requests
+	CacheHits        uint64 // reads served from the version cache
+	WriteSlots       uint64
+	RealWrites       uint64
+	ConflictAborts   int64
+	CascadingAborts  int64
+	Executor         oramexec.Stats
+	StashPeak        int
+	RecoveryReplayed int
+}
+
+// fetchWaiter is one transaction blocked on a base-version fetch.
+type fetchWaiter struct {
+	key  string
+	done chan error
+}
+
+// Proxy is the Obladi trusted proxy.
+type Proxy struct {
+	cfg   Config
+	store storage.Backend
+	ccu   *mvtso.Manager
+	exec  *oramexec.Executor
+	rlog  *wal.Log
+
+	mu       sync.Mutex
+	closed   bool
+	epoch    uint64
+	batchIdx int // read batches already issued this epoch
+
+	// fetchQueue holds keys awaiting an ORAM read this epoch, in arrival
+	// order, deduplicated; waiters are woken when the key's base installs.
+	fetchQueue []string
+	queued     map[string][]*fetchWaiter
+	fetched    map[string]bool // keys whose base version is resident
+
+	// epochWrites tracks distinct keys written this epoch (bwrite guard).
+	epochWrites map[string]bool
+
+	// commit waiters, by transaction timestamp.
+	waiters map[mvtso.Timestamp]chan error
+
+	kick      chan struct{} // wakes the epoch loop (eager batches, close)
+	loop      sync.WaitGroup
+	ablateSeq uint64 // unique tokens for the DisableReadCache ablation
+
+	stats        Stats
+	replayedLast int
+}
+
+// New creates a proxy over the given backend, initializing (or recovering)
+// the ORAM. If the backend's recovery log already holds a committed
+// checkpoint, New recovers from it instead of reinitializing — so restarting
+// a crashed proxy against the same storage is exactly Obladi's §8 recovery.
+func New(store storage.Backend, cfg Config) (*Proxy, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:         cfg,
+		store:       store,
+		ccu:         mvtso.NewManager(),
+		queued:      make(map[string][]*fetchWaiter),
+		fetched:     make(map[string]bool),
+		epochWrites: make(map[string]bool),
+		waiters:     make(map[mvtso.Timestamp]chan error),
+		kick:        make(chan struct{}, 1),
+	}
+	if !cfg.DisableDurability {
+		l, err := wal.New(store, wal.Config{
+			Key:                 cfg.Key,
+			PadPosEntries:       cfg.ReadBatches*cfg.ReadBatchSize + cfg.WriteBatchSize,
+			PadStashEntries:     cfg.Params.StashLimit,
+			FullCheckpointEvery: cfg.FullCheckpointEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.rlog = l
+	}
+	if err := p.bootstrap(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchInterval > 0 {
+		p.loop.Add(1)
+		go p.epochLoop()
+	}
+	return p, nil
+}
+
+// bootstrap initializes a fresh ORAM or recovers from the durability log.
+func (p *Proxy) bootstrap() error {
+	if p.rlog != nil {
+		rec, err := p.rlog.Recover()
+		switch {
+		case err == nil:
+			return p.recover(rec)
+		case errors.Is(err, wal.ErrNoCheckpoint):
+			// Fresh deployment.
+		default:
+			return err
+		}
+	}
+	oram, err := oramexec.InitORAM(p.store, p.cfg.Key, p.cfg.Params)
+	if err != nil {
+		return err
+	}
+	p.exec = oramexec.New(oram, p.store, oramexec.Config{
+		Parallelism:  p.cfg.Parallelism,
+		WriteThrough: p.cfg.WriteThrough,
+	})
+	p.epoch = 1
+	p.exec.BeginEpoch(p.epoch)
+	if p.rlog != nil {
+		// Baseline checkpoint so a crash before the first epoch commits
+		// recovers to an empty store.
+		if _, err := p.rlog.AppendCheckpoint(0, oram); err != nil {
+			return err
+		}
+		if err := p.rlog.AppendCommit(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recover implements §8: roll the shadow-paged tree back to the last
+// committed epoch, rebuild proxy metadata from checkpoints, deterministically
+// replay the aborted epoch's logged reads, and commit the replay as a
+// recovery epoch.
+func (p *Proxy) recover(rec *wal.Recovery) error {
+	if err := p.store.RollbackTo(rec.CommittedEpoch); err != nil {
+		return err
+	}
+	oram, err := ringoram.NewFromState(p.cfg.Key, p.cfg.Params, rec.Full, rec.Deltas...)
+	if err != nil {
+		return err
+	}
+	p.exec = oramexec.New(oram, p.store, oramexec.Config{
+		Parallelism:  p.cfg.Parallelism,
+		WriteThrough: p.cfg.WriteThrough,
+	})
+	recoveryEpoch := rec.CommittedEpoch + 1
+	p.exec.BeginEpoch(recoveryEpoch)
+	replayed := 0
+	for _, batch := range rec.AbortedBatches {
+		if err := p.exec.ReplayBatch(batch); err != nil {
+			return fmt.Errorf("core: replaying aborted epoch: %w", err)
+		}
+		replayed += len(batch)
+	}
+	p.replayedLast = replayed
+	p.stats.RecoveryReplayed += replayed
+	if len(rec.AbortedBatches) > 0 {
+		if _, err := p.exec.Flush(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.rlog.AppendCheckpoint(recoveryEpoch, oram); err != nil {
+		return err
+	}
+	if err := p.rlog.AppendCommit(recoveryEpoch); err != nil {
+		return err
+	}
+	if err := p.store.CommitEpoch(recoveryEpoch); err != nil {
+		return err
+	}
+	p.epoch = recoveryEpoch + 1
+	p.exec.BeginEpoch(p.epoch)
+	return nil
+}
+
+// ReplayedReads reports how many logged entries the last recovery replayed.
+func (p *Proxy) ReplayedReads() int { return p.replayedLast }
+
+// Epoch returns the current epoch number.
+func (p *Proxy) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Stats returns a snapshot of proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.ConflictAborts, s.CascadingAborts = p.ccu.Stats()
+	s.Executor = p.exec.Stats()
+	s.StashPeak = p.exec.ORAM().StashPeak()
+	return s
+}
+
+// Close shuts the proxy down. In-flight transactions abort (fate sharing:
+// no transaction of the unfinished epoch survives).
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	p.loop.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failAllLocked(ErrClosed)
+	p.ccu.AbortAll()
+	return nil
+}
+
+// failAllLocked wakes every fetch and commit waiter with err.
+func (p *Proxy) failAllLocked(err error) {
+	for _, ws := range p.queued {
+		for _, w := range ws {
+			w.done <- err
+		}
+	}
+	p.queued = make(map[string][]*fetchWaiter)
+	p.fetchQueue = nil
+	for ts, ch := range p.waiters {
+		ch <- err
+		delete(p.waiters, ts)
+	}
+}
+
+// epochLoop drives the fixed batch schedule in auto mode.
+func (p *Proxy) epochLoop() {
+	defer p.loop.Done()
+	timer := time.NewTimer(p.cfg.BatchInterval)
+	defer timer.Stop()
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case <-timer.C:
+		case <-p.kick:
+			p.mu.Lock()
+			closed = p.closed
+			fire := false
+			if p.cfg.EagerBatches && len(p.fetchQueue) >= p.cfg.ReadBatchSize {
+				fire = true
+			}
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			if !fire {
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		if err := p.stepScheduled(); err != nil {
+			p.mu.Lock()
+			p.failAllLocked(err)
+			p.closed = true
+			p.mu.Unlock()
+			return
+		}
+		timer.Reset(p.cfg.BatchInterval)
+	}
+}
+
+// Advance moves the fixed schedule forward by one slot: the next read batch,
+// or the epoch boundary once all R read batches have fired. It is the manual
+// counterpart of the Δ timer (tests, deterministic examples).
+func (p *Proxy) Advance() error { return p.stepScheduled() }
+
+// stepScheduled advances the schedule by one slot: a read batch, or the
+// epoch boundary once all R read batches have fired.
+func (p *Proxy) stepScheduled() error {
+	p.mu.Lock()
+	last := p.batchIdx >= p.cfg.ReadBatches
+	p.mu.Unlock()
+	if last {
+		return p.EndEpoch()
+	}
+	return p.StepReadBatch()
+}
+
+// StepReadBatch issues the epoch's next read batch: up to bread queued
+// fetches, padded with dummies. Exported for manual mode and tests.
+func (p *Proxy) StepReadBatch() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if p.batchIdx >= p.cfg.ReadBatches {
+		p.mu.Unlock()
+		return fmt.Errorf("core: epoch %d already issued all %d read batches", p.epoch, p.cfg.ReadBatches)
+	}
+	n := len(p.fetchQueue)
+	if n > p.cfg.ReadBatchSize {
+		n = p.cfg.ReadBatchSize
+	}
+	keys := append([]string(nil), p.fetchQueue[:n]...)
+	p.fetchQueue = p.fetchQueue[n:]
+	waiters := make(map[string][]*fetchWaiter, n)
+	for _, k := range keys {
+		waiters[k] = p.queued[k]
+		delete(p.queued, k)
+	}
+	p.batchIdx++
+	epoch := p.epoch
+	p.stats.ReadBatchSlots += uint64(p.cfg.ReadBatchSize)
+	p.stats.RealReads += uint64(n)
+	p.mu.Unlock()
+
+	ops := make([]oramexec.ReadOp, p.cfg.ReadBatchSize)
+	for i, k := range keys {
+		ops[i].Key = k
+	}
+	plan, err := p.exec.PlanReadBatch(ops)
+	if err != nil {
+		return err
+	}
+	if p.rlog != nil {
+		// Write-ahead: the read schedule must be durable before the reads
+		// execute, so recovery can replay them (§8).
+		if err := p.rlog.AppendBatch(epoch, p.batchIdx-1, plan.Log()); err != nil {
+			return err
+		}
+	}
+	res, err := p.exec.Execute(plan)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	for _, r := range res {
+		if r.Key == "" {
+			continue
+		}
+		p.ccu.InstallBase(r.Key, r.Value, r.Found)
+		p.fetched[r.Key] = true
+		for _, w := range waiters[r.Key] {
+			w.done <- nil
+		}
+		delete(waiters, r.Key)
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// EndEpoch finalizes the current epoch: decide transaction fates, flush the
+// write batch and buffered buckets, persist the checkpoint and commit
+// record, notify clients, and open the next epoch. Exported for manual mode
+// and tests.
+func (p *Proxy) EndEpoch() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	epoch := p.epoch
+	// Reads that never got a batch slot: their transactions abort with the
+	// epoch (fate sharing); wake them now so they observe the abort.
+	for _, ws := range p.queued {
+		for _, w := range ws {
+			w.done <- fmt.Errorf("%w: read batches exhausted", ErrEpochFull)
+		}
+	}
+	p.queued = make(map[string][]*fetchWaiter)
+	p.fetchQueue = nil
+	p.mu.Unlock()
+
+	// Decide fates. Every transaction that did not request commit aborts.
+	out := p.ccu.FinalizeEpoch()
+
+	// Build the fixed-size write batch from the deduplicated write set.
+	ops := make([]oramexec.WriteOp, 0, p.cfg.WriteBatchSize)
+	for _, w := range out.Writes {
+		if len(ops) == p.cfg.WriteBatchSize {
+			// Capacity guard at Write() keeps this from happening; if a
+			// race slips through, the epoch cannot commit these writes.
+			return fmt.Errorf("core: write set (%d) exceeds write batch (%d)", len(out.Writes), p.cfg.WriteBatchSize)
+		}
+		ops = append(ops, oramexec.WriteOp{Key: w.Key, Value: w.Value, Tombstone: w.Tombstone})
+	}
+	p.mu.Lock()
+	p.stats.WriteSlots += uint64(p.cfg.WriteBatchSize)
+	p.stats.RealWrites += uint64(len(ops))
+	p.mu.Unlock()
+	for len(ops) < p.cfg.WriteBatchSize {
+		ops = append(ops, oramexec.WriteOp{})
+	}
+	wplan, err := p.exec.PlanWriteBatch(ops)
+	if err != nil {
+		return err
+	}
+	if p.rlog != nil {
+		if err := p.rlog.AppendBatch(epoch, p.cfg.ReadBatches, wplan.Log()); err != nil {
+			return err
+		}
+	}
+	if _, err := p.exec.Execute(wplan); err != nil {
+		return err
+	}
+	// Epoch write-back: flush buffered buckets, then make the epoch durable.
+	if _, err := p.exec.Flush(); err != nil {
+		return err
+	}
+	if p.rlog != nil {
+		if _, err := p.rlog.AppendCheckpoint(epoch, p.exec.ORAM()); err != nil {
+			return err
+		}
+		if err := p.rlog.AppendCommit(epoch); err != nil {
+			return err
+		}
+	}
+	if err := p.store.CommitEpoch(epoch); err != nil {
+		return err
+	}
+
+	// Notify clients; reset per-epoch state; open the next epoch.
+	p.mu.Lock()
+	p.stats.Epochs++
+	p.stats.Committed += uint64(len(out.Committed))
+	p.stats.Aborted += uint64(len(out.Aborted))
+	for _, ts := range out.Committed {
+		if ch, ok := p.waiters[ts]; ok {
+			ch <- nil
+			delete(p.waiters, ts)
+		}
+	}
+	for _, ts := range out.Aborted {
+		if ch, ok := p.waiters[ts]; ok {
+			ch <- ErrAborted
+			delete(p.waiters, ts)
+		}
+	}
+	// Any waiter left belongs to a transaction the CCU no longer tracks.
+	for ts, ch := range p.waiters {
+		ch <- ErrAborted
+		delete(p.waiters, ts)
+	}
+	p.fetched = make(map[string]bool)
+	p.epochWrites = make(map[string]bool)
+	p.batchIdx = 0
+	p.epoch++
+	p.exec.BeginEpoch(p.epoch)
+	p.mu.Unlock()
+	return nil
+}

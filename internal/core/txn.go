@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"obladi/internal/mvtso"
+)
+
+// Txn is a transaction handle bound to the epoch it started in. A Txn must
+// not be used concurrently.
+type Txn struct {
+	p     *Proxy
+	inner *mvtso.Txn
+	epoch uint64
+	done  bool
+	// paidSlots tracks keys this txn already spent a batch slot on, for
+	// the DisableReadCache ablation.
+	paidSlots map[string]bool
+}
+
+// Begin starts a transaction in the current epoch.
+func (p *Proxy) Begin() *Txn {
+	p.mu.Lock()
+	epoch := p.epoch
+	p.mu.Unlock()
+	return &Txn{p: p, inner: p.ccu.Begin(), epoch: epoch}
+}
+
+// TS returns the transaction's serialization timestamp.
+func (t *Txn) TS() uint64 { return uint64(t.inner.TS()) }
+
+// Read returns the value of key as visible to this transaction. It blocks
+// while the key's base version is fetched from the ORAM (at most until the
+// epoch's read batches are exhausted).
+func (t *Txn) Read(key string) ([]byte, bool, error) {
+	if err := t.check(key); err != nil {
+		return nil, false, err
+	}
+	if t.p.cfg.DisableReadCache {
+		// Ablation (§6.3): a version-cache hit still consumes a read-batch
+		// slot, modeling a system that cannot serve resident blocks
+		// locally.
+		if err := t.payCacheSlot(key); err != nil {
+			t.inner.Abort()
+			return nil, false, err
+		}
+	}
+	for {
+		v, found, err := t.inner.Read(key)
+		switch {
+		case err == nil:
+			return v, found, nil
+		case errors.Is(err, mvtso.ErrNeedFetch):
+			if ferr := t.awaitFetch(key); ferr != nil {
+				t.inner.Abort()
+				return nil, false, ferr
+			}
+		case errors.Is(err, mvtso.ErrAborted):
+			return nil, false, fmt.Errorf("%w: %v", ErrAborted, err)
+		default:
+			return nil, false, err
+		}
+	}
+}
+
+// ReadMany reads several independent keys, requesting all missing base
+// versions in the same read batch instead of one batch per key. Results are
+// parallel to keys. Transactions with many independent reads should prefer
+// ReadMany: a sequential Read chain consumes one read batch per key (§6.4:
+// dependent reads cost batches).
+func (t *Txn) ReadMany(keys []string) ([]ReadResult, error) {
+	for _, k := range keys {
+		if err := t.check(k); err != nil {
+			return nil, err
+		}
+	}
+	if t.p.cfg.DisableReadCache {
+		for _, k := range keys {
+			if err := t.payCacheSlot(k); err != nil {
+				t.inner.Abort()
+				return nil, err
+			}
+		}
+	}
+	// Queue fetches for every key not yet resident, then wait for all.
+	waits := make([]<-chan error, 0, len(keys))
+	for _, k := range keys {
+		if ch := t.p.queueFetch(t.epoch, k); ch != nil {
+			waits = append(waits, ch)
+		}
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.inner.Abort()
+			return nil, err
+		}
+	}
+	out := make([]ReadResult, len(keys))
+	for i, k := range keys {
+		v, found, err := t.Read(k) // resident now; no further blocking
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ReadResult{Key: k, Value: v, Found: found}
+	}
+	return out, nil
+}
+
+// ReadResult is one key's outcome from ReadMany.
+type ReadResult struct {
+	Key   string
+	Value []byte
+	Found bool
+}
+
+// Write stores value under key within the transaction.
+func (t *Txn) Write(key string, value []byte) error {
+	if err := t.check(key); err != nil {
+		return err
+	}
+	if len(value) > t.p.cfg.Params.ValueSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooLarge, len(value), t.p.cfg.Params.ValueSize)
+	}
+	if err := t.reserveWriteSlot(key); err != nil {
+		t.inner.Abort()
+		return err
+	}
+	if err := t.inner.Write(key, value); err != nil {
+		if errors.Is(err, mvtso.ErrAborted) {
+			return fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete removes key within the transaction.
+func (t *Txn) Delete(key string) error {
+	if err := t.check(key); err != nil {
+		return err
+	}
+	if err := t.reserveWriteSlot(key); err != nil {
+		t.inner.Abort()
+		return err
+	}
+	if err := t.inner.Delete(key); err != nil {
+		if errors.Is(err, mvtso.ErrAborted) {
+			return fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Commit requests commit and blocks until the epoch decides the
+// transaction's fate. nil means durably committed.
+func (t *Txn) Commit() error {
+	return <-t.CommitAsync()
+}
+
+// CommitAsync requests commit and returns a channel that delivers the
+// epoch's decision. Once CommitAsync returns, the commit request is
+// registered: the transaction will commit at the epoch boundary unless a
+// dependency aborts.
+func (t *Txn) CommitAsync() <-chan error {
+	ch := make(chan error, 1)
+	if t.done {
+		ch <- ErrAborted
+		return ch
+	}
+	t.done = true
+	p := t.p
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.inner.Abort()
+		ch <- ErrClosed
+		return ch
+	}
+	if p.epoch != t.epoch {
+		// The transaction's epoch already ended: it was aborted there.
+		p.mu.Unlock()
+		t.inner.Abort()
+		ch <- fmt.Errorf("%w: epoch ended before commit", ErrAborted)
+		return ch
+	}
+	p.waiters[t.inner.TS()] = ch
+	p.mu.Unlock()
+	if err := t.inner.Commit(); err != nil {
+		p.mu.Lock()
+		delete(p.waiters, t.inner.TS())
+		p.mu.Unlock()
+		if errors.Is(err, mvtso.ErrAborted) {
+			err = fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		ch <- err
+	}
+	return ch
+}
+
+// Abort voluntarily aborts the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.inner.Abort()
+}
+
+// check validates key and epoch membership for an operation.
+func (t *Txn) check(key string) error {
+	if t.done {
+		return ErrAborted
+	}
+	if key == "" {
+		return errors.New("obladi: empty key")
+	}
+	if key[0] == 0 {
+		return errors.New("obladi: keys must not start with a NUL byte")
+	}
+	if len(key) > t.p.cfg.Params.KeySize {
+		return fmt.Errorf("obladi: key of %d bytes exceeds KeySize %d", len(key), t.p.cfg.Params.KeySize)
+	}
+	t.p.mu.Lock()
+	live := t.p.epoch == t.epoch && !t.p.closed
+	closed := t.p.closed
+	t.p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !live {
+		t.inner.Abort()
+		return fmt.Errorf("%w: transaction spans epochs", ErrAborted)
+	}
+	return nil
+}
+
+// reserveWriteSlot enforces the epoch's write-batch capacity.
+func (t *Txn) reserveWriteSlot(key string) error {
+	p := t.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epochWrites[key] {
+		return nil
+	}
+	if len(p.epochWrites) >= p.cfg.WriteBatchSize {
+		return fmt.Errorf("%w: write batch full (%d keys)", ErrEpochFull, p.cfg.WriteBatchSize)
+	}
+	p.epochWrites[key] = true
+	return nil
+}
+
+// awaitFetch queues key for the next read batch and blocks until its base
+// version installs (or the epoch runs out of batches).
+func (t *Txn) awaitFetch(key string) error {
+	ch := t.p.queueFetch(t.epoch, key)
+	if ch == nil {
+		return nil
+	}
+	return <-ch
+}
+
+// queueFetch enqueues key for the next read batch and returns a channel
+// delivering the fetch outcome, or nil if the key is already resident (no
+// fetch needed) or an immediate error channel for a dead epoch.
+func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
+	p.mu.Lock()
+	immediate := func(err error) <-chan error {
+		p.mu.Unlock()
+		ch := make(chan error, 1)
+		ch <- err
+		return ch
+	}
+	if p.closed {
+		return immediate(ErrClosed)
+	}
+	if p.epoch != epoch {
+		return immediate(fmt.Errorf("%w: epoch ended during read", ErrAborted))
+	}
+	if p.fetched[key] {
+		p.mu.Unlock()
+		return nil
+	}
+	w := &fetchWaiter{key: key, done: make(chan error, 1)}
+	if _, queuedAlready := p.queued[key]; !queuedAlready {
+		p.fetchQueue = append(p.fetchQueue, key)
+	}
+	p.queued[key] = append(p.queued[key], w)
+	full := len(p.fetchQueue) >= p.cfg.ReadBatchSize
+	p.mu.Unlock()
+	if full && p.cfg.EagerBatches {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+	return w.done
+}
+
+// payCacheSlot consumes one read-batch slot for a key whose base version is
+// already resident, by enqueueing a unique padding token and waiting for its
+// batch. No-op when the key has not been fetched this epoch (the real fetch
+// pays) or this transaction already paid for it.
+func (t *Txn) payCacheSlot(key string) error {
+	p := t.p
+	p.mu.Lock()
+	if !p.fetched[key] || t.paidSlots[key] {
+		p.mu.Unlock()
+		return nil
+	}
+	if t.paidSlots == nil {
+		t.paidSlots = make(map[string]bool)
+	}
+	t.paidSlots[key] = true
+	p.ablateSeq++
+	token := fmt.Sprintf("\x00rc-%d", p.ablateSeq)
+	w := &fetchWaiter{key: token, done: make(chan error, 1)}
+	p.fetchQueue = append(p.fetchQueue, token)
+	p.queued[token] = append(p.queued[token], w)
+	p.mu.Unlock()
+	return <-w.done
+}

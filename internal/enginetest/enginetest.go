@@ -1,0 +1,89 @@
+// Package enginetest builds the three engines (Obladi, NoPriv, 2PL) in
+// test-friendly configurations so workload packages can run their logic and
+// invariants against every engine.
+package enginetest
+
+import (
+	"time"
+
+	"obladi/internal/baseline"
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/kvtxn"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// Engine is a named engine under test.
+type Engine struct {
+	Name string
+	DB   kvtxn.DB
+	// Checker is non-nil for Obladi: the bucket-invariant watchdog.
+	Checker *storage.InvariantChecker
+}
+
+// ObladiOptions tunes the Obladi engine for workload tests.
+type ObladiOptions struct {
+	NumBlocks      int
+	ValueSize      int
+	ReadBatches    int
+	ReadBatchSize  int
+	WriteBatchSize int
+	Durability     bool
+	Seed           uint64
+}
+
+// NewObladi builds an auto-mode Obladi engine over checked memory storage.
+func NewObladi(opt ObladiOptions) (Engine, error) {
+	if opt.NumBlocks == 0 {
+		opt.NumBlocks = 4096
+	}
+	if opt.ValueSize == 0 {
+		opt.ValueSize = 256
+	}
+	if opt.ReadBatches == 0 {
+		opt.ReadBatches = 8
+	}
+	if opt.ReadBatchSize == 0 {
+		opt.ReadBatchSize = 32
+	}
+	if opt.WriteBatchSize == 0 {
+		opt.WriteBatchSize = 64
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	cfg := core.Config{
+		Params: ringoram.Params{
+			NumBlocks: opt.NumBlocks,
+			Z:         8,
+			S:         12,
+			A:         8,
+			KeySize:   48,
+			ValueSize: opt.ValueSize,
+			Seed:      opt.Seed,
+		},
+		Key:               cryptoutil.KeyFromSeed([]byte("enginetest")),
+		ReadBatches:       opt.ReadBatches,
+		ReadBatchSize:     opt.ReadBatchSize,
+		WriteBatchSize:    opt.WriteBatchSize,
+		BatchInterval:     300 * time.Microsecond,
+		EagerBatches:      true,
+		DisableDurability: !opt.Durability,
+	}
+	backend := storage.NewMemBackend(cfg.Params.Geometry().NumBuckets)
+	checker := storage.NewInvariantChecker(backend)
+	p, err := core.New(checker, cfg)
+	if err != nil {
+		return Engine{}, err
+	}
+	return Engine{Name: "obladi", DB: kvtxn.ProxyDB{P: p}, Checker: checker}, nil
+}
+
+// Baselines returns the NoPriv and 2PL engines over memory storage.
+func Baselines() []Engine {
+	return []Engine{
+		{Name: "nopriv", DB: baseline.NewNoPriv(storage.NewMemBackend(0))},
+		{Name: "twopl", DB: baseline.NewTwoPL(storage.NewMemBackend(0))},
+	}
+}

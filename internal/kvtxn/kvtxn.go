@@ -1,0 +1,128 @@
+// Package kvtxn defines the transactional key-value interface shared by
+// Obladi and the evaluation baselines (NoPriv, 2PL). The application
+// workloads (TPC-C, SmallBank, FreeHealth, YCSB) are written against these
+// interfaces so every engine runs the identical business logic.
+package kvtxn
+
+import (
+	"errors"
+
+	"obladi/internal/core"
+)
+
+// ErrAborted is the engine-independent abort signal. Engines wrap their own
+// abort errors so errors.Is(err, ErrAborted) holds.
+var ErrAborted = errors.New("kvtxn: transaction aborted")
+
+// DB is a transactional key-value store.
+type DB interface {
+	// Begin starts a transaction.
+	Begin() Txn
+	// Close releases the engine.
+	Close() error
+}
+
+// Txn is a single-goroutine transaction handle.
+type Txn interface {
+	// Read returns the visible value of key.
+	Read(key string) (value []byte, found bool, err error)
+	// ReadMany reads independent keys, batching fetches where the engine
+	// supports it. Results are parallel to keys.
+	ReadMany(keys []string) ([]Value, error)
+	// Write stores value under key.
+	Write(key string, value []byte) error
+	// Delete removes key.
+	Delete(key string) error
+	// Commit makes the transaction durable; a nil result is a durable
+	// commit acknowledgment.
+	Commit() error
+	// Abort discards the transaction.
+	Abort()
+}
+
+// Value is one ReadMany result.
+type Value struct {
+	Key   string
+	Value []byte
+	Found bool
+}
+
+// ProxyDB adapts the Obladi proxy to the DB interface.
+type ProxyDB struct {
+	P *core.Proxy
+}
+
+var _ DB = ProxyDB{}
+
+// Begin implements DB.
+func (d ProxyDB) Begin() Txn { return &proxyTxn{t: d.P.Begin()} }
+
+// Close implements DB.
+func (d ProxyDB) Close() error { return d.P.Close() }
+
+type proxyTxn struct {
+	t *core.Txn
+}
+
+func (p *proxyTxn) Read(key string) ([]byte, bool, error) {
+	v, found, err := p.t.Read(key)
+	return v, found, wrapAbort(err)
+}
+
+func (p *proxyTxn) ReadMany(keys []string) ([]Value, error) {
+	res, err := p.t.ReadMany(keys)
+	if err != nil {
+		return nil, wrapAbort(err)
+	}
+	out := make([]Value, len(res))
+	for i, r := range res {
+		out[i] = Value{Key: r.Key, Value: r.Value, Found: r.Found}
+	}
+	return out, nil
+}
+
+func (p *proxyTxn) Write(key string, value []byte) error {
+	return wrapAbort(p.t.Write(key, value))
+}
+
+func (p *proxyTxn) Delete(key string) error {
+	return wrapAbort(p.t.Delete(key))
+}
+
+func (p *proxyTxn) Commit() error { return wrapAbort(p.t.Commit()) }
+
+func (p *proxyTxn) Abort() { p.t.Abort() }
+
+func wrapAbort(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrEpochFull) {
+		return errors.Join(ErrAborted, err)
+	}
+	return err
+}
+
+// RunWithRetries executes fn in a transaction, retrying on aborts up to
+// maxRetries times. fn must be idempotent. The final Commit is included in
+// the retry scope.
+func RunWithRetries(db DB, maxRetries int, fn func(Txn) error) error {
+	var last error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Abort()
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		last = err
+	}
+	return last
+}

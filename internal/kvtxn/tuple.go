@@ -1,0 +1,68 @@
+package kvtxn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Tuple is a flat record of string fields, the row representation shared by
+// the application workloads. Encoding is length-prefixed, so fields may
+// contain arbitrary bytes.
+type Tuple []string
+
+// Encode serializes the tuple.
+func (t Tuple) Encode() []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(t)))
+	for _, f := range t {
+		out = binary.AppendUvarint(out, uint64(len(f)))
+		out = append(out, f...)
+	}
+	return out
+}
+
+// DecodeTuple parses an encoded tuple.
+func DecodeTuple(data []byte) (Tuple, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > 1<<16 {
+		return nil, errors.New("kvtxn: corrupt tuple header")
+	}
+	data = data[k:]
+	out := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < l {
+			return nil, fmt.Errorf("kvtxn: corrupt tuple field %d", i)
+		}
+		out = append(out, string(data[k:k+int(l)]))
+		data = data[k+int(l):]
+	}
+	return out, nil
+}
+
+// Int parses field i as an integer.
+func (t Tuple) Int(i int) (int64, error) {
+	if i < 0 || i >= len(t) {
+		return 0, fmt.Errorf("kvtxn: tuple has no field %d", i)
+	}
+	return strconv.ParseInt(t[i], 10, 64)
+}
+
+// MustInt parses field i, panicking on corruption (loader-verified data).
+func (t Tuple) MustInt(i int) int64 {
+	v, err := t.Int(i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// SetInt replaces field i with an integer.
+func (t Tuple) SetInt(i int, v int64) {
+	t[i] = strconv.FormatInt(v, 10)
+}
+
+// Itoa converts for tuple construction.
+func Itoa(v int64) string { return strconv.FormatInt(v, 10) }

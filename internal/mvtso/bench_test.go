@@ -1,0 +1,33 @@
+package mvtso
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEpochThroughput measures CCU ops across full epochs.
+func BenchmarkEpochThroughput(b *testing.B) {
+	m := NewManager()
+	for i := 0; i < 64; i++ {
+		m.InstallBase(fmt.Sprintf("k%d", i), []byte("v"), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := m.Begin()
+		key := fmt.Sprintf("k%d", i%64)
+		if _, _, err := t.Read(key); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Write(key, []byte("w")); err != nil {
+			t.Abort()
+			continue
+		}
+		t.Commit()
+		if i%128 == 127 {
+			m.FinalizeEpoch()
+			for j := 0; j < 64; j++ {
+				m.InstallBase(fmt.Sprintf("k%d", j), []byte("v"), true)
+			}
+		}
+	}
+}

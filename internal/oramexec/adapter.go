@@ -1,0 +1,49 @@
+package oramexec
+
+import (
+	"fmt"
+
+	"obladi/internal/cryptoutil"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// StoreAdapter adapts a shadow-paged storage.BucketStore to the
+// epoch-agnostic ringoram.Store interface by tagging every write with a
+// fixed epoch. The sequential baseline (ringoram.Seq) uses it directly;
+// initialization uses epoch 0.
+type StoreAdapter struct {
+	B     storage.BucketStore
+	Epoch uint64
+}
+
+var _ ringoram.Store = StoreAdapter{}
+
+// ReadSlot implements ringoram.Store.
+func (s StoreAdapter) ReadSlot(bucket, slot int) ([]byte, error) {
+	return s.B.ReadSlot(bucket, slot)
+}
+
+// WriteBucket implements ringoram.Store.
+func (s StoreAdapter) WriteBucket(bucket int, slots [][]byte) error {
+	return s.B.WriteBucket(bucket, s.Epoch, slots)
+}
+
+// InitORAM creates a fresh Ring ORAM client, initializes the tree on the
+// backend as epoch 0, and commits it. This is the starting state of every
+// Obladi deployment.
+func InitORAM(store storage.BucketStore, key *cryptoutil.Key, p ringoram.Params) (*ringoram.ORAM, error) {
+	if n, err := store.NumBuckets(); err != nil {
+		return nil, err
+	} else if need := p.Geometry().NumBuckets; n < need {
+		return nil, fmt.Errorf("oramexec: backend has %d buckets, geometry needs %d", n, need)
+	}
+	o, err := ringoram.New(StoreAdapter{B: store, Epoch: 0}, key, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.CommitEpoch(0); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,111 @@
+package ringoram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"obladi/internal/cryptoutil"
+)
+
+// Slot plaintext layout (fixed size so all slots are indistinguishable):
+//
+//	kind(u8) | keyLen(u16) | key[KeySize] | valLen(u32) | value[ValueSize]
+//
+// kind distinguishes dummy filler, an occupied real slot, an empty real slot,
+// and a tombstone (a deleted key that still occupies its position-map entry).
+const (
+	slotDummy     = 0
+	slotReal      = 1
+	slotEmptyReal = 2
+	slotTombstone = 3
+)
+
+type codec struct {
+	keySize   int
+	valueSize int
+	key       *cryptoutil.Key // nil when encryption is disabled
+}
+
+// plainSize is the fixed plaintext slot size.
+func (c codec) plainSize() int { return 1 + 2 + c.keySize + 4 + c.valueSize }
+
+// slotSize is the on-server physical slot size.
+func (c codec) slotSize() int {
+	if c.key == nil {
+		return c.plainSize()
+	}
+	return cryptoutil.SealedSize(c.plainSize())
+}
+
+// block is a decoded real slot.
+type block struct {
+	key       string
+	value     []byte
+	tombstone bool
+}
+
+// encodeSlot produces the sealed physical representation of a slot.
+// binding authenticates the slot's location and bucket version (Appendix A).
+func (c codec) encodeSlot(kind byte, b block, binding []byte) ([]byte, error) {
+	if len(b.key) > c.keySize {
+		return nil, fmt.Errorf("ringoram: key of %d bytes exceeds KeySize %d", len(b.key), c.keySize)
+	}
+	if len(b.value) > c.valueSize {
+		return nil, fmt.Errorf("ringoram: value of %d bytes exceeds ValueSize %d", len(b.value), c.valueSize)
+	}
+	plain := make([]byte, c.plainSize())
+	plain[0] = kind
+	binary.BigEndian.PutUint16(plain[1:3], uint16(len(b.key)))
+	copy(plain[3:3+c.keySize], b.key)
+	off := 3 + c.keySize
+	binary.BigEndian.PutUint32(plain[off:off+4], uint32(len(b.value)))
+	copy(plain[off+4:], b.value)
+	if c.key == nil {
+		return plain, nil
+	}
+	return c.key.Seal(plain, binding)
+}
+
+// encodeDummy produces a filler slot indistinguishable from a real one.
+func (c codec) encodeDummy(binding []byte) ([]byte, error) {
+	return c.encodeSlot(slotDummy, block{}, binding)
+}
+
+// decodeSlot parses a physical slot. It returns the slot kind and, for real
+// or tombstone slots, the decoded block.
+func (c codec) decodeSlot(data, binding []byte) (byte, block, error) {
+	plain := data
+	if c.key != nil {
+		var err error
+		plain, err = c.key.Open(data, binding)
+		if err != nil {
+			return 0, block{}, err
+		}
+	}
+	if len(plain) != c.plainSize() {
+		return 0, block{}, fmt.Errorf("ringoram: slot of %d bytes, want %d", len(plain), c.plainSize())
+	}
+	kind := plain[0]
+	switch kind {
+	case slotDummy, slotEmptyReal:
+		return kind, block{}, nil
+	case slotReal, slotTombstone:
+	default:
+		return 0, block{}, fmt.Errorf("ringoram: unknown slot kind %d", kind)
+	}
+	keyLen := int(binary.BigEndian.Uint16(plain[1:3]))
+	if keyLen > c.keySize {
+		return 0, block{}, fmt.Errorf("ringoram: corrupt key length %d", keyLen)
+	}
+	off := 3 + c.keySize
+	valLen := int(binary.BigEndian.Uint32(plain[off : off+4]))
+	if valLen > c.valueSize {
+		return 0, block{}, fmt.Errorf("ringoram: corrupt value length %d", valLen)
+	}
+	b := block{
+		key:       string(plain[3 : 3+keyLen]),
+		value:     append([]byte(nil), plain[off+4:off+4+valLen]...),
+		tombstone: kind == slotTombstone,
+	}
+	return kind, b, nil
+}

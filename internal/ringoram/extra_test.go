@@ -1,0 +1,164 @@
+package ringoram
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"obladi/internal/cryptoutil"
+)
+
+// TestPaperParameters smoke-tests the paper's cloud configuration
+// (Z=100, S=196, A=168) at a reduced object count.
+func TestPaperParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{
+		NumBlocks: 1000,
+		Z:         100,
+		S:         196,
+		A:         168,
+		KeySize:   24,
+		ValueSize: 64,
+		Seed:      13,
+	}
+	store := newMapStore()
+	seq, err := NewSeq(store, cryptoutil.KeyFromSeed([]byte("paper")), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := seq.ORAM().Geometry()
+	if geo.SlotsPer != 296 {
+		t.Fatalf("slots per bucket = %d, want 296", geo.SlotsPer)
+	}
+	oracle := map[string]string{}
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("k%d", i%150)
+		v := fmt.Sprintf("v%d", i)
+		must(t, seq.Write(k, []byte(v)))
+		oracle[k] = v
+	}
+	for k, want := range oracle {
+		v, found, err := seq.Read(k)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("%s = %q (%v, %v), want %q", k, v, found, err, want)
+		}
+	}
+	if store.violation != nil {
+		t.Fatal(store.violation)
+	}
+	checkPathInvariant(t, seq.ORAM())
+	checkMetaConsistency(t, seq.ORAM())
+}
+
+func TestStashOverflowSurfaces(t *testing.T) {
+	p := testParams(64)
+	p.StashLimit = 2 // absurdly small: force the error path
+	seq, _ := newTestSeq(t, p)
+	var err error
+	for i := 0; i < 16 && err == nil; i++ {
+		err = seq.Write(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if !errors.Is(err, ErrStashOverflow) {
+		t.Fatalf("expected stash overflow, got %v", err)
+	}
+}
+
+func TestPathBuckets(t *testing.T) {
+	seq, _ := newTestSeq(t, testParams(64))
+	o := seq.ORAM()
+	geo := o.Geometry()
+	for leaf := 0; leaf < geo.Leaves; leaf++ {
+		path := o.PathBuckets(leaf)
+		if len(path) != geo.Levels+1 {
+			t.Fatalf("leaf %d: path length %d", leaf, len(path))
+		}
+		if path[0] != 0 {
+			t.Fatalf("leaf %d: path does not start at root", leaf)
+		}
+	}
+	if o.PathBuckets(-1) != nil || o.PathBuckets(geo.Leaves) != nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+}
+
+func TestNextEvictPathDeterministic(t *testing.T) {
+	p := testParams(64)
+	seqA, _ := newTestSeq(t, p)
+	p2 := p
+	p2.Seed = 999 // different randomness must not change the evict schedule
+	store := newMapStore()
+	seqB, err := NewSeq(store, cryptoutil.KeyFromSeed([]byte("other")), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a := seqA.ORAM().NextEvictPath()
+		b := seqB.ORAM().NextEvictPath()
+		if len(a) != len(b) {
+			t.Fatal("path lengths differ")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("evict path %d diverges at %d: %v vs %v", i, j, a, b)
+			}
+		}
+		// Advance both by one eviction.
+		for _, s := range []*Seq{seqA, seqB} {
+			plan, err := s.ORAM().PlanEvict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.runEviction(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestEarlyReshuffleTriggers drives one bucket's slot budget to exhaustion
+// and verifies the reshuffle fires and restores readability.
+func TestEarlyReshuffleTriggers(t *testing.T) {
+	p := testParams(64)
+	p.S = 4
+	p.A = 4
+	p.Seed = 77
+	seq, store := newTestSeq(t, p)
+	// Hammer reads: every access consumes a root slot; S=4 forces frequent
+	// root reshuffles between evictions.
+	for i := 0; i < 200; i++ {
+		must(t, seq.DummyRead())
+	}
+	if store.violation != nil {
+		t.Fatal(store.violation)
+	}
+	// The bucket invariant holding for 200×(L+1) filler reads with S=4 is
+	// only possible if early reshuffles ran.
+}
+
+func TestDeleteKeepsPositionMapEntry(t *testing.T) {
+	seq, _ := newTestSeq(t, testParams(8))
+	must(t, seq.Write("a", []byte("1")))
+	before := seq.ORAM().KeyCount()
+	must(t, seq.Delete("a"))
+	if seq.ORAM().KeyCount() != before {
+		t.Fatal("delete changed the position map size (leaks deletions)")
+	}
+}
+
+func TestCountersMonotonic(t *testing.T) {
+	seq, _ := newTestSeq(t, testParams(64))
+	var lastA, lastE uint64
+	for i := 0; i < 30; i++ {
+		must(t, seq.Write(fmt.Sprintf("k%d", i%8), []byte("v")))
+		a, e := seq.ORAM().Counters()
+		if a < lastA || e < lastE {
+			t.Fatalf("counters went backwards: %d/%d -> %d/%d", lastA, lastE, a, e)
+		}
+		lastA, lastE = a, e
+	}
+	if lastE == 0 {
+		t.Fatal("no evictions over 30 writes with A=4")
+	}
+}

@@ -1,0 +1,1016 @@
+package ringoram
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"obladi/internal/cryptoutil"
+)
+
+// Store is the slot-granularity storage interface the ORAM client drives.
+// Implementations decide how writes map onto shadow-paged epochs.
+type Store interface {
+	ReadSlot(bucket, slot int) ([]byte, error)
+	WriteBucket(bucket int, slots [][]byte) error
+}
+
+// Public errors.
+var (
+	// ErrFull is returned when inserting more distinct keys than NumBlocks.
+	ErrFull = errors.New("ringoram: capacity exceeded")
+	// ErrStashOverflow is returned when the stash exceeds its configured
+	// bound. With canonical parameters (S, A from the Ring ORAM analysis)
+	// this does not occur except with negligible probability.
+	ErrStashOverflow = errors.New("ringoram: stash overflow")
+	// ErrCorrupt indicates a slot that failed authentication or decoding.
+	ErrCorrupt = errors.New("ringoram: corrupt slot")
+	// ErrReplay indicates a logged replay entry inconsistent with the
+	// restored metadata.
+	ErrReplay = errors.New("ringoram: replay divergence")
+)
+
+// bucketMeta is the client-side metadata for one bucket.
+type bucketMeta struct {
+	perm     []int    // perm[pos] = physical slot; pos < Z real, else dummy
+	addrs    []string // addrs[r]: key at real position r ("" = empty)
+	valid    []bool   // indexed by physical slot
+	count    int      // slots consumed since last write
+	writeVer uint64   // bumped on every rewrite; binds slot ciphertexts
+}
+
+// location records where a tree-resident key lives.
+type location struct {
+	bucket int
+	pos    int
+}
+
+// stashEntry is a client-side buffered block. Entries are shared by pointer
+// between the stash map and in-flight plans so that a completion can deliver
+// a value to a block that a later-planned eviction has already placed.
+type stashEntry struct {
+	key       string
+	value     []byte
+	tombstone bool
+	leaf      int
+	cacheable bool // safe to serve without a dummy path read (§6.3)
+	pending   bool // value not yet delivered by a completion
+}
+
+// ORAM is a Ring ORAM client. Methods are safe for concurrent use, but the
+// plan/complete protocol requires completions to be applied in plan order
+// (the executor in internal/oramexec enforces this).
+type ORAM struct {
+	mu  sync.Mutex
+	p   Params
+	geo Geometry
+	cdc codec
+	rng *rand.Rand
+
+	pos   map[string]int // key -> leaf
+	loc   map[string]location
+	stash map[string]*stashEntry
+	meta  []bucketMeta
+
+	accessCount uint64 // physical batch slots consumed (reads + writes)
+	evictCount  uint64
+
+	dirtyKeys    map[string]struct{}
+	dirtyBuckets map[int]struct{}
+	stashPeak    int
+}
+
+// SlotRead is one physical slot the caller must fetch.
+type SlotRead struct {
+	Bucket, Slot int
+	// Ver is the bucket version whose ciphertext binding applies.
+	Ver uint64
+	// target marks the slot holding the access's block.
+	target bool
+	// entry receives the decoded block for eviction/reshuffle reads.
+	entry *stashEntry
+}
+
+// AccessPlan is the outcome of planning one logical access.
+type AccessPlan struct {
+	Key string
+	// Leaf is the path read by this access (-1 when no path is read).
+	Leaf int
+	// Reads lists the physical slots to fetch, root to leaf.
+	Reads []SlotRead
+
+	cached      bool // served locally, no I/O
+	cachedEntry *stashEntry
+	targetIdx   int
+	targetEntry *stashEntry
+	isWrite     bool
+	newValue    []byte
+	newTomb     bool
+	completed   bool
+}
+
+// Cached reports whether the plan requires no storage reads.
+func (p *AccessPlan) Cached() bool { return p == nil || p.cached }
+
+// LogSlots returns the physical slot chosen in each bucket along the path,
+// for the durability log.
+func (p *AccessPlan) LogSlots() []int {
+	out := make([]int, len(p.Reads))
+	for i, r := range p.Reads {
+		out[i] = r.Slot
+	}
+	return out
+}
+
+// BucketWrite is one serialized bucket the caller must write back.
+type BucketWrite struct {
+	Bucket int
+	Ver    uint64
+	Slots  [][]byte
+}
+
+// placement records a block assigned to a bucket by an eviction write phase.
+type placement struct {
+	key   string
+	pos   int
+	entry *stashEntry
+}
+
+// plannedBucket is the write-phase plan for one bucket.
+type plannedBucket struct {
+	bucket int
+	ver    uint64
+	perm   []int
+	placed []placement
+}
+
+// EvictPlan is the outcome of planning an evict-path or early reshuffle.
+type EvictPlan struct {
+	// Buckets lists the buckets rewritten, in read order.
+	Buckets []int
+	// Reads lists all physical slot reads of the read phase.
+	Reads []SlotRead
+	// readsPerBucket partitions Reads by bucket (parallel to Buckets).
+	readsPerBucket [][]int // indices into Reads
+
+	writes    []plannedBucket
+	isEvict   bool
+	completed bool
+}
+
+// LogSlots returns, per bucket, the slots read, for the durability log.
+func (p *EvictPlan) LogSlots() [][]int {
+	out := make([][]int, len(p.Buckets))
+	for i, idxs := range p.readsPerBucket {
+		s := make([]int, len(idxs))
+		for j, idx := range idxs {
+			s[j] = p.Reads[idx].Slot
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// New creates an ORAM with freshly initialized buckets written to store.
+// key may be nil only when p.DisableEncryption is set.
+func New(store Store, key *cryptoutil.Key, p Params) (*ORAM, error) {
+	o, err := newClient(key, p)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, errors.New("ringoram: nil store")
+	}
+	// Initialize every bucket: empty reals + dummies, fresh permutations.
+	// Parallel workers keep setup tolerable for latency-injected stores.
+	type job struct {
+		bucket int
+		slots  [][]byte
+	}
+	const workers = 16
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := store.WriteBucket(j.bucket, j.slots); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	var initErr error
+	for b := 0; b < o.geo.NumBuckets; b++ {
+		o.meta[b] = o.freshMeta()
+		slots, err := o.sealBucket(b, o.meta[b], nil)
+		if err != nil {
+			initErr = err
+			break
+		}
+		jobs <- job{bucket: b, slots: slots}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if initErr == nil {
+		initErr = <-errs
+	}
+	if initErr != nil {
+		return nil, fmt.Errorf("ringoram: initializing tree: %w", initErr)
+	}
+	return o, nil
+}
+
+func newClient(key *cryptoutil.Key, p Params) (*ORAM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if key == nil && !p.DisableEncryption {
+		return nil, errors.New("ringoram: nil key with encryption enabled")
+	}
+	if p.DisableEncryption {
+		key = nil
+	}
+	geo := p.Geometry()
+	seed := p.Seed
+	var src rand.Source
+	if seed != 0 {
+		src = rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	} else {
+		src = rand.NewPCG(rand.Uint64(), rand.Uint64())
+	}
+	return &ORAM{
+		p:            p,
+		geo:          geo,
+		cdc:          codec{keySize: p.KeySize, valueSize: p.ValueSize, key: key},
+		rng:          rand.New(src),
+		pos:          make(map[string]int),
+		loc:          make(map[string]location),
+		stash:        make(map[string]*stashEntry),
+		meta:         make([]bucketMeta, geo.NumBuckets),
+		dirtyKeys:    make(map[string]struct{}),
+		dirtyBuckets: make(map[int]struct{}),
+	}, nil
+}
+
+func (o *ORAM) freshMeta() bucketMeta {
+	n := o.geo.SlotsPer
+	m := bucketMeta{
+		perm:     o.rng.Perm(n),
+		addrs:    make([]string, o.p.Z),
+		valid:    make([]bool, n),
+		count:    0,
+		writeVer: 1,
+	}
+	for i := range m.valid {
+		m.valid[i] = true
+	}
+	return m
+}
+
+// Params returns the validated configuration.
+func (o *ORAM) Params() Params { return o.p }
+
+// Geometry returns the derived tree shape.
+func (o *ORAM) Geometry() Geometry { return o.geo }
+
+// SlotSize returns the physical slot size in bytes.
+func (o *ORAM) SlotSize() int { return o.cdc.slotSize() }
+
+// Counters returns (accessCount, evictCount).
+func (o *ORAM) Counters() (uint64, uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.accessCount, o.evictCount
+}
+
+// StashSize returns the current number of stash entries.
+func (o *ORAM) StashSize() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.stash)
+}
+
+// StashPeak returns the high-water mark of the stash.
+func (o *ORAM) StashPeak() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stashPeak
+}
+
+// PathBuckets returns the buckets on the path from the root to leaf, root
+// first. Used by the executor to adjust replayed slot choices for buckets
+// it has already rewritten.
+func (o *ORAM) PathBuckets(leaf int) []int {
+	if leaf < 0 || leaf >= o.geo.Leaves {
+		return nil
+	}
+	return o.geo.path(leaf)
+}
+
+// NextEvictPath returns the buckets the next evict-path operation will
+// touch (a pure function of the eviction counter).
+func (o *ORAM) NextEvictPath() []int {
+	o.mu.Lock()
+	leaf := o.geo.evictLeaf(o.evictCount)
+	o.mu.Unlock()
+	return o.geo.path(leaf)
+}
+
+// KeyCount returns the number of allocated logical keys.
+func (o *ORAM) KeyCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pos)
+}
+
+func (o *ORAM) randLeaf() int { return o.rng.IntN(o.geo.Leaves) }
+
+// fillerPositions returns the logical positions usable as dummy reads:
+// dummy positions and unoccupied real positions whose slot is still valid.
+func (o *ORAM) fillerPositions(m *bucketMeta) []int {
+	var out []int
+	for pos := 0; pos < o.geo.SlotsPer; pos++ {
+		if pos < o.p.Z && m.addrs[pos] != "" {
+			continue
+		}
+		if m.valid[m.perm[pos]] {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// consumeFiller invalidates and returns a filler slot of bucket b, honoring
+// a forced physical slot during replay (forced < 0 means choose randomly).
+func (o *ORAM) consumeFiller(b int, forced int) (int, error) {
+	m := &o.meta[b]
+	if forced >= 0 {
+		if forced >= o.geo.SlotsPer || !m.valid[forced] {
+			return 0, fmt.Errorf("%w: bucket %d slot %d not a valid filler", ErrReplay, b, forced)
+		}
+		for pos := 0; pos < o.p.Z; pos++ {
+			if m.perm[pos] == forced && m.addrs[pos] != "" {
+				return 0, fmt.Errorf("%w: bucket %d slot %d holds a real block", ErrReplay, b, forced)
+			}
+		}
+		m.valid[forced] = false
+		m.count++
+		o.dirtyBuckets[b] = struct{}{}
+		return forced, nil
+	}
+	fillers := o.fillerPositions(m)
+	if len(fillers) == 0 {
+		// Cannot happen when early reshuffles run on schedule; treated as
+		// an internal invariant violation.
+		return 0, fmt.Errorf("ringoram: bucket %d has no valid filler slot (count=%d)", b, m.count)
+	}
+	pos := fillers[o.rng.IntN(len(fillers))]
+	phys := m.perm[pos]
+	m.valid[phys] = false
+	m.count++
+	o.dirtyBuckets[b] = struct{}{}
+	return phys, nil
+}
+
+// reshuffleDue lists path buckets whose slot budget is exhausted.
+func (o *ORAM) reshuffleDue(path []int) []int {
+	var due []int
+	for _, b := range path {
+		if o.meta[b].count >= o.p.S {
+			due = append(due, b)
+		}
+	}
+	return due
+}
+
+func (o *ORAM) noteStash() error {
+	if len(o.stash) > o.stashPeak {
+		o.stashPeak = len(o.stash)
+	}
+	if len(o.stash) > o.p.StashLimit {
+		return fmt.Errorf("%w: %d entries exceed limit %d", ErrStashOverflow, len(o.stash), o.p.StashLimit)
+	}
+	return nil
+}
+
+// PlanRead plans a logical read. It returns the plan and any buckets that
+// now require an early reshuffle. A nil error with plan.Cached() true means
+// the value can be produced by CompleteAccess with no storage reads.
+func (o *ORAM) PlanRead(key string) (*AccessPlan, []int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.planReadLocked(key, -1, nil)
+}
+
+// PlanDummyRead plans a padding read: a uniformly random path with one
+// filler slot per bucket.
+func (o *ORAM) PlanDummyRead() (*AccessPlan, []int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.planReadLocked("", -1, nil)
+}
+
+// ReplayRead replays a logged access (key may be "" for padding) using the
+// logged leaf and physical slot choices.
+func (o *ORAM) ReplayRead(key string, leaf int, slots []int) (*AccessPlan, []int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(slots) != o.geo.Levels+1 {
+		return nil, nil, fmt.Errorf("%w: logged %d slots, path has %d buckets", ErrReplay, len(slots), o.geo.Levels+1)
+	}
+	return o.planReadLocked(key, leaf, slots)
+}
+
+func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*AccessPlan, []int, error) {
+	// Stash hit.
+	if key != "" {
+		if e, ok := o.stash[key]; ok {
+			e.leaf = o.randLeaf() // remap on every logical access
+			o.pos[key] = e.leaf
+			o.dirtyKeys[key] = struct{}{}
+			if e.cacheable && forcedSlots == nil {
+				return &AccessPlan{Key: key, Leaf: -1, cached: true, cachedEntry: e, targetIdx: -1}, nil, nil
+			}
+			// Non-cacheable resident block: a dummy path read is mandatory
+			// to keep the observed path distribution uniform (§6.3). After
+			// this logical access the entry is uniformly remapped, hence
+			// cacheable again.
+			e.cacheable = true
+			leaf := forcedLeaf
+			if leaf < 0 {
+				leaf = o.randLeaf()
+			}
+			plan, due, err := o.dummyPathLocked(leaf, forcedSlots)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan.Key = key
+			plan.cachedEntry = e
+			return plan, due, nil
+		}
+	}
+
+	if l, ok := o.loc[key]; key != "" && ok {
+		oldLeaf := o.pos[key]
+		if forcedLeaf >= 0 && forcedLeaf != oldLeaf {
+			return nil, nil, fmt.Errorf("%w: key %q logged leaf %d, position map says %d", ErrReplay, key, forcedLeaf, oldLeaf)
+		}
+		path := o.geo.path(oldLeaf)
+		plan := &AccessPlan{Key: key, Leaf: oldLeaf, targetIdx: -1}
+		for lvl, b := range path {
+			m := &o.meta[b]
+			var forced = -1
+			if forcedSlots != nil {
+				forced = forcedSlots[lvl]
+			}
+			if b == l.bucket {
+				phys := m.perm[l.pos]
+				if forced >= 0 && forced != phys {
+					return nil, nil, fmt.Errorf("%w: key %q logged slot %d in bucket %d, metadata says %d", ErrReplay, key, forced, b, phys)
+				}
+				if !m.valid[phys] {
+					return nil, nil, fmt.Errorf("ringoram: occupied real slot invalid (bucket %d pos %d)", b, l.pos)
+				}
+				m.valid[phys] = false
+				m.count++
+				m.addrs[l.pos] = ""
+				o.dirtyBuckets[b] = struct{}{}
+				plan.targetIdx = len(plan.Reads)
+				plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: m.writeVer, target: true})
+				continue
+			}
+			phys, err := o.consumeFiller(b, forced)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: o.meta[b].writeVer})
+		}
+		if plan.targetIdx < 0 {
+			return nil, nil, fmt.Errorf("ringoram: key %q resides in bucket %d, off its path (leaf %d)", key, l.bucket, oldLeaf)
+		}
+		delete(o.loc, key)
+		e := &stashEntry{key: key, leaf: 0, cacheable: true, pending: true}
+		o.stash[key] = e
+		plan.targetEntry = e
+		newLeaf := o.randLeaf()
+		o.pos[key] = newLeaf
+		e.leaf = newLeaf
+		o.dirtyKeys[key] = struct{}{}
+		o.accessCount++
+		if err := o.noteStash(); err != nil {
+			return nil, nil, err
+		}
+		return plan, o.reshuffleDue(path), nil
+	}
+
+	// Unknown key (or explicit padding): pure dummy path read.
+	leaf := forcedLeaf
+	if leaf < 0 {
+		leaf = o.randLeaf()
+	}
+	plan, due, err := o.dummyPathLocked(leaf, forcedSlots)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.Key = key
+	return plan, due, nil
+}
+
+// dummyPathLocked consumes one filler slot per bucket along leaf's path.
+func (o *ORAM) dummyPathLocked(leaf int, forcedSlots []int) (*AccessPlan, []int, error) {
+	path := o.geo.path(leaf)
+	plan := &AccessPlan{Leaf: leaf, targetIdx: -1}
+	for lvl, b := range path {
+		forced := -1
+		if forcedSlots != nil {
+			forced = forcedSlots[lvl]
+		}
+		phys, err := o.consumeFiller(b, forced)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: o.meta[b].writeVer})
+	}
+	o.accessCount++
+	return plan, o.reshuffleDue(path), nil
+}
+
+// PlanWrite plans a logical write (or delete, when tombstone is set). With
+// dummiless writes (the default, §6.3) the block goes directly to the stash
+// and the returned plan is nil: no storage reads are needed and no
+// completion is required.
+func (o *ORAM) PlanWrite(key string, value []byte, tombstone bool) (*AccessPlan, []int, error) {
+	if key == "" {
+		return nil, nil, errors.New("ringoram: empty key")
+	}
+	if len(key) > o.p.KeySize {
+		return nil, nil, fmt.Errorf("ringoram: key of %d bytes exceeds KeySize %d", len(key), o.p.KeySize)
+	}
+	if len(value) > o.p.ValueSize {
+		return nil, nil, fmt.Errorf("ringoram: value of %d bytes exceeds ValueSize %d", len(value), o.p.ValueSize)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, known := o.pos[key]; !known {
+		if len(o.pos) >= o.p.NumBlocks {
+			return nil, nil, fmt.Errorf("%w: %d keys", ErrFull, len(o.pos))
+		}
+	}
+	if o.p.DisableDummilessWrites {
+		// Canonical Ring ORAM: a write is a path read whose completion
+		// installs the new value.
+		plan, due, err := o.planReadLocked(key, -1, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if plan.cached {
+			// Stash hit: update in place, still no I/O.
+			plan.cachedEntry.value = append([]byte(nil), value...)
+			plan.cachedEntry.tombstone = tombstone
+			return nil, nil, nil
+		}
+		plan.isWrite = true
+		plan.newValue = append([]byte(nil), value...)
+		plan.newTomb = tombstone
+		if plan.targetEntry == nil {
+			// Unknown key: the dummy path read allocated nothing; create
+			// the stash entry now.
+			e := &stashEntry{key: key, leaf: o.randLeaf(), cacheable: true, pending: true}
+			o.stash[key] = e
+			o.pos[key] = e.leaf
+			o.dirtyKeys[key] = struct{}{}
+			plan.targetEntry = e
+			if err := o.noteStash(); err != nil {
+				return nil, nil, err
+			}
+		}
+		return plan, due, nil
+	}
+
+	newLeaf := o.randLeaf()
+	o.pos[key] = newLeaf
+	o.dirtyKeys[key] = struct{}{}
+	if e, ok := o.stash[key]; ok {
+		e.value = append([]byte(nil), value...)
+		e.tombstone = tombstone
+		e.leaf = newLeaf
+		e.cacheable = true
+		e.pending = false
+	} else {
+		if l, ok := o.loc[key]; ok {
+			// Logically remove the stale tree copy without reading it: the
+			// slot keeps its (now meaningless) ciphertext and remains valid
+			// filler.
+			o.meta[l.bucket].addrs[l.pos] = ""
+			o.dirtyBuckets[l.bucket] = struct{}{}
+			delete(o.loc, key)
+		}
+		o.stash[key] = &stashEntry{
+			key:       key,
+			value:     append([]byte(nil), value...),
+			tombstone: tombstone,
+			leaf:      newLeaf,
+			cacheable: true,
+		}
+	}
+	o.accessCount++
+	if err := o.noteStash(); err != nil {
+		return nil, nil, err
+	}
+	return nil, nil, nil
+}
+
+// BumpWrite advances the access counter by one write-batch slot without any
+// logical effect. It pads write batches (keeping the eviction schedule
+// workload independent) and replays logged write bumps during recovery.
+func (o *ORAM) BumpWrite() {
+	o.mu.Lock()
+	o.accessCount++
+	o.mu.Unlock()
+}
+
+// EvictDue reports whether an evict-path operation is owed.
+func (o *ORAM) EvictDue() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.accessCount >= uint64(o.p.A)*(o.evictCount+1)
+}
+
+// CompleteAccess applies the fetched slot data for an access plan and
+// returns the read value (for writes, the returned value is nil). data must
+// be parallel to plan.Reads.
+func (o *ORAM) CompleteAccess(plan *AccessPlan, data [][]byte) (value []byte, found bool, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if plan.completed {
+		return nil, false, errors.New("ringoram: plan completed twice")
+	}
+	plan.completed = true
+	if !plan.cached && len(data) != len(plan.Reads) {
+		return nil, false, fmt.Errorf("ringoram: %d slots delivered, plan has %d", len(data), len(plan.Reads))
+	}
+	if plan.targetIdx >= 0 && plan.targetEntry.pending {
+		r := plan.Reads[plan.targetIdx]
+		kind, blk, derr := o.cdc.decodeSlot(data[plan.targetIdx], cryptoutil.Binding(uint64(r.Bucket), r.Ver, 0))
+		e := plan.targetEntry
+		switch {
+		case derr != nil || (kind != slotReal && kind != slotTombstone):
+			if !o.p.TolerateCorrupt {
+				if derr == nil {
+					derr = fmt.Errorf("slot kind %d", kind)
+				}
+				return nil, false, fmt.Errorf("%w: bucket %d slot %d: %v", ErrCorrupt, r.Bucket, r.Slot, derr)
+			}
+			e.value = nil
+			e.tombstone = true
+			e.pending = false
+		case blk.key != plan.Key:
+			if !o.p.TolerateCorrupt {
+				return nil, false, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.key, plan.Key)
+			}
+			e.value = nil
+			e.tombstone = true
+			e.pending = false
+		default:
+			e.value = blk.value
+			e.tombstone = blk.tombstone
+			e.pending = false
+		}
+	}
+	// Resolve the logical result.
+	entry := plan.targetEntry
+	if entry == nil {
+		entry = plan.cachedEntry
+	}
+	if plan.isWrite {
+		if entry == nil {
+			return nil, false, errors.New("ringoram: write plan without entry")
+		}
+		entry.value = plan.newValue
+		entry.tombstone = plan.newTomb
+		entry.pending = false
+		return nil, true, nil
+	}
+	if entry == nil {
+		return nil, false, nil // unknown key or padding
+	}
+	if entry.pending {
+		return nil, false, errors.New("ringoram: completion out of order: entry still pending")
+	}
+	if entry.tombstone {
+		return nil, false, nil
+	}
+	return append([]byte(nil), entry.value...), true, nil
+}
+
+// PlanEvict plans the next deterministic evict-path operation.
+func (o *ORAM) PlanEvict() (*EvictPlan, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	leaf := o.geo.evictLeaf(o.evictCount)
+	return o.planEvictionLocked(o.geo.path(leaf), leaf, true, nil)
+}
+
+// ReplayEvict replays a logged evict-path with the logged per-bucket slots.
+func (o *ORAM) ReplayEvict(slots [][]int) (*EvictPlan, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	leaf := o.geo.evictLeaf(o.evictCount)
+	path := o.geo.path(leaf)
+	if len(slots) != len(path) {
+		return nil, fmt.Errorf("%w: logged %d buckets, evict path has %d", ErrReplay, len(slots), len(path))
+	}
+	return o.planEvictionLocked(path, leaf, true, slots)
+}
+
+// PlanReshuffle plans an early reshuffle of a single bucket.
+func (o *ORAM) PlanReshuffle(bucket int) (*EvictPlan, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if bucket < 0 || bucket >= o.geo.NumBuckets {
+		return nil, fmt.Errorf("ringoram: reshuffle of bucket %d out of range", bucket)
+	}
+	return o.planEvictionLocked([]int{bucket}, -1, false, nil)
+}
+
+// ReplayReshuffle replays a logged early reshuffle.
+func (o *ORAM) ReplayReshuffle(bucket int, slots []int) (*EvictPlan, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if bucket < 0 || bucket >= o.geo.NumBuckets {
+		return nil, fmt.Errorf("%w: reshuffle bucket %d out of range", ErrReplay, bucket)
+	}
+	return o.planEvictionLocked([]int{bucket}, -1, false, [][]int{slots})
+}
+
+// bucketLevel returns the depth of a heap bucket index.
+func bucketLevel(b int) int {
+	lvl := 0
+	for b > 0 {
+		b = (b - 1) / 2
+		lvl++
+	}
+	return lvl
+}
+
+// planEvictionLocked implements the shared read/write planning of evict-path
+// (buckets = full path, deepest placement first) and early reshuffle
+// (single bucket). forcedSlots, when non-nil, dictates the physical slots of
+// the read phase (recovery replay).
+func (o *ORAM) planEvictionLocked(buckets []int, targetLeaf int, isEvict bool, forcedSlots [][]int) (*EvictPlan, error) {
+	plan := &EvictPlan{Buckets: append([]int(nil), buckets...), isEvict: isEvict}
+
+	// Read phase: every valid occupied real block, padded with fillers to Z
+	// reads per bucket. Blocks move to the stash as pending entries.
+	for bi, b := range buckets {
+		m := &o.meta[b]
+		var idxs []int
+		var forced []int
+		if forcedSlots != nil {
+			forced = forcedSlots[bi]
+		}
+		forcedUsed := make(map[int]bool, len(forced))
+		// Occupied reals first.
+		for r := 0; r < o.p.Z; r++ {
+			key := m.addrs[r]
+			if key == "" {
+				continue
+			}
+			phys := m.perm[r]
+			if !m.valid[phys] {
+				return nil, fmt.Errorf("ringoram: occupied real slot invalid (bucket %d pos %d)", b, r)
+			}
+			if forced != nil {
+				ok := false
+				for _, s := range forced {
+					if s == phys {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return nil, fmt.Errorf("%w: logged eviction misses real slot %d of bucket %d", ErrReplay, phys, b)
+				}
+				forcedUsed[phys] = true
+			}
+			m.valid[phys] = false
+			m.count++
+			m.addrs[r] = ""
+			delete(o.loc, key)
+			e := &stashEntry{key: key, leaf: o.pos[key], pending: true}
+			o.stash[key] = e
+			idxs = append(idxs, len(plan.Reads))
+			plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: m.writeVer, entry: e})
+		}
+		// Pad with fillers.
+		if forced != nil {
+			for _, s := range forced {
+				if forcedUsed[s] {
+					continue
+				}
+				phys, err := o.consumeFiller(b, s)
+				if err != nil {
+					return nil, err
+				}
+				idxs = append(idxs, len(plan.Reads))
+				plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: m.writeVer})
+			}
+		} else {
+			for len(idxs) < o.p.Z {
+				fillers := o.fillerPositions(m)
+				if len(fillers) == 0 {
+					break // short read phase; harmless and rare
+				}
+				phys, err := o.consumeFiller(b, m.perm[fillers[o.rng.IntN(len(fillers))]])
+				if err != nil {
+					return nil, err
+				}
+				idxs = append(idxs, len(plan.Reads))
+				plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: m.writeVer})
+			}
+		}
+		plan.readsPerBucket = append(plan.readsPerBucket, idxs)
+		o.dirtyBuckets[b] = struct{}{}
+	}
+	if err := o.noteStash(); err != nil {
+		return nil, err
+	}
+
+	// Write phase planning: place stash blocks as deep as possible.
+	order := make([]int, len(buckets))
+	copy(order, buckets)
+	if isEvict {
+		// Deepest first: iterate the path bottom-up.
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	placedKeys := make(map[string]bool)
+	writesByBucket := make(map[int]*plannedBucket, len(order))
+	for _, b := range order {
+		lvl := bucketLevel(b)
+		pb := &plannedBucket{bucket: b}
+		for key, e := range o.stash {
+			if placedKeys[key] {
+				continue
+			}
+			if len(pb.placed) >= o.p.Z {
+				break
+			}
+			if o.geo.pathBucket(e.leaf, lvl) != b {
+				continue
+			}
+			pos := len(pb.placed)
+			pb.placed = append(pb.placed, placement{key: key, pos: pos, entry: e})
+			placedKeys[key] = true
+		}
+		m := &o.meta[b]
+		m.perm = o.rng.Perm(o.geo.SlotsPer)
+		for i := range m.valid {
+			m.valid[i] = true
+		}
+		for r := range m.addrs {
+			m.addrs[r] = ""
+		}
+		m.count = 0
+		m.writeVer++
+		for _, pl := range pb.placed {
+			m.addrs[pl.pos] = pl.key
+			o.loc[pl.key] = location{bucket: b, pos: pl.pos}
+			delete(o.stash, pl.key)
+		}
+		pb.ver = m.writeVer
+		pb.perm = append([]int(nil), m.perm...)
+		writesByBucket[b] = pb
+		o.dirtyBuckets[b] = struct{}{}
+	}
+	// Emit writes in read order (root first) for determinism.
+	for _, b := range buckets {
+		plan.writes = append(plan.writes, *writesByBucket[b])
+	}
+	if isEvict {
+		o.evictCount++
+		// Whatever could not be flushed is skewed away from recent evict
+		// paths; serving it without a dummy read would leak (§6.3).
+		for _, e := range o.stash {
+			e.cacheable = false
+		}
+	}
+	return plan, nil
+}
+
+// CompleteEvict applies the fetched read-phase data and returns the bucket
+// writes the caller must perform (or buffer). data is parallel to
+// plan.Reads.
+func (o *ORAM) CompleteEvict(plan *EvictPlan, data [][]byte) ([]BucketWrite, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if plan.completed {
+		return nil, errors.New("ringoram: eviction completed twice")
+	}
+	plan.completed = true
+	if len(data) != len(plan.Reads) {
+		return nil, fmt.Errorf("ringoram: %d slots delivered, plan has %d", len(data), len(plan.Reads))
+	}
+	for i, r := range plan.Reads {
+		if r.entry == nil || !r.entry.pending {
+			continue
+		}
+		kind, blk, err := o.cdc.decodeSlot(data[i], cryptoutil.Binding(uint64(r.Bucket), r.Ver, 0))
+		if err != nil || (kind != slotReal && kind != slotTombstone) {
+			if !o.p.TolerateCorrupt {
+				if err == nil {
+					err = fmt.Errorf("slot kind %d", kind)
+				}
+				return nil, fmt.Errorf("%w: bucket %d slot %d: %v", ErrCorrupt, r.Bucket, r.Slot, err)
+			}
+			r.entry.value = nil
+			r.entry.tombstone = true
+			r.entry.pending = false
+			continue
+		}
+		if blk.key != r.entry.key {
+			if !o.p.TolerateCorrupt {
+				return nil, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.key, r.entry.key)
+			}
+			r.entry.value = nil
+			r.entry.tombstone = true
+			r.entry.pending = false
+			continue
+		}
+		r.entry.value = blk.value
+		r.entry.tombstone = blk.tombstone
+		r.entry.pending = false
+	}
+	writes := make([]BucketWrite, 0, len(plan.writes))
+	for i := range plan.writes {
+		pb := &plan.writes[i]
+		slots, err := o.sealPlannedBucket(pb)
+		if err != nil {
+			return nil, err
+		}
+		writes = append(writes, BucketWrite{Bucket: pb.bucket, Ver: pb.ver, Slots: slots})
+	}
+	return writes, nil
+}
+
+// sealPlannedBucket serializes a bucket per a write-phase plan.
+func (o *ORAM) sealPlannedBucket(pb *plannedBucket) ([][]byte, error) {
+	slots := make([][]byte, o.geo.SlotsPer)
+	binding := cryptoutil.Binding(uint64(pb.bucket), pb.ver, 0)
+	occupied := make(map[int]*placement, len(pb.placed))
+	for i := range pb.placed {
+		occupied[pb.placed[i].pos] = &pb.placed[i]
+	}
+	for pos := 0; pos < o.geo.SlotsPer; pos++ {
+		phys := pb.perm[pos]
+		var data []byte
+		var err error
+		switch {
+		case pos >= o.p.Z:
+			data, err = o.cdc.encodeDummy(binding)
+		case occupied[pos] != nil:
+			pl := occupied[pos]
+			if pl.entry.pending {
+				return nil, fmt.Errorf("ringoram: serializing bucket %d: block %q still pending (completion order violated)", pb.bucket, pl.key)
+			}
+			kind := byte(slotReal)
+			if pl.entry.tombstone {
+				kind = slotTombstone
+			}
+			data, err = o.cdc.encodeSlot(kind, block{key: pl.key, value: pl.entry.value, tombstone: pl.entry.tombstone}, binding)
+		default:
+			data, err = o.cdc.encodeSlot(slotEmptyReal, block{}, binding)
+		}
+		if err != nil {
+			return nil, err
+		}
+		slots[phys] = data
+	}
+	return slots, nil
+}
+
+// sealBucket serializes a bucket straight from current metadata; used for
+// tree initialization where all real positions are empty.
+func (o *ORAM) sealBucket(bucket int, m bucketMeta, values map[string][]byte) ([][]byte, error) {
+	pb := plannedBucket{bucket: bucket, ver: m.writeVer, perm: m.perm}
+	for r, key := range m.addrs {
+		if key == "" {
+			continue
+		}
+		pb.placed = append(pb.placed, placement{
+			key: key, pos: r,
+			entry: &stashEntry{key: key, value: values[key]},
+		})
+	}
+	return o.sealPlannedBucket(&pb)
+}

@@ -1,0 +1,129 @@
+package ringoram
+
+import "testing"
+
+func TestValidateDefaults(t *testing.T) {
+	p := Params{NumBlocks: 100, Z: 4, S: 6, A: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.KeySize != 64 || p.ValueSize != 256 {
+		t.Fatalf("defaults not applied: KeySize=%d ValueSize=%d", p.KeySize, p.ValueSize)
+	}
+	if p.StashLimit <= 0 {
+		t.Fatal("no default stash limit")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Params{
+		{NumBlocks: 0, Z: 1, S: 1, A: 1},
+		{NumBlocks: 10, Z: 0, S: 1, A: 1},
+		{NumBlocks: 10, Z: 1, S: 0, A: 1},
+		{NumBlocks: 10, Z: 1, S: 1, A: 0},
+		{NumBlocks: 10, Z: 1, S: 2, A: 3}, // A > S
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeometryShape(t *testing.T) {
+	cases := []struct {
+		n, z           int
+		levels, leaves int
+	}{
+		{100, 4, 5, 32}, // ceil(100/4)=25 -> 32 leaves
+		{100_000, 100, 10, 1024},
+		{10_000, 100, 7, 128},       // matches Table 11b: 10K objects, 7 levels
+		{1_000_000, 100, 14, 16384}, // 1M objects, 14 levels
+		{1, 4, 1, 2},
+		{8, 4, 1, 2},
+		{9, 4, 2, 4},
+	}
+	for _, c := range cases {
+		g := Params{NumBlocks: c.n, Z: c.z, S: c.z, A: c.z}.Geometry()
+		if g.Levels != c.levels || g.Leaves != c.leaves {
+			t.Errorf("N=%d Z=%d: levels=%d leaves=%d, want %d/%d", c.n, c.z, g.Levels, g.Leaves, c.levels, c.leaves)
+		}
+		if g.NumBuckets != 2*g.Leaves-1 {
+			t.Errorf("N=%d: buckets=%d leaves=%d", c.n, g.NumBuckets, g.Leaves)
+		}
+		if g.Leaves*c.z < c.n {
+			t.Errorf("N=%d Z=%d: leaf capacity %d < N", c.n, c.z, g.Leaves*c.z)
+		}
+	}
+}
+
+func TestPathBucket(t *testing.T) {
+	g := Params{NumBlocks: 32, Z: 4, S: 4, A: 4}.Geometry() // 3 levels, 8 leaves
+	if g.Levels != 3 {
+		t.Fatalf("levels = %d", g.Levels)
+	}
+	// Root is always bucket 0.
+	for leaf := 0; leaf < g.Leaves; leaf++ {
+		if b := g.pathBucket(leaf, 0); b != 0 {
+			t.Fatalf("path(%d) level 0 = %d", leaf, b)
+		}
+		if b := g.pathBucket(leaf, g.Levels); b != g.leafBucket(leaf) {
+			t.Fatalf("path(%d) leaf level = %d, want %d", leaf, b, g.leafBucket(leaf))
+		}
+	}
+	// Consecutive levels are parent/child.
+	for leaf := 0; leaf < g.Leaves; leaf++ {
+		for lvl := 1; lvl <= g.Levels; lvl++ {
+			child := g.pathBucket(leaf, lvl)
+			parent := g.pathBucket(leaf, lvl-1)
+			if (child-1)/2 != parent {
+				t.Fatalf("leaf %d: level %d bucket %d not child of %d", leaf, lvl, child, parent)
+			}
+		}
+	}
+}
+
+func TestPathRootFirst(t *testing.T) {
+	g := Params{NumBlocks: 32, Z: 4, S: 4, A: 4}.Geometry()
+	p := g.path(5)
+	if len(p) != g.Levels+1 {
+		t.Fatalf("path length %d", len(p))
+	}
+	if p[0] != 0 {
+		t.Fatalf("path does not start at root: %v", p)
+	}
+	if p[len(p)-1] != g.leafBucket(5) {
+		t.Fatalf("path does not end at leaf bucket: %v", p)
+	}
+}
+
+func TestEvictLeafReverseLexicographic(t *testing.T) {
+	g := Params{NumBlocks: 32, Z: 4, S: 4, A: 4}.Geometry() // 8 leaves
+	// Bit-reversed order for 3 bits: 0,4,2,6,1,5,3,7 then repeats.
+	want := []int{0, 4, 2, 6, 1, 5, 3, 7, 0, 4}
+	for i, w := range want {
+		if got := g.evictLeaf(uint64(i)); got != w {
+			t.Fatalf("evictLeaf(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestEvictLeafCoversAllLeaves(t *testing.T) {
+	g := Params{NumBlocks: 1000, Z: 4, S: 4, A: 4}.Geometry()
+	seen := make(map[int]bool)
+	for i := 0; i < g.Leaves; i++ {
+		seen[g.evictLeaf(uint64(i))] = true
+	}
+	if len(seen) != g.Leaves {
+		t.Fatalf("one eviction cycle covered %d of %d leaves", len(seen), g.Leaves)
+	}
+}
+
+func TestBucketLevel(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 6: 2, 7: 3, 14: 3}
+	for b, want := range cases {
+		if got := bucketLevel(b); got != want {
+			t.Fatalf("bucketLevel(%d) = %d, want %d", b, got, want)
+		}
+	}
+}

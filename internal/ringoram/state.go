@@ -1,0 +1,194 @@
+package ringoram
+
+import (
+	"errors"
+	"fmt"
+
+	"obladi/internal/cryptoutil"
+)
+
+// BucketState is the serializable metadata of one bucket.
+type BucketState struct {
+	Perm     []int
+	Addrs    []string
+	Valid    []bool
+	Count    int
+	WriteVer uint64
+}
+
+// StashBlock is a serializable stash entry.
+type StashBlock struct {
+	Key       string
+	Value     []byte
+	Tombstone bool
+	Leaf      int
+	Cacheable bool
+}
+
+// State is a (full or delta) snapshot of the client metadata that the
+// recovery unit logs at epoch boundaries (§8): the position map, the
+// permutation/valid maps, the stash, and the access/eviction counters.
+type State struct {
+	Full        bool
+	AccessCount uint64
+	EvictCount  uint64
+	Pos         map[string]int
+	Buckets     map[int]BucketState
+	Stash       []StashBlock
+}
+
+// Snapshot captures the current metadata. With full=false only entries
+// changed since the last ClearDirty call are included (delta checkpointing,
+// §8 "Optimizations"); the stash is always captured whole.
+func (o *ORAM) Snapshot(full bool) (*State, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := &State{
+		Full:        full,
+		AccessCount: o.accessCount,
+		EvictCount:  o.evictCount,
+		Pos:         make(map[string]int),
+		Buckets:     make(map[int]BucketState),
+	}
+	if full {
+		for k, v := range o.pos {
+			st.Pos[k] = v
+		}
+		for b := range o.meta {
+			st.Buckets[b] = o.bucketState(b)
+		}
+	} else {
+		for k := range o.dirtyKeys {
+			if leaf, ok := o.pos[k]; ok {
+				st.Pos[k] = leaf
+			}
+		}
+		for b := range o.dirtyBuckets {
+			st.Buckets[b] = o.bucketState(b)
+		}
+	}
+	for _, e := range o.stash {
+		if e.pending {
+			return nil, errors.New("ringoram: snapshot with pending stash entries (mid-epoch snapshot)")
+		}
+		st.Stash = append(st.Stash, StashBlock{
+			Key:       e.key,
+			Value:     append([]byte(nil), e.value...),
+			Tombstone: e.tombstone,
+			Leaf:      e.leaf,
+			Cacheable: e.cacheable,
+		})
+	}
+	return st, nil
+}
+
+func (o *ORAM) bucketState(b int) BucketState {
+	m := &o.meta[b]
+	return BucketState{
+		Perm:     append([]int(nil), m.perm...),
+		Addrs:    append([]string(nil), m.addrs...),
+		Valid:    append([]bool(nil), m.valid...),
+		Count:    m.count,
+		WriteVer: m.writeVer,
+	}
+}
+
+// DirtyCounts reports how many position-map entries and buckets changed
+// since the last ClearDirty. The durability layer uses this for padding
+// decisions and the benchmarks for accounting.
+func (o *ORAM) DirtyCounts() (keys, buckets int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.dirtyKeys), len(o.dirtyBuckets)
+}
+
+// ClearDirty resets delta tracking; call after a checkpoint is durable.
+func (o *ORAM) ClearDirty() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.dirtyKeys = make(map[string]struct{})
+	o.dirtyBuckets = make(map[int]struct{})
+}
+
+// NewFromState reconstructs a client from a full snapshot followed by zero
+// or more delta snapshots, in order. No storage writes are performed: the
+// shadow-paged tree on the server is reverted separately via RollbackTo.
+func NewFromState(key *cryptoutil.Key, p Params, full *State, deltas ...*State) (*ORAM, error) {
+	if full == nil || !full.Full {
+		return nil, errors.New("ringoram: NewFromState requires a full snapshot")
+	}
+	o, err := newClient(key, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(full.Buckets) != o.geo.NumBuckets {
+		return nil, fmt.Errorf("ringoram: snapshot has %d buckets, tree has %d", len(full.Buckets), o.geo.NumBuckets)
+	}
+	apply := func(st *State) error {
+		o.accessCount = st.AccessCount
+		o.evictCount = st.EvictCount
+		for k, leaf := range st.Pos {
+			if leaf < 0 || leaf >= o.geo.Leaves {
+				return fmt.Errorf("ringoram: snapshot leaf %d out of range", leaf)
+			}
+			o.pos[k] = leaf
+		}
+		for b, bs := range st.Buckets {
+			if b < 0 || b >= o.geo.NumBuckets {
+				return fmt.Errorf("ringoram: snapshot bucket %d out of range", b)
+			}
+			if len(bs.Perm) != o.geo.SlotsPer || len(bs.Valid) != o.geo.SlotsPer || len(bs.Addrs) != o.p.Z {
+				return fmt.Errorf("ringoram: snapshot bucket %d has wrong shape", b)
+			}
+			o.meta[b] = bucketMeta{
+				perm:     append([]int(nil), bs.Perm...),
+				addrs:    append([]string(nil), bs.Addrs...),
+				valid:    append([]bool(nil), bs.Valid...),
+				count:    bs.Count,
+				writeVer: bs.WriteVer,
+			}
+		}
+		// The stash in each snapshot is complete: replace wholesale.
+		o.stash = make(map[string]*stashEntry, len(st.Stash))
+		for _, sb := range st.Stash {
+			o.stash[sb.Key] = &stashEntry{
+				key:       sb.Key,
+				value:     append([]byte(nil), sb.Value...),
+				tombstone: sb.Tombstone,
+				leaf:      sb.Leaf,
+				cacheable: sb.Cacheable,
+			}
+		}
+		return nil
+	}
+	if err := apply(full); err != nil {
+		return nil, err
+	}
+	for _, d := range deltas {
+		if d.Full {
+			return nil, errors.New("ringoram: full snapshot in delta position")
+		}
+		if err := apply(d); err != nil {
+			return nil, err
+		}
+	}
+	// Rebuild the location index from bucket metadata; stash membership
+	// overrides (a block cannot be both resident and stashed).
+	o.loc = make(map[string]location)
+	for b := range o.meta {
+		for r, k := range o.meta[b].addrs {
+			if k == "" {
+				continue
+			}
+			if _, inStash := o.stash[k]; inStash {
+				return nil, fmt.Errorf("ringoram: snapshot places %q both in stash and bucket %d", k, b)
+			}
+			if prev, dup := o.loc[k]; dup {
+				return nil, fmt.Errorf("ringoram: snapshot places %q in buckets %d and %d", k, prev.bucket, b)
+			}
+			o.loc[k] = location{bucket: b, pos: r}
+		}
+	}
+	o.stashPeak = len(o.stash)
+	return o, nil
+}

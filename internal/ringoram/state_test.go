@@ -1,0 +1,315 @@
+package ringoram
+
+import (
+	"fmt"
+	"testing"
+
+	"obladi/internal/cryptoutil"
+)
+
+// buildWorkload creates a Seq, applies a deterministic workload, and returns
+// it with the expected contents.
+func buildWorkload(t *testing.T, seed uint64) (*Seq, *mapStore, map[string]string) {
+	t.Helper()
+	p := testParams(64)
+	p.Seed = seed
+	store := newMapStore()
+	seq, err := NewSeq(store, cryptoutil.KeyFromSeed([]byte("state")), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[string]string)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i%20)
+		v := fmt.Sprintf("v%d", i)
+		must(t, seq.Write(k, []byte(v)))
+		oracle[k] = v
+		if i%3 == 0 {
+			if _, _, err := seq.Read(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return seq, store, oracle
+}
+
+func TestSnapshotRestoreFull(t *testing.T) {
+	seq, store, oracle := buildWorkload(t, 21)
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reset the server-side read-tracking: the restored client replays
+	// nothing here, it simply resumes; reads against untouched buckets are
+	// legitimate after the (conceptual) crash boundary.
+	store.mu.Lock()
+	store.readSince = make(map[int]map[int]bool)
+	store.mu.Unlock()
+	seq2 := &Seq{oram: restored, store: store}
+	for k, want := range oracle {
+		v, found, err := seq2.Read(k)
+		if err != nil {
+			t.Fatalf("read %s after restore: %v", k, err)
+		}
+		if !found || string(v) != want {
+			t.Fatalf("after restore %s = %q (found=%v), want %q", k, v, found, want)
+		}
+	}
+	checkPathInvariant(t, restored)
+	checkMetaConsistency(t, restored)
+}
+
+func TestSnapshotCountersPreserved(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 22)
+	a0, e0 := seq.ORAM().Counters()
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, e1 := restored.Counters()
+	if a0 != a1 || e0 != e1 {
+		t.Fatalf("counters drifted: %d/%d -> %d/%d", a0, e0, a1, e1)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	seq, store, _ := buildWorkload(t, 23)
+	full, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.ORAM().ClearDirty()
+	// More activity -> delta.
+	extra := map[string]string{}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("d%d", i%6)
+		v := fmt.Sprintf("dv%d", i)
+		must(t, seq.Write(k, []byte(v)))
+		extra[k] = v
+	}
+	delta, err := seq.ORAM().Snapshot(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full {
+		t.Fatal("delta marked full")
+	}
+	if len(delta.Buckets) == 0 || len(delta.Pos) == 0 {
+		t.Fatal("delta captured nothing")
+	}
+	if len(delta.Buckets) >= len(full.Buckets) {
+		t.Fatalf("delta (%d buckets) not smaller than full (%d)", len(delta.Buckets), len(full.Buckets))
+	}
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), full, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	store.readSince = make(map[int]map[int]bool)
+	store.mu.Unlock()
+	seq2 := &Seq{oram: restored, store: store}
+	for k, want := range extra {
+		v, found, err := seq2.Read(k)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("delta-restored %s = %q %v %v, want %q", k, v, found, err, want)
+		}
+	}
+	checkMetaConsistency(t, restored)
+}
+
+func TestSnapshotRequiresFull(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 24)
+	delta, err := seq.ORAM().Snapshot(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), delta); err == nil {
+		t.Fatal("restore from delta-only accepted")
+	}
+}
+
+func TestSnapshotRejectsWrongShape(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 25)
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := seq.ORAM().Params()
+	p2.NumBlocks = 4 * p2.NumBlocks // different geometry
+	if _, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), p2, st); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 26)
+	seq.ORAM().ClearDirty()
+	k0, b0 := seq.ORAM().DirtyCounts()
+	if k0 != 0 || b0 != 0 {
+		t.Fatalf("dirty after clear: %d keys, %d buckets", k0, b0)
+	}
+	must(t, seq.Write("fresh", []byte("v")))
+	k1, _ := seq.ORAM().DirtyCounts()
+	if k1 == 0 {
+		t.Fatal("write did not mark position map dirty")
+	}
+}
+
+// TestReplayReadProducesSameSlots exercises the recovery replay path: a
+// logged access replayed on a restored client consumes the identical
+// physical slots.
+func TestReplayReadProducesSameSlots(t *testing.T) {
+	seq, store, _ := buildWorkload(t, 27)
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original access on the live client ("the epoch that will crash").
+	plan, _, err := seq.ORAM().PlanRead("k3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cached() {
+		t.Skip("key landed in stash; no physical read to replay")
+	}
+	loggedLeaf := plan.Leaf
+	loggedSlots := plan.LogSlots()
+
+	// Crash: restore from the snapshot and replay the logged access.
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayPlan, _, err := restored.ReplayRead("k3", loggedLeaf, loggedSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayPlan.Leaf != loggedLeaf {
+		t.Fatalf("replay leaf %d, logged %d", replayPlan.Leaf, loggedLeaf)
+	}
+	got := replayPlan.LogSlots()
+	for i := range loggedSlots {
+		if got[i] != loggedSlots[i] {
+			t.Fatalf("replay slot %d = %d, logged %d", i, got[i], loggedSlots[i])
+		}
+		if replayPlan.Reads[i].Bucket != plan.Reads[i].Bucket {
+			t.Fatalf("replay bucket %d = %d, logged %d", i, replayPlan.Reads[i].Bucket, plan.Reads[i].Bucket)
+		}
+	}
+	// Completing the replayed access yields the key's value.
+	store.mu.Lock()
+	store.readSince = make(map[int]map[int]bool)
+	store.mu.Unlock()
+	data := make([][]byte, len(replayPlan.Reads))
+	for i, r := range replayPlan.Reads {
+		d, err := store.ReadSlot(r.Bucket, r.Slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[i] = d
+	}
+	v, found, err := restored.CompleteAccess(replayPlan, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || len(v) == 0 {
+		t.Fatalf("replayed read lost the value: %q %v", v, found)
+	}
+}
+
+func TestReplayRejectsDivergence(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 28)
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := restored.Geometry()
+	// Wrong number of slots.
+	if _, _, err := restored.ReplayRead("", 0, make([]int, geo.Levels+5)); err == nil {
+		t.Fatal("wrong slot count accepted")
+	}
+	// Out-of-range slot index.
+	bad := make([]int, geo.Levels+1)
+	for i := range bad {
+		bad[i] = geo.SlotsPer + 10
+	}
+	if _, _, err := restored.ReplayRead("", 0, bad); err == nil {
+		t.Fatal("out-of-range slots accepted")
+	}
+}
+
+func TestReplayEvictMatchesLogged(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 29)
+	st, err := seq.ORAM().Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live eviction to log.
+	plan, err := seq.ORAM().PlanEvict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := plan.LogSlots()
+
+	restored, err := NewFromState(cryptoutil.KeyFromSeed([]byte("state")), seq.ORAM().Params(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := restored.ReplayEvict(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replay.LogSlots()
+	if len(got) != len(logged) {
+		t.Fatalf("replay read %d buckets, logged %d", len(got), len(logged))
+	}
+	for i := range logged {
+		if len(got[i]) != len(logged[i]) {
+			t.Fatalf("bucket %d: replay %d slots, logged %d", i, len(got[i]), len(logged[i]))
+		}
+		want := make(map[int]bool)
+		for _, s := range logged[i] {
+			want[s] = true
+		}
+		for _, s := range got[i] {
+			if !want[s] {
+				t.Fatalf("bucket %d: replay read slot %d not in log %v", i, s, logged[i])
+			}
+		}
+	}
+	_, e0 := seq.ORAM().Counters()
+	_, e1 := restored.Counters()
+	if e0 != e1 {
+		t.Fatalf("eviction counters diverged: %d vs %d", e0, e1)
+	}
+}
+
+func TestSnapshotWithPendingFails(t *testing.T) {
+	seq, _, _ := buildWorkload(t, 30)
+	plan, _, err := seq.ORAM().PlanRead("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Cached() {
+		// Mid-flight: a pending stash entry exists.
+		if _, err := seq.ORAM().Snapshot(true); err == nil {
+			t.Fatal("snapshot with pending entries accepted")
+		}
+		// Finish the access to restore a clean state.
+		if _, _, err := seq.runAccess(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package smallbank implements the SmallBank benchmark (§11 of the paper):
+// a simple banking application with checking and savings accounts and six
+// transaction types (Balance, DepositChecking, TransactSavings, Amalgamate,
+// WriteCheck, SendPayment).
+package smallbank
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"obladi/internal/kvtxn"
+)
+
+// Config scales the benchmark. The paper runs one million accounts; the
+// default here is CI-scale.
+type Config struct {
+	Accounts int
+	// HotspotPct directs this percentage of accesses to the hottest 4% of
+	// accounts, as in the original SmallBank definition (0 = uniform).
+	HotspotPct int
+	Seed       uint64
+}
+
+// Defaults returns a CI-scale configuration.
+func Defaults() Config {
+	return Config{Accounts: 100, HotspotPct: 25, Seed: 1}
+}
+
+// MinValueSize is the block size the workload requires.
+const MinValueSize = 32
+
+func checkingKey(a int) string { return fmt.Sprintf("sb:c:%d", a) }
+func savingsKey(a int) string  { return fmt.Sprintf("sb:s:%d", a) }
+
+// Load creates all accounts with initial balances.
+func Load(db kvtxn.DB, cfg Config) error {
+	const perTxn = 16
+	for start := 0; start < cfg.Accounts; start += perTxn {
+		end := start + perTxn
+		if end > cfg.Accounts {
+			end = cfg.Accounts
+		}
+		err := kvtxn.RunWithRetries(db, 50, func(tx kvtxn.Txn) error {
+			for a := start; a < end; a++ {
+				if err := tx.Write(checkingKey(a), kvtxn.Tuple{"10000"}.Encode()); err != nil {
+					return err
+				}
+				if err := tx.Write(savingsKey(a), kvtxn.Tuple{"10000"}.Encode()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client generates and executes SmallBank transactions.
+type Client struct {
+	cfg Config
+	rng *rand.Rand
+	db  kvtxn.DB
+}
+
+// NewClient creates a client with its own RNG stream.
+func NewClient(db kvtxn.DB, cfg Config, seed uint64) *Client {
+	return &Client{cfg: cfg, rng: rand.New(rand.NewPCG(seed, seed^0x2545F491)), db: db}
+}
+
+// TxnNames lists the six transaction types.
+func TxnNames() []string {
+	return []string{"balance", "deposit-checking", "transact-savings", "amalgamate", "write-check", "send-payment"}
+}
+
+func (c *Client) account() int {
+	if c.cfg.HotspotPct > 0 && c.rng.IntN(100) < c.cfg.HotspotPct {
+		hot := c.cfg.Accounts / 25
+		if hot < 1 {
+			hot = 1
+		}
+		return c.rng.IntN(hot)
+	}
+	return c.rng.IntN(c.cfg.Accounts)
+}
+
+// Next runs one transaction from a uniform mix and reports its name.
+func (c *Client) Next() (string, error) {
+	switch c.rng.IntN(6) {
+	case 0:
+		return "balance", c.Balance(c.account())
+	case 1:
+		return "deposit-checking", c.DepositChecking(c.account(), int64(1+c.rng.IntN(100)))
+	case 2:
+		return "transact-savings", c.TransactSavings(c.account(), int64(1+c.rng.IntN(100)))
+	case 3:
+		return "amalgamate", c.Amalgamate(c.account(), c.account())
+	case 4:
+		return "write-check", c.WriteCheck(c.account(), int64(1+c.rng.IntN(100)))
+	default:
+		return "send-payment", c.SendPayment(c.account(), c.account(), int64(1+c.rng.IntN(50)))
+	}
+}
+
+func readBalance(tx kvtxn.Txn, key string) (int64, error) {
+	v, found, err := tx.Read(key)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("smallbank: missing account row %q", key)
+	}
+	t, err := kvtxn.DecodeTuple(v)
+	if err != nil {
+		return 0, err
+	}
+	return t.MustInt(0), nil
+}
+
+func writeBalance(tx kvtxn.Txn, key string, v int64) error {
+	return tx.Write(key, kvtxn.Tuple{kvtxn.Itoa(v)}.Encode())
+}
+
+// Balance reads both balances of an account.
+func (c *Client) Balance(a int) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	res, err := tx.ReadMany([]string{checkingKey(a), savingsKey(a)})
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		if !r.Found {
+			return fmt.Errorf("smallbank: missing row %q", r.Key)
+		}
+	}
+	return tx.Commit()
+}
+
+// DepositChecking adds amount to the checking balance.
+func (c *Client) DepositChecking(a int, amount int64) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	bal, err := readBalance(tx, checkingKey(a))
+	if err != nil {
+		return err
+	}
+	if err := writeBalance(tx, checkingKey(a), bal+amount); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// TransactSavings adds amount to the savings balance (may go negative per
+// the benchmark definition — the transaction aborts logically but we model
+// the simple variant that always applies).
+func (c *Client) TransactSavings(a int, amount int64) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	bal, err := readBalance(tx, savingsKey(a))
+	if err != nil {
+		return err
+	}
+	if err := writeBalance(tx, savingsKey(a), bal+amount); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// Amalgamate moves all funds of account from into the checking of to.
+func (c *Client) Amalgamate(from, to int) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	res, err := tx.ReadMany([]string{checkingKey(from), savingsKey(from), checkingKey(to)})
+	if err != nil {
+		return err
+	}
+	vals := make([]int64, 3)
+	for i, r := range res {
+		if !r.Found {
+			return fmt.Errorf("smallbank: missing row %q", r.Key)
+		}
+		t, err := kvtxn.DecodeTuple(r.Value)
+		if err != nil {
+			return err
+		}
+		vals[i] = t.MustInt(0)
+	}
+	if from == to {
+		// Moving savings into own checking.
+		if err := writeBalance(tx, savingsKey(from), 0); err != nil {
+			return err
+		}
+		if err := writeBalance(tx, checkingKey(from), vals[0]+vals[1]); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	if err := writeBalance(tx, checkingKey(from), 0); err != nil {
+		return err
+	}
+	if err := writeBalance(tx, savingsKey(from), 0); err != nil {
+		return err
+	}
+	if err := writeBalance(tx, checkingKey(to), vals[2]+vals[0]+vals[1]); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// WriteCheck deducts amount from checking, with a $1 penalty when the
+// combined balance is insufficient.
+func (c *Client) WriteCheck(a int, amount int64) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	res, err := tx.ReadMany([]string{checkingKey(a), savingsKey(a)})
+	if err != nil {
+		return err
+	}
+	var checking, savings int64
+	for i, r := range res {
+		if !r.Found {
+			return fmt.Errorf("smallbank: missing row %q", r.Key)
+		}
+		t, err := kvtxn.DecodeTuple(r.Value)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			checking = t.MustInt(0)
+		} else {
+			savings = t.MustInt(0)
+		}
+	}
+	if checking+savings < amount {
+		amount++ // overdraft penalty
+	}
+	if err := writeBalance(tx, checkingKey(a), checking-amount); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// SendPayment transfers amount between checking accounts.
+func (c *Client) SendPayment(from, to int, amount int64) error {
+	if from == to {
+		return c.DepositChecking(from, 0)
+	}
+	tx := c.db.Begin()
+	defer tx.Abort()
+	res, err := tx.ReadMany([]string{checkingKey(from), checkingKey(to)})
+	if err != nil {
+		return err
+	}
+	var balFrom, balTo int64
+	for i, r := range res {
+		if !r.Found {
+			return fmt.Errorf("smallbank: missing row %q", r.Key)
+		}
+		t, err := kvtxn.DecodeTuple(r.Value)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			balFrom = t.MustInt(0)
+		} else {
+			balTo = t.MustInt(0)
+		}
+	}
+	if err := writeBalance(tx, checkingKey(from), balFrom-amount); err != nil {
+		return err
+	}
+	if err := writeBalance(tx, checkingKey(to), balTo+amount); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// TotalFunds sums every balance; money conservation is the workload's
+// cross-transaction invariant (used by tests). Amalgamate, SendPayment and
+// deposits/checks move or add money; only deposits, savings transactions and
+// write-checks change the total, so tests run conservation-only mixes.
+func TotalFunds(db kvtxn.DB, cfg Config) (int64, error) {
+	var total int64
+	err := kvtxn.RunWithRetries(db, 50, func(tx kvtxn.Txn) error {
+		total = 0
+		var keys []string
+		for a := 0; a < cfg.Accounts; a++ {
+			keys = append(keys, checkingKey(a), savingsKey(a))
+		}
+		res, err := tx.ReadMany(keys)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if !r.Found {
+				return fmt.Errorf("smallbank: missing row %q", r.Key)
+			}
+			t, err := kvtxn.DecodeTuple(r.Value)
+			if err != nil {
+				return err
+			}
+			total += t.MustInt(0)
+		}
+		return nil
+	})
+	return total, err
+}

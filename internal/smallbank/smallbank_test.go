@@ -1,0 +1,192 @@
+package smallbank
+
+import (
+	"errors"
+	"testing"
+
+	"obladi/internal/enginetest"
+	"obladi/internal/kvtxn"
+)
+
+func testEngines(t *testing.T) []enginetest.Engine {
+	t.Helper()
+	engines := enginetest.Baselines()
+	ob, err := enginetest.NewObladi(enginetest.ObladiOptions{ValueSize: 64, NumBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob)
+	return engines
+}
+
+func TestLoadCreatesAccounts(t *testing.T) {
+	cfg := Config{Accounts: 20, Seed: 1}
+	for _, e := range testEngines(t) {
+		t.Run(e.Name, func(t *testing.T) {
+			defer e.DB.Close()
+			if err := Load(e.DB, cfg); err != nil {
+				t.Fatal(err)
+			}
+			total, err := TotalFunds(e.DB, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(cfg.Accounts) * 20000; total != want {
+				t.Fatalf("initial funds %d, want %d", total, want)
+			}
+		})
+	}
+}
+
+// TestMoneyConservation runs only fund-moving transactions (Amalgamate,
+// SendPayment, Balance) and checks the total is invariant.
+func TestMoneyConservation(t *testing.T) {
+	cfg := Config{Accounts: 12, HotspotPct: 50, Seed: 2}
+	for _, e := range testEngines(t) {
+		t.Run(e.Name, func(t *testing.T) {
+			defer e.DB.Close()
+			if err := Load(e.DB, cfg); err != nil {
+				t.Fatal(err)
+			}
+			client := NewClient(e.DB, cfg, 11)
+			n := 40
+			if e.Name == "obladi" {
+				n = 12
+			}
+			for i := 0; i < n; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					err = client.SendPayment(client.account(), client.account(), 17)
+				case 1:
+					err = client.Amalgamate(client.account(), client.account())
+				default:
+					err = client.Balance(client.account())
+				}
+				if err != nil && !errors.Is(err, kvtxn.ErrAborted) {
+					t.Fatalf("txn %d: %v", i, err)
+				}
+			}
+			total, err := TotalFunds(e.DB, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(cfg.Accounts) * 20000; total != want {
+				t.Fatalf("funds not conserved: %d, want %d", total, want)
+			}
+			if e.Checker != nil {
+				if v := e.Checker.Violation(); v != nil {
+					t.Fatal(v)
+				}
+			}
+		})
+	}
+}
+
+func TestFullMixRuns(t *testing.T) {
+	cfg := Config{Accounts: 12, HotspotPct: 25, Seed: 3}
+	for _, e := range testEngines(t) {
+		t.Run(e.Name, func(t *testing.T) {
+			defer e.DB.Close()
+			if err := Load(e.DB, cfg); err != nil {
+				t.Fatal(err)
+			}
+			client := NewClient(e.DB, cfg, 13)
+			n := 30
+			if e.Name == "obladi" {
+				n = 12
+			}
+			ran := map[string]int{}
+			for i := 0; i < n; i++ {
+				name, err := client.Next()
+				if err != nil && !errors.Is(err, kvtxn.ErrAborted) {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err == nil {
+					ran[name]++
+				}
+			}
+			if len(ran) < 3 {
+				t.Fatalf("mix too narrow: %v", ran)
+			}
+		})
+	}
+}
+
+func TestDepositChecking(t *testing.T) {
+	cfg := Config{Accounts: 4, Seed: 4}
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 5)
+	if err := client.DepositChecking(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	total, err := TotalFunds(e.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.Accounts)*20000 + 500; total != want {
+		t.Fatalf("after deposit: %d, want %d", total, want)
+	}
+}
+
+func TestWriteCheckPenalty(t *testing.T) {
+	cfg := Config{Accounts: 2, Seed: 5}
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 6)
+	// Overdraw: balance is 20000 combined; write a 50000 check.
+	if err := client.WriteCheck(0, 50000); err != nil {
+		t.Fatal(err)
+	}
+	total, err := TotalFunds(e.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50000 + 1 penalty deducted.
+	if want := int64(cfg.Accounts)*20000 - 50001; total != want {
+		t.Fatalf("after overdraft: %d, want %d", total, want)
+	}
+}
+
+func TestAmalgamateSelf(t *testing.T) {
+	cfg := Config{Accounts: 2, Seed: 6}
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 7)
+	if err := client.Amalgamate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	total, err := TotalFunds(e.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.Accounts) * 20000; total != want {
+		t.Fatalf("self-amalgamate lost money: %d, want %d", total, want)
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	cfg := Config{Accounts: 100, HotspotPct: 90, Seed: 7}
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	client := NewClient(e.DB, cfg, 8)
+	hot := 0
+	for i := 0; i < 1000; i++ {
+		if client.account() < 4 {
+			hot++
+		}
+	}
+	if hot < 700 {
+		t.Fatalf("hotspot hit only %d of 1000", hot)
+	}
+}

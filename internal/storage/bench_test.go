@@ -1,0 +1,59 @@
+package storage
+
+import "testing"
+
+// BenchmarkRemoteReadSlot measures one pipelined TCP slot read.
+func BenchmarkRemoteReadSlot(b *testing.B) {
+	backend := NewMemBackend(16)
+	for i := 0; i < 16; i++ {
+		if err := backend.WriteBucket(i, 1, [][]byte{make([]byte, 256)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadSlot(i%16, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteReadSlotParallel measures pipelining headroom.
+func BenchmarkRemoteReadSlotParallel(b *testing.B) {
+	backend := NewMemBackend(16)
+	for i := 0; i < 16; i++ {
+		if err := backend.WriteBucket(i, 1, [][]byte{make([]byte, 256)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.ReadSlot(i%16, 0); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

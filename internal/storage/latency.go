@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"runtime"
+	"time"
+)
+
+// Profile models a storage backend's latency and concurrency behaviour.
+// These correspond to the four backends of the paper's Figure 10:
+//
+//	dummy      — local, zero latency (measures proxy CPU)
+//	server     — remote in-memory server, 0.3 ms ping
+//	server WAN — remote in-memory server, 10 ms ping
+//	dynamo     — DynamoDB-like: 1 ms reads, 3 ms writes, limited parallel
+//	             request slots (models its blocking HTTP client)
+type Profile struct {
+	Name string
+	// Read and Write are the one-way request latencies injected per
+	// operation.
+	Read  time.Duration
+	Write time.Duration
+	// MaxConcurrent caps in-flight operations (0 means unlimited).
+	MaxConcurrent int
+}
+
+// Canonical profiles. Latencies follow §11 of the paper.
+var (
+	ProfileDummy     = Profile{Name: "dummy"}
+	ProfileServer    = Profile{Name: "server", Read: 300 * time.Microsecond, Write: 300 * time.Microsecond}
+	ProfileServerWAN = Profile{Name: "server WAN", Read: 10 * time.Millisecond, Write: 10 * time.Millisecond}
+	ProfileDynamo    = Profile{Name: "dynamo", Read: 1 * time.Millisecond, Write: 3 * time.Millisecond, MaxConcurrent: 128}
+)
+
+// Profiles lists the canonical profiles in the order the paper plots them.
+func Profiles() []Profile {
+	return []Profile{ProfileDummy, ProfileServer, ProfileServerWAN, ProfileDynamo}
+}
+
+// Scaled returns a copy of the profile with latencies multiplied by factor.
+// The benchmark harness uses factors < 1 to keep paper-scale experiments
+// CI-friendly while preserving latency ratios between backends.
+func (p Profile) Scaled(factor float64) Profile {
+	q := p
+	q.Read = time.Duration(float64(p.Read) * factor)
+	q.Write = time.Duration(float64(p.Write) * factor)
+	return q
+}
+
+// Latency wraps a Backend, injecting the profile's per-operation latency and
+// concurrency cap. Sleeps happen outside the inner backend's locks, so
+// independent operations overlap exactly as they would against a remote
+// server with the given round-trip time.
+type Latency struct {
+	inner Backend
+	prof  Profile
+	slots chan struct{} // nil when unlimited
+}
+
+var _ Backend = (*Latency)(nil)
+
+// WithLatency wraps inner with the given profile.
+func WithLatency(inner Backend, prof Profile) *Latency {
+	l := &Latency{inner: inner, prof: prof}
+	if prof.MaxConcurrent > 0 {
+		l.slots = make(chan struct{}, prof.MaxConcurrent)
+	}
+	return l
+}
+
+// Profile returns the wrapper's profile.
+func (l *Latency) Profile() Profile { return l.prof }
+
+func (l *Latency) acquire() func() {
+	if l.slots == nil {
+		return func() {}
+	}
+	l.slots <- struct{}{}
+	return func() { <-l.slots }
+}
+
+// sleepGranularity is the portion of a delay left to a calibrated
+// spin-wait: time.Sleep on stock Linux kernels rounds small sleeps up to
+// roughly a tick (~1ms), which would erase the difference between the
+// "server" (0.3ms) and "server WAN" (10ms) profiles.
+const sleepGranularity = 1500 * time.Microsecond
+
+func (l *Latency) delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > sleepGranularity {
+		time.Sleep(d - sleepGranularity)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+func (l *Latency) ReadSlot(bucket, slot int) ([]byte, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read)
+	return l.inner.ReadSlot(bucket, slot)
+}
+
+func (l *Latency) ReadBucket(bucket int) ([][]byte, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read)
+	return l.inner.ReadBucket(bucket)
+}
+
+func (l *Latency) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.WriteBucket(bucket, epoch, slots)
+}
+
+func (l *Latency) CommitEpoch(epoch uint64) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.CommitEpoch(epoch)
+}
+
+func (l *Latency) RollbackTo(epoch uint64) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.RollbackTo(epoch)
+}
+
+func (l *Latency) NumBuckets() (int, error) {
+	return l.inner.NumBuckets()
+}
+
+func (l *Latency) Get(key string) ([]byte, bool, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read)
+	return l.inner.Get(key)
+}
+
+func (l *Latency) Put(key string, value []byte) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.Put(key, value)
+}
+
+func (l *Latency) Delete(key string) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.Delete(key)
+}
+
+func (l *Latency) Append(record []byte) (uint64, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.Append(record)
+}
+
+func (l *Latency) Scan(from uint64) ([][]byte, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read)
+	return l.inner.Scan(from)
+}
+
+func (l *Latency) Truncate(before uint64) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write)
+	return l.inner.Truncate(before)
+}
+
+func (l *Latency) LastSeq() (uint64, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read)
+	return l.inner.LastSeq()
+}
+
+func (l *Latency) Close() error { return l.inner.Close() }

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// This file adds whole-store snapshot persistence to MemBackend, so a
+// standalone obladi-storage server can survive restarts (the cloud side is
+// the durable entity in Obladi's model). The format is a single gob stream;
+// SaveTo writes atomically via a temp file + rename.
+
+// memSnapshot is the serializable image of a MemBackend.
+type memSnapshot struct {
+	Buckets   [][]snapVersion
+	Committed uint64
+	KV        map[string][]byte
+	Log       [][]byte
+	LogBase   uint64
+}
+
+type snapVersion struct {
+	Epoch uint64
+	Slots [][]byte
+}
+
+// SaveTo writes the backend's full state to path atomically.
+func (m *MemBackend) SaveTo(path string) error {
+	m.mu.RLock()
+	snap := memSnapshot{
+		Buckets:   make([][]snapVersion, len(m.buckets)),
+		Committed: m.committed,
+		KV:        make(map[string][]byte, len(m.kv)),
+		Log:       append([][]byte(nil), m.log...),
+		LogBase:   m.logBase,
+	}
+	for i, vs := range m.buckets {
+		out := make([]snapVersion, len(vs))
+		for j, v := range vs {
+			out[j] = snapVersion{Epoch: v.epoch, Slots: v.slots}
+		}
+		snap.Buckets[i] = out
+	}
+	for k, v := range m.kv {
+		snap.KV[k] = v
+	}
+	m.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: creating snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: encoding snapshot: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadMemBackend restores a backend saved with SaveTo.
+func LoadMemBackend(path string) (*MemBackend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	var snap memSnapshot
+	if err := gob.NewDecoder(bufio.NewReaderSize(f, 1<<20)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("storage: decoding snapshot: %w", err)
+	}
+	m := NewMemBackend(len(snap.Buckets))
+	m.committed = snap.Committed
+	m.kv = snap.KV
+	if m.kv == nil {
+		m.kv = make(map[string][]byte)
+	}
+	m.log = snap.Log
+	if snap.LogBase > 0 {
+		m.logBase = snap.LogBase
+	}
+	for i, vs := range snap.Buckets {
+		out := make([]bucketVersion, len(vs))
+		for j, v := range vs {
+			out[j] = bucketVersion{epoch: v.Epoch, slots: v.Slots}
+		}
+		m.buckets[i] = out
+	}
+	return m, nil
+}

@@ -1,0 +1,678 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements the wire protocol between the trusted proxy and the
+// untrusted storage server. The protocol is a simple length-prefixed binary
+// framing over TCP with request pipelining: many requests may be in flight on
+// one connection, and responses carry the request id they answer.
+//
+// Request frame:  len(u32) | op(u8) | reqID(u64) | payload
+// Response frame: len(u32) | status(u8) | reqID(u64) | payload
+// len counts everything after the length field itself.
+
+type wireOp uint8
+
+const (
+	wireReadSlot wireOp = iota + 1
+	wireReadBucket
+	wireWriteBucket
+	wireCommitEpoch
+	wireRollbackTo
+	wireNumBuckets
+	wireKVGet
+	wireKVPut
+	wireKVDelete
+	wireLogAppend
+	wireLogScan
+	wireLogTruncate
+	wireLogLastSeq
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a single protocol frame; large enough for a full bucket of
+// big slots or a log scan chunk.
+const maxFrame = 64 << 20
+
+// ErrRemote wraps an error string returned by the storage server.
+var ErrRemote = errors.New("storage: remote error")
+
+// Server serves a Backend over TCP.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer starts serving backend on the given address ("host:port"; use
+// ":0" for an ephemeral port).
+func NewServer(backend Backend, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storage: listen: %w", err)
+	}
+	s := &Server{
+		backend: backend,
+		ln:      ln,
+		conns:   make(map[net.Conn]bool),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	var wmu sync.Mutex
+	w := bufio.NewWriterSize(conn, 1<<16)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if len(frame) < 9 {
+			return
+		}
+		op := wireOp(frame[0])
+		reqID := binary.BigEndian.Uint64(frame[1:9])
+		payload := frame[9:]
+		// Handle each request in its own goroutine so that a slow backend
+		// (e.g. latency-injected) does not serialize pipelined requests.
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			status, resp := s.handle(op, payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeResponse(w, status, reqID, resp); err != nil {
+				conn.Close()
+				return
+			}
+			w.Flush()
+		}()
+	}
+}
+
+func (s *Server) handle(op wireOp, payload []byte) (byte, []byte) {
+	var enc encoder
+	fail := func(err error) (byte, []byte) {
+		return statusErr, []byte(err.Error())
+	}
+	d := decoder{buf: payload}
+	switch op {
+	case wireReadSlot:
+		bucket, slot := int(d.u32()), int(d.u32())
+		if d.err != nil {
+			return fail(d.err)
+		}
+		data, err := s.backend.ReadSlot(bucket, slot)
+		if err != nil {
+			return fail(err)
+		}
+		enc.bytes(data)
+	case wireReadBucket:
+		bucket := int(d.u32())
+		if d.err != nil {
+			return fail(d.err)
+		}
+		slots, err := s.backend.ReadBucket(bucket)
+		if err != nil {
+			return fail(err)
+		}
+		enc.u32(uint32(len(slots)))
+		for _, sl := range slots {
+			enc.bytes(sl)
+		}
+	case wireWriteBucket:
+		bucket := int(d.u32())
+		epoch := d.u64()
+		n := int(d.u32())
+		if d.err != nil || n < 0 || n > 1<<20 {
+			return fail(fmt.Errorf("storage: bad write-bucket frame"))
+		}
+		slots := make([][]byte, n)
+		for i := range slots {
+			slots[i] = d.copyBytes()
+		}
+		if d.err != nil {
+			return fail(d.err)
+		}
+		if err := s.backend.WriteBucket(bucket, epoch, slots); err != nil {
+			return fail(err)
+		}
+	case wireCommitEpoch:
+		if err := s.backend.CommitEpoch(d.u64()); err != nil {
+			return fail(err)
+		}
+	case wireRollbackTo:
+		if err := s.backend.RollbackTo(d.u64()); err != nil {
+			return fail(err)
+		}
+	case wireNumBuckets:
+		n, err := s.backend.NumBuckets()
+		if err != nil {
+			return fail(err)
+		}
+		enc.u32(uint32(n))
+	case wireKVGet:
+		key := d.str()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		v, found, err := s.backend.Get(key)
+		if err != nil {
+			return fail(err)
+		}
+		if found {
+			enc.u8(1)
+			enc.bytes(v)
+		} else {
+			enc.u8(0)
+		}
+	case wireKVPut:
+		key := d.str()
+		val := d.copyBytes()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		if err := s.backend.Put(key, val); err != nil {
+			return fail(err)
+		}
+	case wireKVDelete:
+		key := d.str()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		if err := s.backend.Delete(key); err != nil {
+			return fail(err)
+		}
+	case wireLogAppend:
+		rec := d.copyBytes()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		seq, err := s.backend.Append(rec)
+		if err != nil {
+			return fail(err)
+		}
+		enc.u64(seq)
+	case wireLogScan:
+		from := d.u64()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		recs, err := s.backend.Scan(from)
+		if err != nil {
+			return fail(err)
+		}
+		enc.u32(uint32(len(recs)))
+		for _, rec := range recs {
+			enc.bytes(rec)
+		}
+	case wireLogTruncate:
+		if err := s.backend.Truncate(d.u64()); err != nil {
+			return fail(err)
+		}
+	case wireLogLastSeq:
+		seq, err := s.backend.LastSeq()
+		if err != nil {
+			return fail(err)
+		}
+		enc.u64(seq)
+	default:
+		return fail(fmt.Errorf("storage: unknown op %d", op))
+	}
+	if d.err != nil {
+		return fail(d.err)
+	}
+	return statusOK, enc.buf
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("storage: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeResponse(w *bufio.Writer, status byte, reqID uint64, payload []byte) error {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
+	hdr[4] = status
+	binary.BigEndian.PutUint64(hdr[5:13], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a Backend implemented against a remote Server. It is safe for
+// concurrent use; concurrent calls are pipelined over a single connection.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	closed  bool
+	readErr error
+}
+
+type response struct {
+	status  byte
+	payload []byte
+}
+
+var _ Backend = (*Client)(nil)
+
+// Dial connects to a storage server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("storage: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if len(frame) < 9 {
+			c.fail(fmt.Errorf("storage: short response frame"))
+			return
+		}
+		status := frame[0]
+		reqID := binary.BigEndian.Uint64(frame[1:9])
+		c.mu.Lock()
+		ch := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- response{status: status, payload: frame[9:]}
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
+	hdr[4] = byte(op)
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+
+	c.wmu.Lock()
+	_, err := c.w.Write(hdr[:])
+	if err == nil {
+		_, err = c.w.Write(payload)
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("storage: send: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, fmt.Errorf("storage: connection lost: %w", err)
+	}
+	if resp.status != statusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, string(resp.payload))
+	}
+	return resp.payload, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) ReadSlot(bucket, slot int) ([]byte, error) {
+	var enc encoder
+	enc.u32(uint32(bucket))
+	enc.u32(uint32(slot))
+	resp, err := c.call(wireReadSlot, enc.buf)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{buf: resp}
+	data := d.copyBytes()
+	return data, d.err
+}
+
+func (c *Client) ReadBucket(bucket int) ([][]byte, error) {
+	var enc encoder
+	enc.u32(uint32(bucket))
+	resp, err := c.call(wireReadBucket, enc.buf)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{buf: resp}
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("storage: bad read-bucket response")
+	}
+	slots := make([][]byte, n)
+	for i := range slots {
+		slots[i] = d.copyBytes()
+	}
+	return slots, d.err
+}
+
+func (c *Client) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	var enc encoder
+	enc.u32(uint32(bucket))
+	enc.u64(epoch)
+	enc.u32(uint32(len(slots)))
+	for _, s := range slots {
+		enc.bytes(s)
+	}
+	_, err := c.call(wireWriteBucket, enc.buf)
+	return err
+}
+
+func (c *Client) CommitEpoch(epoch uint64) error {
+	var enc encoder
+	enc.u64(epoch)
+	_, err := c.call(wireCommitEpoch, enc.buf)
+	return err
+}
+
+func (c *Client) RollbackTo(epoch uint64) error {
+	var enc encoder
+	enc.u64(epoch)
+	_, err := c.call(wireRollbackTo, enc.buf)
+	return err
+}
+
+func (c *Client) NumBuckets() (int, error) {
+	resp, err := c.call(wireNumBuckets, nil)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{buf: resp}
+	n := int(d.u32())
+	return n, d.err
+}
+
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	var enc encoder
+	enc.str(key)
+	resp, err := c.call(wireKVGet, enc.buf)
+	if err != nil {
+		return nil, false, err
+	}
+	d := decoder{buf: resp}
+	if d.u8() == 0 {
+		return nil, false, d.err
+	}
+	v := d.copyBytes()
+	return v, true, d.err
+}
+
+func (c *Client) Put(key string, value []byte) error {
+	var enc encoder
+	enc.str(key)
+	enc.bytes(value)
+	_, err := c.call(wireKVPut, enc.buf)
+	return err
+}
+
+func (c *Client) Delete(key string) error {
+	var enc encoder
+	enc.str(key)
+	_, err := c.call(wireKVDelete, enc.buf)
+	return err
+}
+
+func (c *Client) Append(record []byte) (uint64, error) {
+	var enc encoder
+	enc.bytes(record)
+	resp, err := c.call(wireLogAppend, enc.buf)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{buf: resp}
+	seq := d.u64()
+	return seq, d.err
+}
+
+func (c *Client) Scan(from uint64) ([][]byte, error) {
+	var enc encoder
+	enc.u64(from)
+	resp, err := c.call(wireLogScan, enc.buf)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{buf: resp}
+	n := int(d.u32())
+	if d.err != nil || n < 0 {
+		return nil, fmt.Errorf("storage: bad log-scan response")
+	}
+	recs := make([][]byte, n)
+	for i := range recs {
+		recs[i] = d.copyBytes()
+	}
+	return recs, d.err
+}
+
+func (c *Client) Truncate(before uint64) error {
+	var enc encoder
+	enc.u64(before)
+	_, err := c.call(wireLogTruncate, enc.buf)
+	return err
+}
+
+func (c *Client) LastSeq() (uint64, error) {
+	resp, err := c.call(wireLogLastSeq, nil)
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{buf: resp}
+	seq := d.u64()
+	return seq, d.err
+}
+
+// encoder builds wire payloads.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// decoder parses wire payloads.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+var errShort = errors.New("storage: short payload")
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf) < n {
+		d.err = errShort
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) copyBytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	b := d.take(n)
+	return string(b)
+}

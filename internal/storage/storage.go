@@ -1,0 +1,94 @@
+// Package storage implements Obladi's untrusted cloud-storage substrate.
+//
+// The storage server is honest-but-curious: it stores encrypted ORAM buckets,
+// a plain key-value namespace (used only by the non-private NoPriv baseline),
+// and the recovery unit's write-ahead log. Buckets are shadow-paged (§8 of the
+// paper): every write installs a new version tagged with the epoch that
+// produced it, so the proxy can revert the whole tree to the last committed
+// epoch after a crash simply by discarding newer versions.
+//
+// The package also provides the latency-profile wrappers used throughout the
+// paper's evaluation (dummy / server / server WAN / dynamo), a trace recorder,
+// and an invariant checker that enforces Ring ORAM's bucket invariant from the
+// adversary's vantage point.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors.
+var (
+	// ErrNoSuchBucket is returned for out-of-range bucket indices.
+	ErrNoSuchBucket = errors.New("storage: no such bucket")
+	// ErrNoSuchSlot is returned for out-of-range slot indices.
+	ErrNoSuchSlot = errors.New("storage: no such slot")
+	// ErrClosed is returned by operations on a closed backend.
+	ErrClosed = errors.New("storage: backend closed")
+)
+
+// BucketStore is the shadow-paged ORAM bucket tree.
+//
+// Buckets are addressed 0..NumBuckets()-1 in heap order (0 is the root).
+// Every bucket version holds a fixed number of equally sized encrypted slots;
+// the server never interprets slot contents.
+type BucketStore interface {
+	// ReadSlot returns the requested slot of the newest version of the
+	// bucket. The returned slice must not be modified by the caller.
+	ReadSlot(bucket, slot int) ([]byte, error)
+
+	// ReadBucket returns all slots of the newest version of the bucket.
+	ReadBucket(bucket int) ([][]byte, error)
+
+	// WriteBucket installs a new version of the bucket tagged with epoch.
+	// The store takes ownership of the slot slices.
+	WriteBucket(bucket int, epoch uint64, slots [][]byte) error
+
+	// CommitEpoch makes every version tagged <= epoch durable and allows the
+	// store to garbage-collect versions that are superseded within the
+	// committed prefix.
+	CommitEpoch(epoch uint64) error
+
+	// RollbackTo discards all bucket versions tagged with an epoch > epoch.
+	// It implements crash recovery's shadow-paging revert.
+	RollbackTo(epoch uint64) error
+
+	// NumBuckets reports the size of the tree.
+	NumBuckets() (int, error)
+}
+
+// KVStore is the plain (non-oblivious) key-value namespace used by the
+// NoPriv baseline. Obladi itself never calls it.
+type KVStore interface {
+	Get(key string) (value []byte, found bool, err error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+}
+
+// LogStore is the recovery unit: an append-only, durable record log.
+// Sequence numbers start at 1 and increase by one per Append.
+type LogStore interface {
+	Append(record []byte) (seq uint64, err error)
+	// Scan returns all records with sequence number >= from, in order.
+	Scan(from uint64) ([][]byte, error)
+	// Truncate drops all records with sequence number < before.
+	Truncate(before uint64) error
+	LastSeq() (uint64, error)
+}
+
+// Backend is the full untrusted storage service: ORAM tree + recovery unit +
+// baseline KV namespace.
+type Backend interface {
+	BucketStore
+	KVStore
+	LogStore
+	Close() error
+}
+
+func checkBucket(bucket, n int) error {
+	if bucket < 0 || bucket >= n {
+		return fmt.Errorf("%w: %d (have %d)", ErrNoSuchBucket, bucket, n)
+	}
+	return nil
+}

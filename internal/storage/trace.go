@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op identifies a storage operation kind in a recorded trace.
+type Op uint8
+
+// Trace operation kinds.
+const (
+	OpReadSlot Op = iota
+	OpReadBucket
+	OpWriteBucket
+	OpCommit
+	OpRollback
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpReadSlot:
+		return "read-slot"
+	case OpReadBucket:
+		return "read-bucket"
+	case OpWriteBucket:
+		return "write-bucket"
+	case OpCommit:
+		return "commit"
+	case OpRollback:
+		return "rollback"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Event is one adversary-visible storage access.
+type Event struct {
+	Op     Op
+	Bucket int
+	Slot   int
+	Epoch  uint64
+}
+
+// Recorder wraps a Backend and records the adversary-visible bucket access
+// trace. It is the measurement device behind the workload-independence tests:
+// two executions are indistinguishable to the honest-but-curious server
+// exactly when their recorded traces have the same shape.
+type Recorder struct {
+	Backend
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Backend) *Recorder {
+	return &Recorder{Backend: inner}
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded trace.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset clears the trace.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+func (r *Recorder) ReadSlot(bucket, slot int) ([]byte, error) {
+	r.record(Event{Op: OpReadSlot, Bucket: bucket, Slot: slot})
+	return r.Backend.ReadSlot(bucket, slot)
+}
+
+func (r *Recorder) ReadBucket(bucket int) ([][]byte, error) {
+	r.record(Event{Op: OpReadBucket, Bucket: bucket})
+	return r.Backend.ReadBucket(bucket)
+}
+
+func (r *Recorder) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	r.record(Event{Op: OpWriteBucket, Bucket: bucket, Epoch: epoch})
+	return r.Backend.WriteBucket(bucket, epoch, slots)
+}
+
+func (r *Recorder) CommitEpoch(epoch uint64) error {
+	r.record(Event{Op: OpCommit, Epoch: epoch})
+	return r.Backend.CommitEpoch(epoch)
+}
+
+func (r *Recorder) RollbackTo(epoch uint64) error {
+	r.record(Event{Op: OpRollback, Epoch: epoch})
+	return r.Backend.RollbackTo(epoch)
+}
+
+// InvariantChecker wraps a Backend and enforces Ring ORAM's bucket invariant
+// from the server's point of view: between two writes of a bucket, no slot of
+// that bucket may be read twice. A violation would let the adversary
+// distinguish real from dummy accesses; the ORAM client must never produce
+// one.
+type InvariantChecker struct {
+	Backend
+	mu        sync.Mutex
+	readSlots map[int]map[int]bool // bucket -> slots read since last write
+	violation error
+}
+
+// NewInvariantChecker wraps inner.
+func NewInvariantChecker(inner Backend) *InvariantChecker {
+	return &InvariantChecker{
+		Backend:   inner,
+		readSlots: make(map[int]map[int]bool),
+	}
+}
+
+// Violation returns the first recorded invariant violation, or nil.
+func (c *InvariantChecker) Violation() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violation
+}
+
+func (c *InvariantChecker) ReadSlot(bucket, slot int) ([]byte, error) {
+	c.mu.Lock()
+	set := c.readSlots[bucket]
+	if set == nil {
+		set = make(map[int]bool)
+		c.readSlots[bucket] = set
+	}
+	if set[slot] && c.violation == nil {
+		c.violation = fmt.Errorf("storage: bucket invariant violated: bucket %d slot %d read twice between writes", bucket, slot)
+	}
+	set[slot] = true
+	c.mu.Unlock()
+	return c.Backend.ReadSlot(bucket, slot)
+}
+
+func (c *InvariantChecker) ReadBucket(bucket int) ([][]byte, error) {
+	// Full-bucket reads only occur during recovery or initialization; they
+	// reveal nothing beyond the write that must follow, so they reset the
+	// bucket's read-set like a write does.
+	c.mu.Lock()
+	delete(c.readSlots, bucket)
+	c.mu.Unlock()
+	return c.Backend.ReadBucket(bucket)
+}
+
+func (c *InvariantChecker) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	c.mu.Lock()
+	delete(c.readSlots, bucket)
+	c.mu.Unlock()
+	return c.Backend.WriteBucket(bucket, epoch, slots)
+}
+
+func (c *InvariantChecker) RollbackTo(epoch uint64) error {
+	// A rollback reverts buckets to their last committed contents; the slot
+	// read-sets restart (the recovery protocol re-reads logged paths, which
+	// the adversary has already seen, against restored bucket versions).
+	c.mu.Lock()
+	c.readSlots = make(map[int]map[int]bool)
+	c.mu.Unlock()
+	return c.Backend.RollbackTo(epoch)
+}

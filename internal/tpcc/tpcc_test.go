@@ -1,0 +1,197 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+
+	"obladi/internal/enginetest"
+	"obladi/internal/kvtxn"
+)
+
+func testEngines(t *testing.T) []enginetest.Engine {
+	t.Helper()
+	engines := enginetest.Baselines()
+	ob, err := enginetest.NewObladi(enginetest.ObladiOptions{ValueSize: MinValueSize * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob)
+	return engines
+}
+
+func TestLoadAndVerify(t *testing.T) {
+	cfg := Defaults()
+	for _, e := range testEngines(t) {
+		t.Run(e.Name, func(t *testing.T) {
+			defer e.DB.Close()
+			if err := Load(e.DB, cfg); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if err := Verify(e.DB, cfg); err != nil {
+				t.Fatalf("verify after load: %v", err)
+			}
+			if e.Checker != nil {
+				if v := e.Checker.Violation(); v != nil {
+					t.Fatal(v)
+				}
+			}
+		})
+	}
+}
+
+func TestTransactionMix(t *testing.T) {
+	cfg := Defaults()
+	for _, e := range testEngines(t) {
+		t.Run(e.Name, func(t *testing.T) {
+			defer e.DB.Close()
+			if err := Load(e.DB, cfg); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			client := NewClient(e.DB, cfg, 7)
+			n := 40
+			if e.Name == "obladi" {
+				n = 15 // epoched engine is slower per txn in tests
+			}
+			ran := make(map[string]int)
+			for i := 0; i < n; i++ {
+				name, err := client.Next()
+				if err != nil && !errors.Is(err, kvtxn.ErrAborted) {
+					t.Fatalf("txn %d (%s): %v", i, name, err)
+				}
+				if err == nil {
+					ran[name]++
+				}
+			}
+			if len(ran) < 2 {
+				t.Fatalf("mix too narrow: %v", ran)
+			}
+			if err := Verify(e.DB, cfg); err != nil {
+				t.Fatalf("verify after mix: %v", err)
+			}
+			if e.Checker != nil {
+				if v := e.Checker.Violation(); v != nil {
+					t.Fatal(v)
+				}
+			}
+		})
+	}
+}
+
+func TestNewOrderAdvancesOrderID(t *testing.T) {
+	cfg := Defaults()
+	engines := enginetest.Baselines()
+	e := engines[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 3)
+	before := districtNextOID(t, e.DB, cfg)
+	ordersRun := 0
+	for i := 0; i < 20 && ordersRun < 5; i++ {
+		if err := client.NewOrder(); err == nil {
+			ordersRun++
+		}
+	}
+	after := districtNextOID(t, e.DB, cfg)
+	if after <= before {
+		t.Fatalf("nextOID did not advance: %d -> %d", before, after)
+	}
+	if err := Verify(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// districtNextOID sums nextOID across districts.
+func districtNextOID(t *testing.T, db kvtxn.DB, cfg Config) int64 {
+	t.Helper()
+	var total int64
+	err := kvtxn.RunWithRetries(db, 20, func(tx kvtxn.Txn) error {
+		total = 0
+		for w := 0; w < cfg.Warehouses; w++ {
+			for d := 0; d < cfg.DistrictsPerWH; d++ {
+				dt, err := readTuple(tx, districtKey(w, d))
+				if err != nil {
+					return err
+				}
+				total += dt.MustInt(2)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestDeliveryDrainsQueue(t *testing.T) {
+	cfg := Defaults()
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 5)
+	// Deliver more times than there are preloaded orders; queue must drain
+	// without violating the queue-window invariant.
+	for i := 0; i < cfg.Warehouses*cfg.DistrictsPerWH*(cfg.InitialOrders+2); i++ {
+		if err := client.Delivery(); err != nil && !errors.Is(err, kvtxn.ErrAborted) {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+	}
+	if err := Verify(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	cfg := Defaults()
+	e := enginetest.Baselines()[0]
+	defer e.DB.Close()
+	if err := Load(e.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(e.DB, cfg, 9)
+	for i := 0; i < 10; i++ {
+		if err := client.Payment(); err != nil && !errors.Is(err, kvtxn.ErrAborted) {
+			t.Fatal(err)
+		}
+	}
+	// Warehouse YTD must have grown.
+	var ytd int64
+	err := kvtxn.RunWithRetries(e.DB, 20, func(tx kvtxn.Txn) error {
+		ytd = 0
+		for w := 0; w < cfg.Warehouses; w++ {
+			wt, err := readTuple(tx, warehouseKey(w))
+			if err != nil {
+				return err
+			}
+			ytd += wt.MustInt(2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ytd == 0 {
+		t.Fatal("no payment applied")
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if lastName(0) != "BARBARBAR" {
+		t.Fatalf("lastName(0) = %q", lastName(0))
+	}
+	if lastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("lastName(371) = %q", lastName(371))
+	}
+	// 30 distinct names for the first 30 numbers is what the loader uses.
+	seen := make(map[string]bool)
+	for i := 0; i < 30; i++ {
+		seen[lastName(i)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct last names in loader range", len(seen))
+	}
+}

@@ -1,0 +1,389 @@
+// Package wal implements Obladi's recovery unit (§8 of the paper): an
+// encrypted write-ahead log kept on untrusted cloud storage.
+//
+// Three record kinds are logged:
+//
+//   - batch records: the physical read schedule (paths, slot indices) of
+//     every read batch, written BEFORE the reads execute, so a recovering
+//     proxy can replay exactly the accesses the adversary already observed;
+//   - checkpoint records: the proxy metadata needed to resume — position
+//     map, per-bucket permutation/valid maps, counters, and the stash.
+//     Checkpoints are deltas, with a periodic full checkpoint; deltas pad
+//     the position-map to the maximum number of entries an epoch can touch
+//     and the stash to its configured maximum, so record sizes leak nothing;
+//   - commit records: the epoch-boundary durability point.
+//
+// All payloads are sealed with the proxy's key and bound to (kind, epoch,
+// seq) so the storage server can neither forge nor replay stale records
+// (Appendix A).
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"obladi/internal/cryptoutil"
+	"obladi/internal/oramexec"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// Record kinds (plaintext framing byte; timing/kind of records is public).
+const (
+	kindBatch      = 1
+	kindCheckpoint = 2
+	kindCommit     = 3
+)
+
+// padKeyPrefix marks padding entries injected into checkpoint maps; the
+// NUL byte cannot appear in real keys written through the public API.
+const padKeyPrefix = "\x00pad"
+
+// Config tunes the recovery unit.
+type Config struct {
+	// Key seals all log payloads. Required.
+	Key *cryptoutil.Key
+	// PadPosEntries pads every checkpoint's position-map delta to this
+	// many entries: the maximum number of keys an epoch can touch
+	// (R*bread + bwrite). 0 disables padding (tests only).
+	PadPosEntries int
+	// PadStashEntries pads the logged stash to this many blocks
+	// (the ORAM's stash limit). 0 disables padding (tests only).
+	PadStashEntries int
+	// PadValueSize sizes stash padding blocks. Defaults to 0 (empty pad
+	// values); set to the ORAM value size for full-fidelity padding.
+	PadValueSize int
+	// FullCheckpointEvery forces a full (non-delta) checkpoint every N
+	// epochs; 1 means every checkpoint is full. Default 16.
+	FullCheckpointEvery int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Key == nil {
+		return errors.New("wal: nil key")
+	}
+	if c.FullCheckpointEvery <= 0 {
+		c.FullCheckpointEvery = 16
+	}
+	return nil
+}
+
+// Log is the recovery unit client.
+type Log struct {
+	store     storage.LogStore
+	cfg       Config
+	sinceFull int
+}
+
+// New creates a recovery unit over a durable log store.
+func New(store storage.LogStore, cfg Config) (*Log, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Log{store: store, cfg: cfg, sinceFull: cfg.FullCheckpointEvery}, nil
+}
+
+// batchRecord is the gob payload of a batch record.
+type batchRecord struct {
+	Epoch   uint64
+	Batch   int
+	Entries []oramexec.LogEntry
+}
+
+// checkpointRecord is the gob payload of a checkpoint record.
+type checkpointRecord struct {
+	Epoch uint64
+	State ringoram.State
+}
+
+// commitRecord is the gob payload of a commit record.
+type commitRecord struct {
+	Epoch uint64
+}
+
+// seal encrypts and authenticates a record. The binding covers the record
+// kind; epoch ordering is carried (authenticated) inside the payload, and
+// log-suffix freshness is the trusted counter's job (Appendix A), modeled
+// here by the append-only LogStore.
+func (l *Log) seal(kind byte, payload interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(0) // reserved/version
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	sealed, err := l.cfg.Key.Seal(buf.Bytes(), cryptoutil.Binding(uint64(kind), 0, 0))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{kind}, sealed...), nil
+}
+
+func (l *Log) open(rec []byte, payload interface{}) error {
+	if len(rec) < 1 {
+		return errors.New("wal: empty record")
+	}
+	plain, err := l.cfg.Key.Open(rec[1:], cryptoutil.Binding(uint64(rec[0]), 0, 0))
+	if err != nil {
+		return fmt.Errorf("wal: record failed authentication: %w", err)
+	}
+	if len(plain) < 1 {
+		return errors.New("wal: short record")
+	}
+	return gob.NewDecoder(bytes.NewReader(plain[1:])).Decode(payload)
+}
+
+// AppendBatch durably logs a batch's physical read schedule. Must complete
+// before the batch's reads are issued (write-ahead rule).
+func (l *Log) AppendBatch(epoch uint64, batch int, entries []oramexec.LogEntry) error {
+	rec, err := l.seal(kindBatch, batchRecord{Epoch: epoch, Batch: batch, Entries: entries})
+	if err != nil {
+		return err
+	}
+	_, err = l.store.Append(rec)
+	return err
+}
+
+// AppendCheckpoint logs the epoch-end metadata snapshot. It decides
+// full-vs-delta per the configured cadence and pads the delta so its size is
+// workload independent. Returns whether a full checkpoint was written.
+func (l *Log) AppendCheckpoint(epoch uint64, oram *ringoram.ORAM) (bool, error) {
+	full := l.sinceFull >= l.cfg.FullCheckpointEvery
+	st, err := oram.Snapshot(full)
+	if err != nil {
+		return false, err
+	}
+	l.pad(st)
+	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: epoch, State: *st})
+	if err != nil {
+		return false, err
+	}
+	if _, err := l.store.Append(rec); err != nil {
+		return false, err
+	}
+	oram.ClearDirty()
+	if full {
+		l.sinceFull = 1
+	} else {
+		l.sinceFull++
+	}
+	return full, nil
+}
+
+// pad injects dummy entries so a delta's position-map size and the stash
+// size are constants (§8 "Optimizations": "pads the map delta to the maximum
+// number of entries that could have changed in an epoch").
+func (l *Log) pad(st *ringoram.State) {
+	if !st.Full && l.cfg.PadPosEntries > 0 {
+		for i := 0; len(st.Pos) < l.cfg.PadPosEntries; i++ {
+			st.Pos[fmt.Sprintf("%s-%d", padKeyPrefix, i)] = 0
+		}
+	}
+	if l.cfg.PadStashEntries > 0 {
+		for i := len(st.Stash); i < l.cfg.PadStashEntries; i++ {
+			st.Stash = append(st.Stash, ringoram.StashBlock{
+				Key:   fmt.Sprintf("%s-s%d", padKeyPrefix, i),
+				Value: make([]byte, l.cfg.PadValueSize),
+			})
+		}
+	}
+}
+
+// unpad strips padding entries from a decoded state.
+func unpad(st *ringoram.State) {
+	for k := range st.Pos {
+		if len(k) >= len(padKeyPrefix) && k[:len(padKeyPrefix)] == padKeyPrefix {
+			delete(st.Pos, k)
+		}
+	}
+	kept := st.Stash[:0]
+	for _, b := range st.Stash {
+		if len(b.Key) >= len(padKeyPrefix) && b.Key[:len(padKeyPrefix)] == padKeyPrefix {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	st.Stash = kept
+}
+
+// AppendCommit durably marks epoch as committed. After this record is
+// persisted the epoch's transactions may be acknowledged to clients.
+func (l *Log) AppendCommit(epoch uint64) error {
+	rec, err := l.seal(kindCommit, commitRecord{Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	_, err = l.store.Append(rec)
+	return err
+}
+
+// Truncate drops log records that precede the newest full checkpoint at or
+// below the given committed epoch. Call opportunistically after commits.
+func (l *Log) Truncate() error {
+	recs, err := l.store.Scan(0)
+	if err != nil {
+		return err
+	}
+	last, err := l.store.LastSeq()
+	if err != nil {
+		return err
+	}
+	base := last - uint64(len(recs)) + 1
+	// Find the newest full checkpoint that is covered by a later commit.
+	committed := uint64(0)
+	for i := len(recs) - 1; i >= 0; i-- {
+		if len(recs[i]) > 0 && recs[i][0] == kindCommit {
+			var cr commitRecord
+			if err := l.open(recs[i], &cr); err != nil {
+				return err
+			}
+			committed = cr.Epoch
+			break
+		}
+	}
+	if committed == 0 {
+		return nil
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if len(recs[i]) == 0 || recs[i][0] != kindCheckpoint {
+			continue
+		}
+		var cp checkpointRecord
+		if err := l.open(recs[i], &cp); err != nil {
+			return err
+		}
+		if cp.State.Full && cp.Epoch <= committed {
+			return l.store.Truncate(base + uint64(i))
+		}
+	}
+	return nil
+}
+
+// RecoveryStats breaks down recovery cost for Table 11b.
+type RecoveryStats struct {
+	BytesRead     int
+	PosEntries    int
+	PermBuckets   int
+	PathEntries   int
+	DecodePosPerm time.Duration
+	DecodePaths   time.Duration
+}
+
+// Recovery is the reconstructed durable state after a crash.
+type Recovery struct {
+	// CommittedEpoch is the last epoch whose commit record is durable; the
+	// storage tree must be rolled back to it.
+	CommittedEpoch uint64
+	// Full and Deltas reconstruct the ORAM client metadata.
+	Full   *ringoram.State
+	Deltas []*ringoram.State
+	// AbortedBatches holds the logged read schedules of the epoch that was
+	// in flight when the proxy crashed, in order; recovery replays them.
+	AbortedBatches [][]oramexec.LogEntry
+	Stats          RecoveryStats
+}
+
+// ErrNoCheckpoint indicates the log holds no usable full checkpoint.
+var ErrNoCheckpoint = errors.New("wal: no full checkpoint in log")
+
+// Recover scans the log and reconstructs the latest committed state plus
+// the aborted epoch's read schedule.
+func (l *Log) Recover() (*Recovery, error) {
+	recs, err := l.store.Scan(0)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recovery{}
+	for _, rec := range recs {
+		r.Stats.BytesRead += len(rec)
+	}
+	// Pass 1: newest committed epoch.
+	type parsed struct {
+		kind  byte
+		cp    *checkpointRecord
+		batch *batchRecord
+	}
+	items := make([]parsed, len(recs))
+	for i, rec := range recs {
+		if len(rec) == 0 {
+			return nil, fmt.Errorf("wal: empty record %d", i)
+		}
+		items[i].kind = rec[0]
+		if rec[0] == kindCommit {
+			var cr commitRecord
+			if err := l.open(rec, &cr); err != nil {
+				return nil, fmt.Errorf("wal: commit record %d: %w", i, err)
+			}
+			if cr.Epoch > r.CommittedEpoch {
+				r.CommittedEpoch = cr.Epoch
+			}
+		}
+	}
+	// Pass 2: decode checkpoints up to the committed epoch; find the newest
+	// full one, then collect subsequent deltas. Also decode batch records
+	// of the aborted epoch (committed+1).
+	start := time.Now()
+	var fullIdx = -1
+	cps := make([]*checkpointRecord, len(recs))
+	for i, rec := range recs {
+		if items[i].kind != kindCheckpoint {
+			continue
+		}
+		var cp checkpointRecord
+		if err := l.openCheckpoint(rec, &cp); err != nil {
+			return nil, fmt.Errorf("wal: checkpoint record %d: %w", i, err)
+		}
+		if cp.Epoch > r.CommittedEpoch {
+			continue // checkpoint of an epoch that never committed
+		}
+		cps[i] = &cp
+		if cp.State.Full {
+			fullIdx = i
+		}
+	}
+	if fullIdx < 0 {
+		return nil, ErrNoCheckpoint
+	}
+	unpad(&cps[fullIdx].State)
+	r.Full = &cps[fullIdx].State
+	r.Stats.PosEntries += len(r.Full.Pos)
+	r.Stats.PermBuckets += len(r.Full.Buckets)
+	for i := fullIdx + 1; i < len(recs); i++ {
+		if cps[i] == nil {
+			continue
+		}
+		unpad(&cps[i].State)
+		r.Deltas = append(r.Deltas, &cps[i].State)
+		r.Stats.PosEntries += len(cps[i].State.Pos)
+		r.Stats.PermBuckets += len(cps[i].State.Buckets)
+	}
+	r.Stats.DecodePosPerm = time.Since(start)
+
+	start = time.Now()
+	for i, rec := range recs {
+		if items[i].kind != kindBatch {
+			continue
+		}
+		var br batchRecord
+		if err := l.openBatch(rec, &br); err != nil {
+			return nil, fmt.Errorf("wal: batch record %d: %w", i, err)
+		}
+		if br.Epoch != r.CommittedEpoch+1 {
+			continue // batch of a committed (already durable) epoch
+		}
+		r.AbortedBatches = append(r.AbortedBatches, br.Entries)
+		r.Stats.PathEntries += len(br.Entries)
+	}
+	r.Stats.DecodePaths = time.Since(start)
+	return r, nil
+}
+
+func (l *Log) openCheckpoint(rec []byte, cp *checkpointRecord) error {
+	return l.open(rec, cp)
+}
+
+func (l *Log) openBatch(rec []byte, br *batchRecord) error {
+	return l.open(rec, br)
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	u := NewUniform(16)
+	rng := rand.New(rand.NewPCG(1, 2))
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		k := u.Next(rng)
+		if k < 0 || k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform visited %d of 16 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	rng := rand.New(rand.NewPCG(3, 4))
+	counts := make([]int, 1000)
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		k := z.Next(rng)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Item 0 must be far hotter than the median item.
+	if counts[0] < 20*counts[500]+1 {
+		t.Fatalf("no skew: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// Top 10% of keys should receive the majority of accesses.
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if top < samples/2 {
+		t.Fatalf("top decile got %d of %d accesses", top, samples)
+	}
+}
+
+func TestZipfianSmallN(t *testing.T) {
+	z := NewZipfian(2, 0.99)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 1000; i++ {
+		if k := z.Next(rng); k < 0 || k >= 2 {
+			t.Fatalf("key %d out of range for n=2", k)
+		}
+	}
+}
+
+func TestMixReadFraction(t *testing.T) {
+	m := NewMix(NewUniform(100), 0.75, "k")
+	rng := rand.New(rand.NewPCG(7, 8))
+	reads := 0
+	const samples = 10000
+	for i := 0; i < samples; i++ {
+		if m.Next(rng).Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / samples
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("read fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixKeysStableAndDistinct(t *testing.T) {
+	m := NewMix(NewUniform(50), 1.0, "x")
+	keys := m.Keys()
+	if len(keys) != 50 {
+		t.Fatalf("Keys() returned %d", len(keys))
+	}
+	seen := make(map[string]bool)
+	for i, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+		if k != m.Key(i) {
+			t.Fatalf("Keys()[%d] != Key(%d)", i, i)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package obladi is a transactional key-value store that hides access
+// patterns from its storage backend, implementing the system described in
+// "Obladi: Oblivious Serializable Transactions in the Cloud" (OSDI 2018).
+//
+// A DB runs a trusted proxy: transactions execute under multiversioned
+// timestamp ordering, commit decisions are delayed to the end of fixed
+// epochs, and all storage traffic flows through a parallel Ring ORAM whose
+// request pattern is independent of the workload. Storage can be embedded
+// (in-memory) or a remote obladi-storage server reached over TCP; either
+// way the storage side never learns which keys are accessed, when, or how
+// often — only the fixed batch schedule.
+//
+// Basic usage:
+//
+//	db, err := obladi.Open(obladi.Options{MaxKeys: 10000})
+//	...
+//	err = db.Update(func(tx *obladi.Txn) error {
+//		v, _, err := tx.Read("balance/alice")
+//		...
+//		return tx.Write("balance/alice", newValue)
+//	})
+package obladi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// Errors surfaced by transactions.
+var (
+	// ErrAborted reports that a transaction aborted (conflict, cascading
+	// abort, epoch boundary, or shutdown). Retrying is usually appropriate.
+	ErrAborted = core.ErrAborted
+	// ErrEpochFull reports that an epoch ran out of batch capacity.
+	ErrEpochFull = core.ErrEpochFull
+	// ErrClosed reports use after Close.
+	ErrClosed = core.ErrClosed
+	// ErrValueTooLarge reports a value exceeding MaxValueSize.
+	ErrValueTooLarge = core.ErrValueTooLarge
+)
+
+// Options configures a DB. The zero value is usable for small embedded
+// stores; see DESIGN.md for how the batching parameters (Table 1 of the
+// paper) should track the application's transaction shapes.
+type Options struct {
+	// MaxKeys bounds the number of distinct keys (ORAM capacity).
+	// Default 8192.
+	MaxKeys int
+	// MaxValueSize bounds value length in bytes. Default 256.
+	MaxValueSize int
+	// MaxKeySize bounds key length in bytes. Default 64.
+	MaxKeySize int
+
+	// ReadBatches (R), ReadBatchSize (bread) and WriteBatchSize (bwrite)
+	// fix the epoch's observable shape. Defaults: 4, 32, 32.
+	ReadBatches    int
+	ReadBatchSize  int
+	WriteBatchSize int
+	// BatchInterval is Δ, the fixed batch cadence. Zero selects manual
+	// mode, where the caller drives the schedule with Advance (useful for
+	// tests and deterministic tools).
+	BatchInterval time.Duration
+	// EagerBatches fires a read batch as soon as it fills rather than
+	// waiting out Δ. This makes the schedule load-dependent (observable);
+	// use only for throughput experiments.
+	EagerBatches bool
+
+	// Z, S, A tune the Ring ORAM (reals/dummies per bucket, eviction
+	// rate). Zero selects 8/12/8, suitable for small stores; the paper's
+	// cloud configuration is 100/196/168.
+	Z, S, A int
+
+	// RemoteAddr connects to an obladi-storage server instead of using
+	// embedded in-memory storage.
+	RemoteAddr string
+	// SimulatedLatency, when non-empty, wraps embedded storage with one of
+	// the paper's latency profiles: "server" (0.3ms), "server-wan" (10ms),
+	// "dynamo" (1/3ms, capped concurrency).
+	SimulatedLatency string
+
+	// DisableDurability turns off the recovery unit (no crash recovery).
+	DisableDurability bool
+	// FullCheckpointEvery sets the full-checkpoint cadence (default 16).
+	FullCheckpointEvery int
+
+	// KeySeed derives the encryption/MAC keys deterministically. Required
+	// to reopen an existing store after a restart; nil generates a random
+	// key (suitable only for stores that die with the process).
+	KeySeed []byte
+
+	// Parallelism caps concurrent storage requests. Default 64.
+	Parallelism int
+}
+
+// DB is an oblivious transactional key-value store.
+type DB struct {
+	proxy   *core.Proxy
+	backend storage.Backend
+}
+
+// Open creates (or, when the backend's recovery log holds a committed
+// checkpoint, recovers) a DB.
+func Open(opt Options) (*DB, error) {
+	if opt.MaxKeys <= 0 {
+		opt.MaxKeys = 8192
+	}
+	if opt.MaxValueSize <= 0 {
+		opt.MaxValueSize = 256
+	}
+	if opt.MaxKeySize <= 0 {
+		opt.MaxKeySize = 64
+	}
+	if opt.Z <= 0 {
+		opt.Z = 8
+	}
+	if opt.S <= 0 {
+		opt.S = 12
+	}
+	if opt.A <= 0 {
+		opt.A = 8
+	}
+	var key *cryptoutil.Key
+	var err error
+	if opt.KeySeed != nil {
+		key = cryptoutil.KeyFromSeed(opt.KeySeed)
+	} else {
+		key, err = cryptoutil.NewKey()
+		if err != nil {
+			return nil, err
+		}
+	}
+	params := ringoram.Params{
+		NumBlocks: opt.MaxKeys,
+		Z:         opt.Z,
+		S:         opt.S,
+		A:         opt.A,
+		KeySize:   opt.MaxKeySize,
+		ValueSize: opt.MaxValueSize,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	var backend storage.Backend
+	if opt.RemoteAddr != "" {
+		backend, err = storage.Dial(opt.RemoteAddr)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		mem := storage.NewMemBackend(params.Geometry().NumBuckets)
+		switch opt.SimulatedLatency {
+		case "":
+			backend = mem
+		case "server":
+			backend = storage.WithLatency(mem, storage.ProfileServer)
+		case "server-wan":
+			backend = storage.WithLatency(mem, storage.ProfileServerWAN)
+		case "dynamo":
+			backend = storage.WithLatency(mem, storage.ProfileDynamo)
+		default:
+			return nil, fmt.Errorf("obladi: unknown latency profile %q", opt.SimulatedLatency)
+		}
+	}
+
+	proxy, err := core.New(backend, core.Config{
+		Params:              params,
+		Key:                 key,
+		ReadBatches:         opt.ReadBatches,
+		ReadBatchSize:       opt.ReadBatchSize,
+		WriteBatchSize:      opt.WriteBatchSize,
+		BatchInterval:       opt.BatchInterval,
+		EagerBatches:        opt.EagerBatches,
+		Parallelism:         opt.Parallelism,
+		DisableDurability:   opt.DisableDurability,
+		FullCheckpointEvery: opt.FullCheckpointEvery,
+	})
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	return &DB{proxy: proxy, backend: backend}, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{t: db.proxy.Begin()}
+}
+
+// Update runs fn in a transaction and commits, retrying up to 10 times on
+// aborts. fn must be idempotent.
+func (db *DB) Update(fn func(*Txn) error) error {
+	var last error
+	for attempt := 0; attempt < 10; attempt++ {
+		tx := db.Begin()
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			if errors.Is(err, ErrAborted) || errors.Is(err, ErrEpochFull) {
+				last = err
+				continue
+			}
+			return err
+		}
+		err := tx.Commit()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) && !errors.Is(err, ErrEpochFull) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// View runs fn in a transaction that is aborted afterwards (reads only take
+// effect); retries like Update.
+func (db *DB) View(fn func(*Txn) error) error {
+	var last error
+	for attempt := 0; attempt < 10; attempt++ {
+		tx := db.Begin()
+		err := fn(tx)
+		tx.Abort()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) && !errors.Is(err, ErrEpochFull) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// Advance drives the batch schedule by one step in manual mode
+// (BatchInterval == 0): the next read batch, or the epoch boundary.
+func (db *DB) Advance() error { return db.proxy.Advance() }
+
+// Epoch returns the current epoch number.
+func (db *DB) Epoch() uint64 { return db.proxy.Epoch() }
+
+// Stats returns proxy counters.
+func (db *DB) Stats() core.Stats { return db.proxy.Stats() }
+
+// Close shuts the proxy down; in-flight transactions abort.
+func (db *DB) Close() error {
+	err := db.proxy.Close()
+	if cerr := db.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Txn is a transaction handle. It must not be used concurrently.
+type Txn struct {
+	t *core.Txn
+}
+
+// Read returns the value visible to this transaction.
+func (tx *Txn) Read(key string) (value []byte, found bool, err error) {
+	return tx.t.Read(key)
+}
+
+// ReadMany reads independent keys in one batch round; results are parallel
+// to keys. Prefer it over sequential Reads: each chain of dependent reads
+// costs one read batch.
+func (tx *Txn) ReadMany(keys []string) ([]KV, error) {
+	res, err := tx.t.ReadMany(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(res))
+	for i, r := range res {
+		out[i] = KV{Key: r.Key, Value: r.Value, Found: r.Found}
+	}
+	return out, nil
+}
+
+// KV is one ReadMany result.
+type KV struct {
+	Key   string
+	Value []byte
+	Found bool
+}
+
+// Write stores value under key.
+func (tx *Txn) Write(key string, value []byte) error { return tx.t.Write(key, value) }
+
+// Delete removes key.
+func (tx *Txn) Delete(key string) error { return tx.t.Delete(key) }
+
+// Commit requests commit and blocks until the epoch decides; nil means the
+// transaction is durably committed.
+func (tx *Txn) Commit() error { return tx.t.Commit() }
+
+// CommitAsync requests commit and returns the decision channel.
+func (tx *Txn) CommitAsync() <-chan error { return tx.t.CommitAsync() }
+
+// Abort discards the transaction.
+func (tx *Txn) Abort() { tx.t.Abort() }

@@ -1,0 +1,299 @@
+package obladi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"obladi/internal/storage"
+)
+
+func openTest(t *testing.T, opt Options) *DB {
+	t.Helper()
+	if opt.BatchInterval == 0 {
+		opt.BatchInterval = 300 * time.Microsecond
+		opt.EagerBatches = true
+	}
+	if opt.KeySeed == nil {
+		opt.KeySeed = []byte("obladi-test")
+	}
+	db, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := openTest(t, Options{})
+	err := db.Update(func(tx *Txn) error {
+		return tx.Write("greeting", []byte("hello"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	err = db.View(func(tx *Txn) error {
+		v, found, err := tx.Read("greeting")
+		if err != nil {
+			return err
+		}
+		if !found {
+			return errors.New("not found")
+		}
+		got = v
+		return nil
+	})
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("view: %q %v", got, err)
+	}
+}
+
+func TestUpdateRetriesOnConflict(t *testing.T) {
+	db := openTest(t, Options{})
+	must(t, db.Update(func(tx *Txn) error { return tx.Write("n", []byte{0}) }))
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- db.Update(func(tx *Txn) error {
+				v, _, err := tx.Read("n")
+				if err != nil {
+					return err
+				}
+				return tx.Write("n", []byte{v[0] + 1})
+			})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	ok := 0
+	for err := range errs {
+		if err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no increment committed")
+	}
+	var final byte
+	must(t, db.View(func(tx *Txn) error {
+		v, _, err := tx.Read("n")
+		if err != nil {
+			return err
+		}
+		final = v[0]
+		return nil
+	}))
+	if int(final) != ok {
+		t.Fatalf("counter %d, committed %d (lost update)", final, ok)
+	}
+}
+
+func TestReadManyAPI(t *testing.T) {
+	db := openTest(t, Options{})
+	must(t, db.Update(func(tx *Txn) error {
+		for i := 0; i < 5; i++ {
+			if err := tx.Write(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	must(t, db.View(func(tx *Txn) error {
+		res, err := tx.ReadMany([]string{"k0", "k4", "nope"})
+		if err != nil {
+			return err
+		}
+		if !res[0].Found || string(res[0].Value) != "v0" {
+			return fmt.Errorf("k0 = %+v", res[0])
+		}
+		if !res[1].Found || string(res[1].Value) != "v4" {
+			return fmt.Errorf("k4 = %+v", res[1])
+		}
+		if res[2].Found {
+			return errors.New("phantom key found")
+		}
+		return nil
+	}))
+}
+
+func TestDeleteAPI(t *testing.T) {
+	db := openTest(t, Options{})
+	must(t, db.Update(func(tx *Txn) error { return tx.Write("k", []byte("v")) }))
+	must(t, db.Update(func(tx *Txn) error { return tx.Delete("k") }))
+	must(t, db.View(func(tx *Txn) error {
+		_, found, err := tx.Read("k")
+		if err != nil {
+			return err
+		}
+		if found {
+			return errors.New("deleted key visible")
+		}
+		return nil
+	}))
+}
+
+func TestManualModeAPI(t *testing.T) {
+	db, err := Open(Options{KeySeed: []byte("manual")}) // BatchInterval 0: manual
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx := db.Begin()
+	must(t, tx.Write("m", []byte("v")))
+	ch := tx.CommitAsync()
+	// Drive one full epoch by hand: R read batches + the boundary.
+	for i := 0; i < 5; i++ {
+		must(t, db.Advance())
+	}
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 2 {
+		t.Fatalf("epoch = %d after one manual epoch", db.Epoch())
+	}
+}
+
+func TestRemoteStorage(t *testing.T) {
+	backend := storage.NewMemBackend(1 << 12)
+	srv, err := storage.NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	db := openTest(t, Options{
+		MaxKeys:    512,
+		RemoteAddr: srv.Addr(),
+	})
+	must(t, db.Update(func(tx *Txn) error { return tx.Write("remote", []byte("yes")) }))
+	must(t, db.View(func(tx *Txn) error {
+		v, found, err := tx.Read("remote")
+		if err != nil || !found || string(v) != "yes" {
+			return fmt.Errorf("remote read: %q %v %v", v, found, err)
+		}
+		return nil
+	}))
+}
+
+func TestCrashRecoveryThroughAPI(t *testing.T) {
+	backend := storage.NewMemBackend(1 << 12)
+	srv, err := storage.NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	opt := Options{
+		MaxKeys:       512,
+		RemoteAddr:    srv.Addr(),
+		KeySeed:       []byte("recovery-seed"),
+		BatchInterval: 300 * time.Microsecond,
+		EagerBatches:  true,
+	}
+	db1, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, db1.Update(func(tx *Txn) error { return tx.Write("persist", []byte("me")) }))
+	// Simulated crash: the proxy process dies without Close.
+	_ = db1
+
+	db2, err := Open(opt)
+	if err != nil {
+		t.Fatalf("reopen/recover: %v", err)
+	}
+	defer db2.Close()
+	must(t, db2.View(func(tx *Txn) error {
+		v, found, err := tx.Read("persist")
+		if err != nil || !found || string(v) != "me" {
+			return fmt.Errorf("after recovery: %q %v %v", v, found, err)
+		}
+		return nil
+	}))
+}
+
+func TestSimulatedLatencyProfiles(t *testing.T) {
+	for _, prof := range []string{"server", "dynamo"} {
+		db := openTest(t, Options{MaxKeys: 256, SimulatedLatency: prof})
+		must(t, db.Update(func(tx *Txn) error { return tx.Write("k", []byte("v")) }))
+	}
+	if _, err := Open(Options{SimulatedLatency: "nonsense"}); err == nil {
+		t.Fatal("bogus latency profile accepted")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	db := openTest(t, Options{})
+	must(t, db.Update(func(tx *Txn) error { return tx.Write("k", []byte("v")) }))
+	st := db.Stats()
+	if st.Epochs == 0 || st.Committed == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if db.Epoch() == 0 {
+		t.Fatal("epoch not reported")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullRestartWithPersistedStorage is the complete durability story: the
+// proxy crashes AND the storage server restarts from its snapshot file; the
+// recovered deployment serves all committed data.
+func TestFullRestartWithPersistedStorage(t *testing.T) {
+	dir := t.TempDir()
+	snap := dir + "/cloud.snap"
+
+	backend1 := storage.NewMemBackend(1 << 12)
+	srv1, err := storage.NewServer(backend1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		MaxKeys:       512,
+		RemoteAddr:    srv1.Addr(),
+		KeySeed:       []byte("full-restart"),
+		BatchInterval: 300 * time.Microsecond,
+		EagerBatches:  true,
+	}
+	db1, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, db1.Update(func(tx *Txn) error { return tx.Write("durable", []byte("across-restarts")) }))
+	// Proxy crashes; storage shuts down cleanly, snapshotting its state.
+	srv1.Close()
+	must(t, backend1.SaveTo(snap))
+
+	backend2, err := storage.LoadMemBackend(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := storage.NewServer(backend2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	opt.RemoteAddr = srv2.Addr()
+	db2, err := Open(opt)
+	if err != nil {
+		t.Fatalf("recovery against restarted storage: %v", err)
+	}
+	defer db2.Close()
+	must(t, db2.View(func(tx *Txn) error {
+		v, found, err := tx.Read("durable")
+		if err != nil || !found || string(v) != "across-restarts" {
+			return fmt.Errorf("after full restart: %q %v %v", v, found, err)
+		}
+		return nil
+	}))
+}
