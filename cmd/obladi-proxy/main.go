@@ -14,6 +14,10 @@
 // Usage:
 //
 //	obladi-proxy -storage localhost:7000 -listen :7100 -keys 8192 -seed s3cret
+//
+// Sharded deployment (one obladi-storage server per shard):
+//
+//	obladi-proxy -shards 4 -storage host0:7000,host1:7000,host2:7000,host3:7000
 package main
 
 import (
@@ -60,9 +64,10 @@ func (t txnAdapter) Commit() error                        { return t.tx.Commit()
 func (t txnAdapter) Abort()                               { t.tx.Abort() }
 
 func main() {
-	storageAddr := flag.String("storage", "localhost:7000", "obladi-storage server address")
+	storageAddr := flag.String("storage", "localhost:7000", "obladi-storage server address(es); one per shard, comma-separated")
 	listen := flag.String("listen", ":7100", "address for client connections")
-	keys := flag.Int("keys", 8192, "maximum distinct keys (ORAM capacity)")
+	shards := flag.Int("shards", 1, "key-space partitions (requires one storage address per shard)")
+	keys := flag.Int("keys", 8192, "maximum distinct keys (ORAM capacity, across all shards)")
 	valueSize := flag.Int("value-size", 256, "maximum value size in bytes")
 	seed := flag.String("seed", "", "key seed (required to recover an existing store)")
 	interval := flag.Duration("batch-interval", 5*time.Millisecond, "read batch interval Δ")
@@ -73,6 +78,7 @@ func main() {
 
 	opt := obladi.Options{
 		MaxKeys:        *keys,
+		Shards:         *shards,
 		MaxValueSize:   *valueSize,
 		ReadBatches:    *readBatches,
 		ReadBatchSize:  *readBatch,
@@ -93,8 +99,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("obladi-proxy: storage=%s clients=%s epoch≈%v\n",
-		*storageAddr, srv.Addr(), *interval*time.Duration(*readBatches))
+	fmt.Printf("obladi-proxy: shards=%d storage=%s clients=%s epoch≈%v\n",
+		db.Shards(), *storageAddr, srv.Addr(), *interval*time.Duration(*readBatches))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

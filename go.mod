@@ -1,0 +1,3 @@
+module obladi
+
+go 1.24

@@ -63,6 +63,7 @@ var experiments = []struct {
 	{"fig10f", "epoch size impact on application throughput", Fig10f},
 	{"fig11a", "throughput vs checkpoint frequency", Fig11a},
 	{"table11b", "recovery time breakdown", Table11b},
+	{"shards", "aggregate throughput vs shard count (beyond the paper: sharded proxy)", ShardScale},
 }
 
 // Names lists all experiment ids.

@@ -13,8 +13,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 10 {
-		t.Fatalf("expected 10 experiments (every table and figure), got %d: %v", len(names), names)
+	if len(names) != 11 {
+		t.Fatalf("expected 11 experiments (every table and figure, plus shards), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -203,6 +203,33 @@ func TestFig11aShape(t *testing.T) {
 	}
 	if last < first*0.85 {
 		t.Errorf("throughput fell as full checkpoints got rarer: %.0f -> %.0f", first, last)
+	}
+}
+
+func TestShardScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := ShardScale(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := map[string]float64{}
+	for _, r := range rows {
+		if r.Series == "Total" {
+			total[r.X] = r.Value
+		}
+	}
+	if len(total) != 3 {
+		t.Fatalf("expected totals for 1/2/4 shards: %+v", rows)
+	}
+	// Four shards quadruple the aggregate batch capacity against independent
+	// capped-concurrency backends; demand a conservative 1.5x.
+	if total["4"] < total["1"]*1.5 {
+		t.Errorf("sharding did not scale: 1 shard %.0f ops/s, 4 shards %.0f ops/s", total["1"], total["4"])
+	}
+	if total["2"] < total["1"] {
+		t.Errorf("2 shards (%.0f) slower than 1 (%.0f)", total["2"], total["1"])
 	}
 }
 

@@ -75,6 +75,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// oneLine flattens an error message onto a single line: wrapped aborts carry
+// errors.Join chains whose Error() contains newlines, which would split one
+// protocol reply into several and desynchronize the session.
+func oneLine(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", "; ")
+}
+
 // serve handles one client session.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
@@ -114,7 +121,7 @@ func (s *Server) serve(conn net.Conn) {
 			case err != nil:
 				tx.Abort()
 				tx = nil
-				ok = reply("ERR %v", err)
+				ok = reply("ERR %v", oneLine(err))
 			case !found:
 				ok = reply("OK NONE")
 			default:
@@ -129,7 +136,7 @@ func (s *Server) serve(conn net.Conn) {
 			if err := tx.Write(fields[1], v); err != nil {
 				tx.Abort()
 				tx = nil
-				ok = reply("ERR %v", err)
+				ok = reply("ERR %v", oneLine(err))
 				break
 			}
 			ok = reply("OK")
@@ -137,7 +144,7 @@ func (s *Server) serve(conn net.Conn) {
 			if err := tx.Delete(fields[1]); err != nil {
 				tx.Abort()
 				tx = nil
-				ok = reply("ERR %v", err)
+				ok = reply("ERR %v", oneLine(err))
 				break
 			}
 			ok = reply("OK")
@@ -145,7 +152,7 @@ func (s *Server) serve(conn net.Conn) {
 			err := tx.Commit()
 			tx = nil
 			if err != nil {
-				ok = reply("ERR %v", err)
+				ok = reply("ERR %v", oneLine(err))
 			} else {
 				ok = reply("OK")
 			}

@@ -11,6 +11,26 @@
 // are delayed to the epoch boundary (delayed visibility), where the epoch's
 // final write set is flushed to the ORAM, metadata is checkpointed to the
 // recovery unit, and clients are notified.
+//
+// # Sharding
+//
+// The proxy can partition its key space by hash across N independent Ring
+// ORAM instances ("shards"), each with its own position map, stash, batch
+// scheduler quota, recovery log, and storage backend. MVTSO timestamps stay
+// global, so a transaction spanning shards is still serialized once and
+// commits (or aborts) atomically at the global epoch boundary. Every shard
+// issues exactly R read batches of bread slots and one write batch of bwrite
+// slots per epoch regardless of where keys hash, so each shard's observable
+// schedule remains workload independent and the shard-selection hash leaks
+// nothing beyond what the single-ORAM design already leaked.
+//
+// Cross-shard durability uses a coordinator-commit protocol: at the epoch
+// boundary every shard flushes and appends its checkpoint (prepare), and only
+// then are commit records appended, shard 0 first. Shard 0's commit record is
+// the global commit point; recovery reads shard 0's committed epoch and
+// recovers every other shard with that epoch as a floor (a shard can lag the
+// coordinator by at most its own commit record, and its checkpoint for the
+// committed epoch is already durable).
 package core
 
 import (
@@ -42,10 +62,14 @@ var (
 )
 
 // Config assembles a proxy. The batching parameters mirror Table 1 of the
-// paper: R read batches of size bread issued every Δ, one write batch of
-// size bwrite.
+// paper (reproduced in DESIGN.md): R read batches of size bread issued every
+// Δ, one write batch of size bwrite. In a sharded proxy every parameter is
+// per shard: each shard issues R batches of bread and one write batch of
+// bwrite per epoch.
 type Config struct {
-	// Params configures the underlying Ring ORAM.
+	// Params configures the underlying Ring ORAM. In a sharded proxy every
+	// shard uses this geometry (NumBlocks is per-shard capacity); a non-zero
+	// Seed is decorrelated per shard.
 	Params ringoram.Params
 	// Key encrypts ORAM slots and recovery records. Required unless
 	// Params.DisableEncryption is set.
@@ -60,13 +84,13 @@ type Config struct {
 	// BatchInterval is Δ. Zero selects manual mode: the caller drives
 	// batches with StepReadBatch/EndEpoch (tests, deterministic examples).
 	BatchInterval time.Duration
-	// EagerBatches fires a read batch as soon as it fills instead of
-	// waiting out Δ. The batch schedule then tracks offered load, which is
-	// observable; the paper keeps the schedule fixed, so this knob exists
-	// for throughput experiments only.
+	// EagerBatches fires a read batch as soon as one shard's batch fills
+	// instead of waiting out Δ. The batch schedule then tracks offered load,
+	// which is observable; the paper keeps the schedule fixed, so this knob
+	// exists for throughput experiments only.
 	EagerBatches bool
 
-	// Parallelism caps concurrent storage operations.
+	// Parallelism caps concurrent storage operations (per shard).
 	Parallelism int
 	// WriteThrough disables delayed write-back (Figure 10d ablation).
 	WriteThrough bool
@@ -98,12 +122,14 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// Stats is a snapshot of proxy counters.
+// Stats is a snapshot of proxy counters. Executor counters are summed across
+// shards; StashPeak is the maximum over shards.
 type Stats struct {
+	Shards           int
 	Epochs           uint64
 	Committed        uint64
 	Aborted          uint64
-	ReadBatchSlots   uint64 // total read-batch slots issued
+	ReadBatchSlots   uint64 // total read-batch slots issued (all shards)
 	RealReads        uint64 // slots carrying real requests
 	CacheHits        uint64 // reads served from the version cache
 	WriteSlots       uint64
@@ -121,18 +147,15 @@ type fetchWaiter struct {
 	done chan error
 }
 
-// Proxy is the Obladi trusted proxy.
-type Proxy struct {
-	cfg   Config
+// shard is one key-space partition: an independent Ring ORAM with its own
+// executor, recovery log, storage backend, and per-epoch batch bookkeeping.
+type shard struct {
+	id    int
 	store storage.Backend
-	ccu   *mvtso.Manager
 	exec  *oramexec.Executor
 	rlog  *wal.Log
 
-	mu       sync.Mutex
-	closed   bool
-	epoch    uint64
-	batchIdx int // read batches already issued this epoch
+	// The fields below are guarded by Proxy.mu.
 
 	// fetchQueue holds keys awaiting an ORAM read this epoch, in arrival
 	// order, deduplicated; waiters are woken when the key's base installs.
@@ -142,6 +165,33 @@ type Proxy struct {
 
 	// epochWrites tracks distinct keys written this epoch (bwrite guard).
 	epochWrites map[string]bool
+}
+
+// shardOf routes a key to one of n shards by FNV-1a hash. The mapping is
+// public (the adversary may know it); it leaks nothing because every shard's
+// request schedule is fixed regardless of routing.
+func shardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Proxy is the Obladi trusted proxy.
+type Proxy struct {
+	cfg    Config
+	shards []*shard
+	ccu    *mvtso.Manager
+
+	mu       sync.Mutex
+	closed   bool
+	epoch    uint64
+	batchIdx int // read batches already issued this epoch
 
 	// commit waiters, by transaction timestamp.
 	waiters map[mvtso.Timestamp]chan error
@@ -152,13 +202,31 @@ type Proxy struct {
 
 	stats        Stats
 	replayedLast int
+
+	// testCommitHook, when set (tests only), runs after each shard's commit
+	// record is appended; returning an error simulates a crash torn across
+	// the coordinator-commit protocol.
+	testCommitHook func(shardID int) error
 }
 
-// New creates a proxy over the given backend, initializing (or recovering)
-// the ORAM. If the backend's recovery log already holds a committed
-// checkpoint, New recovers from it instead of reinitializing — so restarting
-// a crashed proxy against the same storage is exactly Obladi's §8 recovery.
+// New creates a single-shard proxy over the given backend, initializing (or
+// recovering) the ORAM. If the backend's recovery log already holds a
+// committed checkpoint, New recovers from it instead of reinitializing — so
+// restarting a crashed proxy against the same storage is exactly Obladi's §8
+// recovery.
 func New(store storage.Backend, cfg Config) (*Proxy, error) {
+	return NewSharded([]storage.Backend{store}, cfg)
+}
+
+// NewSharded creates a proxy whose key space is hash-partitioned across
+// len(stores) shards, one Ring ORAM per backend. Every shard runs the same
+// per-shard configuration (geometry, batch quotas, recovery cadence). Like
+// New, it recovers instead of reinitializing when the coordinator shard's
+// recovery log holds a committed checkpoint.
+func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("core: at least one storage backend required")
+	}
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -166,26 +234,34 @@ func New(store storage.Backend, cfg Config) (*Proxy, error) {
 		return nil, err
 	}
 	p := &Proxy{
-		cfg:         cfg,
-		store:       store,
-		ccu:         mvtso.NewManager(),
-		queued:      make(map[string][]*fetchWaiter),
-		fetched:     make(map[string]bool),
-		epochWrites: make(map[string]bool),
-		waiters:     make(map[mvtso.Timestamp]chan error),
-		kick:        make(chan struct{}, 1),
+		cfg:     cfg,
+		ccu:     mvtso.NewManager(),
+		waiters: make(map[mvtso.Timestamp]chan error),
+		kick:    make(chan struct{}, 1),
 	}
-	if !cfg.DisableDurability {
-		l, err := wal.New(store, wal.Config{
-			Key:                 cfg.Key,
-			PadPosEntries:       cfg.ReadBatches*cfg.ReadBatchSize + cfg.WriteBatchSize,
-			PadStashEntries:     cfg.Params.StashLimit,
-			FullCheckpointEvery: cfg.FullCheckpointEvery,
-		})
-		if err != nil {
-			return nil, err
+	for i, st := range stores {
+		sh := &shard{
+			id:          i,
+			store:       st,
+			queued:      make(map[string][]*fetchWaiter),
+			fetched:     make(map[string]bool),
+			epochWrites: make(map[string]bool),
 		}
-		p.rlog = l
+		if !cfg.DisableDurability {
+			l, err := wal.New(st, wal.Config{
+				Key:                 cfg.Key,
+				Shard:               i,
+				Shards:              len(stores),
+				PadPosEntries:       cfg.ReadBatches*cfg.ReadBatchSize + cfg.WriteBatchSize,
+				PadStashEntries:     cfg.Params.StashLimit,
+				FullCheckpointEvery: cfg.FullCheckpointEvery,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sh.rlog = l
+		}
+		p.shards = append(p.shards, sh)
 	}
 	if err := p.bootstrap(); err != nil {
 		return nil, err
@@ -197,85 +273,171 @@ func New(store storage.Backend, cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
-// bootstrap initializes a fresh ORAM or recovers from the durability log.
+// Shards reports the number of key-space partitions.
+func (p *Proxy) Shards() int { return len(p.shards) }
+
+// shardParams returns shard i's ORAM parameters: the shared geometry with a
+// decorrelated deterministic seed (tests only; a zero seed stays random).
+func (p *Proxy) shardParams(i int) ringoram.Params {
+	sp := p.cfg.Params
+	if sp.Seed != 0 {
+		sp.Seed += uint64(i)
+	}
+	return sp
+}
+
+// beginEpochAllLocked opens p.epoch on every shard's executor.
+func (p *Proxy) beginEpochAllLocked() {
+	for _, sh := range p.shards {
+		sh.exec.BeginEpoch(p.epoch)
+	}
+}
+
+// appendCommitAll appends the epoch's commit records, coordinator (shard 0)
+// first: the coordinator's record is the global commit point; the others
+// merely let a shard recover without consulting the coordinator's floor.
+func (p *Proxy) appendCommitAll(epoch uint64) error {
+	for _, sh := range p.shards {
+		if err := sh.rlog.AppendCommit(epoch); err != nil {
+			return err
+		}
+		if p.testCommitHook != nil {
+			if err := p.testCommitHook(sh.id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bootstrap initializes fresh ORAMs or recovers from the durability logs.
 func (p *Proxy) bootstrap() error {
-	if p.rlog != nil {
-		rec, err := p.rlog.Recover()
+	coord := p.shards[0]
+	if coord.rlog != nil {
+		rec, err := coord.rlog.Recover()
 		switch {
-		case err == nil:
+		case err == nil && rec.HasCommit:
 			return p.recover(rec)
+		case err == nil:
+			// Checkpoints but no commit record anywhere: a first boot that
+			// died between baseline checkpoints. Nothing committed and a
+			// lagging shard's log may be empty — reinitialize rather than
+			// recover (the stale checkpoint is superseded by the fresh one).
 		case errors.Is(err, wal.ErrNoCheckpoint):
 			// Fresh deployment.
 		default:
 			return err
 		}
 	}
-	oram, err := oramexec.InitORAM(p.store, p.cfg.Key, p.cfg.Params)
-	if err != nil {
-		return err
-	}
-	p.exec = oramexec.New(oram, p.store, oramexec.Config{
-		Parallelism:  p.cfg.Parallelism,
-		WriteThrough: p.cfg.WriteThrough,
-	})
-	p.epoch = 1
-	p.exec.BeginEpoch(p.epoch)
-	if p.rlog != nil {
-		// Baseline checkpoint so a crash before the first epoch commits
-		// recovers to an empty store.
-		if _, err := p.rlog.AppendCheckpoint(0, oram); err != nil {
+	for i, sh := range p.shards {
+		oram, err := oramexec.InitORAM(sh.store, p.cfg.Key, p.shardParams(i))
+		if err != nil {
 			return err
 		}
-		if err := p.rlog.AppendCommit(0); err != nil {
+		sh.exec = oramexec.New(oram, sh.store, oramexec.Config{
+			Parallelism:  p.cfg.Parallelism,
+			WriteThrough: p.cfg.WriteThrough,
+		})
+	}
+	p.epoch = 1
+	p.beginEpochAllLocked()
+	if coord.rlog != nil {
+		// Baseline checkpoints so a crash before the first epoch commits
+		// recovers to an empty store. Prepare everywhere, then commit.
+		for _, sh := range p.shards {
+			if _, err := sh.rlog.AppendCheckpoint(0, sh.exec.ORAM()); err != nil {
+				return err
+			}
+		}
+		if err := p.appendCommitAll(0); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// recover implements §8: roll the shadow-paged tree back to the last
-// committed epoch, rebuild proxy metadata from checkpoints, deterministically
-// replay the aborted epoch's logged reads, and commit the replay as a
-// recovery epoch.
-func (p *Proxy) recover(rec *wal.Recovery) error {
-	if err := p.store.RollbackTo(rec.CommittedEpoch); err != nil {
-		return err
+// recover implements §8 across all shards: roll each shadow-paged tree back
+// to the last globally committed epoch (the coordinator's), rebuild proxy
+// metadata from per-shard checkpoints, deterministically replay each shard's
+// logged reads from the aborted epoch, and commit the replay as a recovery
+// epoch under the same coordinator-commit protocol.
+func (p *Proxy) recover(coordRec *wal.Recovery) error {
+	committed := coordRec.CommittedEpoch
+	recoveryEpoch := committed + 1
+	// Per-shard recovery (log scan/decode, rollback, state rebuild, replay)
+	// has no cross-shard dependency once the committed epoch is known, so it
+	// runs concurrently like every other multi-shard phase; only the final
+	// checkpoint/commit records below need ordering.
+	replayed := make([]int, len(p.shards))
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := p.shards[i]
+			rec := coordRec
+			if i > 0 {
+				var err error
+				rec, err = sh.rlog.RecoverWithFloor(committed)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: recovering shard %d: %w", i, err)
+					return
+				}
+			}
+			if err := sh.store.RollbackTo(committed); err != nil {
+				errs[i] = err
+				return
+			}
+			oram, err := ringoram.NewFromState(p.cfg.Key, p.shardParams(i), rec.Full, rec.Deltas...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh.exec = oramexec.New(oram, sh.store, oramexec.Config{
+				Parallelism:  p.cfg.Parallelism,
+				WriteThrough: p.cfg.WriteThrough,
+			})
+			sh.exec.BeginEpoch(recoveryEpoch)
+			for _, batch := range rec.AbortedBatches {
+				if err := sh.exec.ReplayBatch(batch); err != nil {
+					errs[i] = fmt.Errorf("core: shard %d replaying aborted epoch: %w", i, err)
+					return
+				}
+				replayed[i] += len(batch)
+			}
+			if len(rec.AbortedBatches) > 0 {
+				if _, err := sh.exec.Flush(); err != nil {
+					errs[i] = err
+				}
+			}
+		}(i)
 	}
-	oram, err := ringoram.NewFromState(p.cfg.Key, p.cfg.Params, rec.Full, rec.Deltas...)
-	if err != nil {
-		return err
-	}
-	p.exec = oramexec.New(oram, p.store, oramexec.Config{
-		Parallelism:  p.cfg.Parallelism,
-		WriteThrough: p.cfg.WriteThrough,
-	})
-	recoveryEpoch := rec.CommittedEpoch + 1
-	p.exec.BeginEpoch(recoveryEpoch)
-	replayed := 0
-	for _, batch := range rec.AbortedBatches {
-		if err := p.exec.ReplayBatch(batch); err != nil {
-			return fmt.Errorf("core: replaying aborted epoch: %w", err)
-		}
-		replayed += len(batch)
-	}
-	p.replayedLast = replayed
-	p.stats.RecoveryReplayed += replayed
-	if len(rec.AbortedBatches) > 0 {
-		if _, err := p.exec.Flush(); err != nil {
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
-	if _, err := p.rlog.AppendCheckpoint(recoveryEpoch, oram); err != nil {
+	for _, n := range replayed {
+		p.replayedLast += n
+	}
+	p.stats.RecoveryReplayed += p.replayedLast
+	for _, sh := range p.shards {
+		if _, err := sh.rlog.AppendCheckpoint(recoveryEpoch, sh.exec.ORAM()); err != nil {
+			return err
+		}
+	}
+	if err := p.appendCommitAll(recoveryEpoch); err != nil {
 		return err
 	}
-	if err := p.rlog.AppendCommit(recoveryEpoch); err != nil {
-		return err
-	}
-	if err := p.store.CommitEpoch(recoveryEpoch); err != nil {
-		return err
+	for _, sh := range p.shards {
+		if err := sh.store.CommitEpoch(recoveryEpoch); err != nil {
+			return err
+		}
 	}
 	p.epoch = recoveryEpoch + 1
-	p.exec.BeginEpoch(p.epoch)
+	p.beginEpochAllLocked()
 	return nil
 }
 
@@ -289,14 +451,37 @@ func (p *Proxy) Epoch() uint64 {
 	return p.epoch
 }
 
+// PendingFetches reports how many keys are queued for the next read batches
+// across all shards.
+func (p *Proxy) PendingFetches() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.fetchQueue)
+	}
+	return n
+}
+
 // Stats returns a snapshot of proxy counters.
 func (p *Proxy) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.stats
+	s.Shards = len(p.shards)
 	s.ConflictAborts, s.CascadingAborts = p.ccu.Stats()
-	s.Executor = p.exec.Stats()
-	s.StashPeak = p.exec.ORAM().StashPeak()
+	for _, sh := range p.shards {
+		es := sh.exec.Stats()
+		s.Executor.RemoteReads += es.RemoteReads
+		s.Executor.LocalReads += es.LocalReads
+		s.Executor.BucketWrites += es.BucketWrites
+		s.Executor.WritesBuffered += es.WritesBuffered
+		s.Executor.Evictions += es.Evictions
+		s.Executor.Reshuffles += es.Reshuffles
+		if peak := sh.exec.ORAM().StashPeak(); peak > s.StashPeak {
+			s.StashPeak = peak
+		}
+	}
 	return s
 }
 
@@ -324,13 +509,15 @@ func (p *Proxy) Close() error {
 
 // failAllLocked wakes every fetch and commit waiter with err.
 func (p *Proxy) failAllLocked(err error) {
-	for _, ws := range p.queued {
-		for _, w := range ws {
-			w.done <- err
+	for _, sh := range p.shards {
+		for _, ws := range sh.queued {
+			for _, w := range ws {
+				w.done <- err
+			}
 		}
+		sh.queued = make(map[string][]*fetchWaiter)
+		sh.fetchQueue = nil
 	}
-	p.queued = make(map[string][]*fetchWaiter)
-	p.fetchQueue = nil
 	for ts, ch := range p.waiters {
 		ch <- err
 		delete(p.waiters, ts)
@@ -355,8 +542,13 @@ func (p *Proxy) epochLoop() {
 			p.mu.Lock()
 			closed = p.closed
 			fire := false
-			if p.cfg.EagerBatches && len(p.fetchQueue) >= p.cfg.ReadBatchSize {
-				fire = true
+			if p.cfg.EagerBatches {
+				for _, sh := range p.shards {
+					if len(sh.fetchQueue) >= p.cfg.ReadBatchSize {
+						fire = true
+						break
+					}
+				}
 			}
 			p.mu.Unlock()
 			if closed {
@@ -400,8 +592,17 @@ func (p *Proxy) stepScheduled() error {
 	return p.StepReadBatch()
 }
 
-// StepReadBatch issues the epoch's next read batch: up to bread queued
-// fetches, padded with dummies. Exported for manual mode and tests.
+// shardReadBatch is one shard's share of a read-batch slot: the real keys it
+// serves this round and their blocked transactions.
+type shardReadBatch struct {
+	sh      *shard
+	keys    []string
+	waiters map[string][]*fetchWaiter
+}
+
+// StepReadBatch issues the epoch's next read batch on every shard: up to
+// bread queued fetches per shard, padded with dummies, executed in parallel
+// across shards. Exported for manual mode and tests.
 func (p *Proxy) StepReadBatch() error {
 	p.mu.Lock()
 	if p.closed {
@@ -412,62 +613,106 @@ func (p *Proxy) StepReadBatch() error {
 		p.mu.Unlock()
 		return fmt.Errorf("core: epoch %d already issued all %d read batches", p.epoch, p.cfg.ReadBatches)
 	}
-	n := len(p.fetchQueue)
-	if n > p.cfg.ReadBatchSize {
-		n = p.cfg.ReadBatchSize
-	}
-	keys := append([]string(nil), p.fetchQueue[:n]...)
-	p.fetchQueue = p.fetchQueue[n:]
-	waiters := make(map[string][]*fetchWaiter, n)
-	for _, k := range keys {
-		waiters[k] = p.queued[k]
-		delete(p.queued, k)
+	batches := make([]shardReadBatch, len(p.shards))
+	for i, sh := range p.shards {
+		n := len(sh.fetchQueue)
+		if n > p.cfg.ReadBatchSize {
+			n = p.cfg.ReadBatchSize
+		}
+		keys := append([]string(nil), sh.fetchQueue[:n]...)
+		sh.fetchQueue = sh.fetchQueue[n:]
+		waiters := make(map[string][]*fetchWaiter, n)
+		for _, k := range keys {
+			waiters[k] = sh.queued[k]
+			delete(sh.queued, k)
+		}
+		batches[i] = shardReadBatch{sh: sh, keys: keys, waiters: waiters}
+		p.stats.ReadBatchSlots += uint64(p.cfg.ReadBatchSize)
+		p.stats.RealReads += uint64(n)
 	}
 	p.batchIdx++
+	batchIdx := p.batchIdx - 1
 	epoch := p.epoch
-	p.stats.ReadBatchSlots += uint64(p.cfg.ReadBatchSize)
-	p.stats.RealReads += uint64(n)
 	p.mu.Unlock()
 
-	ops := make([]oramexec.ReadOp, p.cfg.ReadBatchSize)
-	for i, k := range keys {
-		ops[i].Key = k
+	// Per shard: plan, write-ahead log, execute. The write-ahead rule (§8:
+	// the read schedule must be durable before its reads are issued) only
+	// orders a shard's own log against its own reads, so the whole pipeline
+	// runs concurrently across shards — N storage backends each serve one
+	// batch, log append included, in the same latency window.
+	results := make([][]oramexec.ReadResult, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := batches[i]
+			ops := make([]oramexec.ReadOp, p.cfg.ReadBatchSize)
+			for j, k := range b.keys {
+				ops[j].Key = k
+			}
+			plan, err := b.sh.exec.PlanReadBatch(ops)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if b.sh.rlog != nil {
+				if err := b.sh.rlog.AppendBatch(epoch, batchIdx, plan.Log()); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			results[i], errs[i] = b.sh.exec.Execute(plan)
+		}(i)
 	}
-	plan, err := p.exec.PlanReadBatch(ops)
-	if err != nil {
-		return err
-	}
-	if p.rlog != nil {
-		// Write-ahead: the read schedule must be durable before the reads
-		// execute, so recovery can replay them (§8).
-		if err := p.rlog.AppendBatch(epoch, p.batchIdx-1, plan.Log()); err != nil {
-			return err
-		}
-	}
-	res, err := p.exec.Execute(plan)
-	if err != nil {
-		return err
-	}
+	wg.Wait()
+
 	p.mu.Lock()
-	for _, r := range res {
-		if r.Key == "" {
+	for i, b := range batches {
+		if errs[i] != nil {
 			continue
 		}
-		p.ccu.InstallBase(r.Key, r.Value, r.Found)
-		p.fetched[r.Key] = true
-		for _, w := range waiters[r.Key] {
-			w.done <- nil
+		for _, r := range results[i] {
+			if r.Key == "" {
+				continue
+			}
+			p.ccu.InstallBase(r.Key, r.Value, r.Found)
+			b.sh.fetched[r.Key] = true
+			for _, w := range b.waiters[r.Key] {
+				w.done <- nil
+			}
+			delete(b.waiters, r.Key)
 		}
-		delete(waiters, r.Key)
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// Waiters were already dequeued from sh.queued into the batches, so
+		// failAllLocked can no longer reach them: wake every one still
+		// unserved (all shards — the batch failed as a unit) or their
+		// transactions would block forever.
+		for _, b := range batches {
+			for _, ws := range b.waiters {
+				for _, w := range ws {
+					w.done <- firstErr
+				}
+			}
+		}
 	}
 	p.mu.Unlock()
-	return nil
+	return firstErr
 }
 
-// EndEpoch finalizes the current epoch: decide transaction fates, flush the
-// write batch and buffered buckets, persist the checkpoint and commit
-// record, notify clients, and open the next epoch. Exported for manual mode
-// and tests.
+// EndEpoch finalizes the current epoch: decide transaction fates, flush every
+// shard's write batch and buffered buckets, persist per-shard checkpoints,
+// append the coordinator-first commit records, notify clients, and open the
+// next epoch. Exported for manual mode and tests.
 func (p *Proxy) EndEpoch() error {
 	p.mu.Lock()
 	if p.closed {
@@ -477,61 +722,96 @@ func (p *Proxy) EndEpoch() error {
 	epoch := p.epoch
 	// Reads that never got a batch slot: their transactions abort with the
 	// epoch (fate sharing); wake them now so they observe the abort.
-	for _, ws := range p.queued {
-		for _, w := range ws {
-			w.done <- fmt.Errorf("%w: read batches exhausted", ErrEpochFull)
+	for _, sh := range p.shards {
+		for _, ws := range sh.queued {
+			for _, w := range ws {
+				w.done <- fmt.Errorf("%w: read batches exhausted", ErrEpochFull)
+			}
 		}
+		sh.queued = make(map[string][]*fetchWaiter)
+		sh.fetchQueue = nil
 	}
-	p.queued = make(map[string][]*fetchWaiter)
-	p.fetchQueue = nil
 	p.mu.Unlock()
 
 	// Decide fates. Every transaction that did not request commit aborts.
 	out := p.ccu.FinalizeEpoch()
 
-	// Build the fixed-size write batch from the deduplicated write set.
-	ops := make([]oramexec.WriteOp, 0, p.cfg.WriteBatchSize)
+	// Partition the deduplicated write set across shards.
+	shardOps := make([][]oramexec.WriteOp, len(p.shards))
 	for _, w := range out.Writes {
-		if len(ops) == p.cfg.WriteBatchSize {
+		i := shardOf(w.Key, len(p.shards))
+		if len(shardOps[i]) == p.cfg.WriteBatchSize {
 			// Capacity guard at Write() keeps this from happening; if a
 			// race slips through, the epoch cannot commit these writes.
-			return fmt.Errorf("core: write set (%d) exceeds write batch (%d)", len(out.Writes), p.cfg.WriteBatchSize)
+			return fmt.Errorf("core: shard %d write set exceeds write batch (%d)", i, p.cfg.WriteBatchSize)
 		}
-		ops = append(ops, oramexec.WriteOp{Key: w.Key, Value: w.Value, Tombstone: w.Tombstone})
+		shardOps[i] = append(shardOps[i], oramexec.WriteOp{Key: w.Key, Value: w.Value, Tombstone: w.Tombstone})
 	}
 	p.mu.Lock()
-	p.stats.WriteSlots += uint64(p.cfg.WriteBatchSize)
-	p.stats.RealWrites += uint64(len(ops))
+	p.stats.WriteSlots += uint64(p.cfg.WriteBatchSize * len(p.shards))
+	p.stats.RealWrites += uint64(len(out.Writes))
 	p.mu.Unlock()
-	for len(ops) < p.cfg.WriteBatchSize {
-		ops = append(ops, oramexec.WriteOp{})
+
+	// Per-shard commit pipeline (pad, plan, log, execute, flush, checkpoint)
+	// runs concurrently across shards; each stage orders correctly within its
+	// shard, and the cross-shard commit point comes after the barrier.
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := p.shards[i]
+			ops := shardOps[i]
+			for len(ops) < p.cfg.WriteBatchSize {
+				ops = append(ops, oramexec.WriteOp{})
+			}
+			wplan, err := sh.exec.PlanWriteBatch(ops)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if sh.rlog != nil {
+				if err := sh.rlog.AppendBatch(epoch, p.cfg.ReadBatches, wplan.Log()); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if _, err := sh.exec.Execute(wplan); err != nil {
+				errs[i] = err
+				return
+			}
+			// Epoch write-back: flush buffered buckets, then prepare the
+			// epoch's durability (checkpoint before any commit record).
+			if _, err := sh.exec.Flush(); err != nil {
+				errs[i] = err
+				return
+			}
+			if sh.rlog != nil {
+				if _, err := sh.rlog.AppendCheckpoint(epoch, sh.exec.ORAM()); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
 	}
-	wplan, err := p.exec.PlanWriteBatch(ops)
-	if err != nil {
-		return err
-	}
-	if p.rlog != nil {
-		if err := p.rlog.AppendBatch(epoch, p.cfg.ReadBatches, wplan.Log()); err != nil {
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
-	if _, err := p.exec.Execute(wplan); err != nil {
-		return err
-	}
-	// Epoch write-back: flush buffered buckets, then make the epoch durable.
-	if _, err := p.exec.Flush(); err != nil {
-		return err
-	}
-	if p.rlog != nil {
-		if _, err := p.rlog.AppendCheckpoint(epoch, p.exec.ORAM()); err != nil {
-			return err
-		}
-		if err := p.rlog.AppendCommit(epoch); err != nil {
+	// Global commit point: all shards prepared; the coordinator's commit
+	// record decides the epoch for everyone.
+	if p.shards[0].rlog != nil {
+		if err := p.appendCommitAll(epoch); err != nil {
 			return err
 		}
 	}
-	if err := p.store.CommitEpoch(epoch); err != nil {
-		return err
+	for _, sh := range p.shards {
+		if err := sh.store.CommitEpoch(epoch); err != nil {
+			return err
+		}
 	}
 
 	// Notify clients; reset per-epoch state; open the next epoch.
@@ -551,16 +831,26 @@ func (p *Proxy) EndEpoch() error {
 			delete(p.waiters, ts)
 		}
 	}
-	// Any waiter left belongs to a transaction the CCU no longer tracks.
+	// Any waiter left belongs either to a transaction the CCU no longer
+	// tracks (abort it now) or to one that began while this boundary was
+	// already finalizing: that transaction lives in the next epoch's CCU
+	// generation, so its waiter stays registered and the next boundary
+	// decides it. Acking such a transaction as aborted here would lie —
+	// its writes would still commit next epoch.
 	for ts, ch := range p.waiters {
+		if st := p.ccu.Status(ts); st == mvtso.StatusActive || st == mvtso.StatusFinished {
+			continue
+		}
 		ch <- ErrAborted
 		delete(p.waiters, ts)
 	}
-	p.fetched = make(map[string]bool)
-	p.epochWrites = make(map[string]bool)
+	for _, sh := range p.shards {
+		sh.fetched = make(map[string]bool)
+		sh.epochWrites = make(map[string]bool)
+	}
 	p.batchIdx = 0
 	p.epoch++
-	p.exec.BeginEpoch(p.epoch)
+	p.beginEpochAllLocked()
 	p.mu.Unlock()
 	return nil
 }

@@ -197,10 +197,7 @@ func waitQueued(t *testing.T, p *Proxy, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		p.mu.Lock()
-		q := len(p.fetchQueue)
-		p.mu.Unlock()
-		if q >= n {
+		if p.PendingFetches() >= n {
 			return
 		}
 		time.Sleep(100 * time.Microsecond)
@@ -417,10 +414,7 @@ func waitQueuedOrDone(p *Proxy, done chan struct{}) {
 			return
 		default:
 		}
-		p.mu.Lock()
-		q := len(p.fetchQueue)
-		p.mu.Unlock()
-		if q > 0 {
+		if p.PendingFetches() > 0 {
 			return
 		}
 	}

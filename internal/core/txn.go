@@ -236,18 +236,21 @@ func (t *Txn) check(key string) error {
 	return nil
 }
 
-// reserveWriteSlot enforces the epoch's write-batch capacity.
+// reserveWriteSlot enforces the write-batch capacity of the key's shard. A
+// transaction whose writes overflow any one shard's quota aborts as a whole,
+// so cross-shard transactions stay atomic.
 func (t *Txn) reserveWriteSlot(key string) error {
 	p := t.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.epochWrites[key] {
+	sh := p.shards[shardOf(key, len(p.shards))]
+	if sh.epochWrites[key] {
 		return nil
 	}
-	if len(p.epochWrites) >= p.cfg.WriteBatchSize {
-		return fmt.Errorf("%w: write batch full (%d keys)", ErrEpochFull, p.cfg.WriteBatchSize)
+	if len(sh.epochWrites) >= p.cfg.WriteBatchSize {
+		return fmt.Errorf("%w: shard %d write batch full (%d keys)", ErrEpochFull, sh.id, p.cfg.WriteBatchSize)
 	}
-	p.epochWrites[key] = true
+	sh.epochWrites[key] = true
 	return nil
 }
 
@@ -261,9 +264,9 @@ func (t *Txn) awaitFetch(key string) error {
 	return <-ch
 }
 
-// queueFetch enqueues key for the next read batch and returns a channel
-// delivering the fetch outcome, or nil if the key is already resident (no
-// fetch needed) or an immediate error channel for a dead epoch.
+// queueFetch enqueues key on its shard's next read batch and returns a
+// channel delivering the fetch outcome, or nil if the key is already resident
+// (no fetch needed) or an immediate error channel for a dead epoch.
 func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
 	p.mu.Lock()
 	immediate := func(err error) <-chan error {
@@ -278,16 +281,17 @@ func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
 	if p.epoch != epoch {
 		return immediate(fmt.Errorf("%w: epoch ended during read", ErrAborted))
 	}
-	if p.fetched[key] {
+	sh := p.shards[shardOf(key, len(p.shards))]
+	if sh.fetched[key] {
 		p.mu.Unlock()
 		return nil
 	}
 	w := &fetchWaiter{key: key, done: make(chan error, 1)}
-	if _, queuedAlready := p.queued[key]; !queuedAlready {
-		p.fetchQueue = append(p.fetchQueue, key)
+	if _, queuedAlready := sh.queued[key]; !queuedAlready {
+		sh.fetchQueue = append(sh.fetchQueue, key)
 	}
-	p.queued[key] = append(p.queued[key], w)
-	full := len(p.fetchQueue) >= p.cfg.ReadBatchSize
+	sh.queued[key] = append(sh.queued[key], w)
+	full := len(sh.fetchQueue) >= p.cfg.ReadBatchSize
 	p.mu.Unlock()
 	if full && p.cfg.EagerBatches {
 		select {
@@ -299,13 +303,14 @@ func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
 }
 
 // payCacheSlot consumes one read-batch slot for a key whose base version is
-// already resident, by enqueueing a unique padding token and waiting for its
-// batch. No-op when the key has not been fetched this epoch (the real fetch
-// pays) or this transaction already paid for it.
+// already resident, by enqueueing a unique padding token on the key's shard
+// and waiting for its batch. No-op when the key has not been fetched this
+// epoch (the real fetch pays) or this transaction already paid for it.
 func (t *Txn) payCacheSlot(key string) error {
 	p := t.p
 	p.mu.Lock()
-	if !p.fetched[key] || t.paidSlots[key] {
+	sh := p.shards[shardOf(key, len(p.shards))]
+	if !sh.fetched[key] || t.paidSlots[key] {
 		p.mu.Unlock()
 		return nil
 	}
@@ -316,8 +321,8 @@ func (t *Txn) payCacheSlot(key string) error {
 	p.ablateSeq++
 	token := fmt.Sprintf("\x00rc-%d", p.ablateSeq)
 	w := &fetchWaiter{key: token, done: make(chan error, 1)}
-	p.fetchQueue = append(p.fetchQueue, token)
-	p.queued[token] = append(p.queued[token], w)
+	sh.fetchQueue = append(sh.fetchQueue, token)
+	sh.queued[token] = append(sh.queued[token], w)
 	p.mu.Unlock()
 	return <-w.done
 }

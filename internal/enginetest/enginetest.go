@@ -4,6 +4,7 @@
 package enginetest
 
 import (
+	"fmt"
 	"time"
 
 	"obladi/internal/baseline"
@@ -18,13 +19,26 @@ import (
 type Engine struct {
 	Name string
 	DB   kvtxn.DB
-	// Checker is non-nil for Obladi: the bucket-invariant watchdog.
-	Checker *storage.InvariantChecker
+	// Checkers holds the bucket-invariant watchdog of every Obladi shard
+	// (empty for baselines); consult them through Violation.
+	Checkers []*storage.InvariantChecker
+}
+
+// Violation reports the first bucket-invariant violation on any shard. It is
+// safe (and a no-op) on baseline engines, which have no checkers.
+func (e Engine) Violation() error {
+	for _, c := range e.Checkers {
+		if v := c.Violation(); v != nil {
+			return v
+		}
+	}
+	return nil
 }
 
 // ObladiOptions tunes the Obladi engine for workload tests.
 type ObladiOptions struct {
-	NumBlocks      int
+	NumBlocks      int // per-shard ORAM capacity
+	Shards         int // key-space partitions (default 1)
 	ValueSize      int
 	ReadBatches    int
 	ReadBatchSize  int
@@ -53,6 +67,9 @@ func NewObladi(opt ObladiOptions) (Engine, error) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	if opt.Shards == 0 {
+		opt.Shards = 1
+	}
 	cfg := core.Config{
 		Params: ringoram.Params{
 			NumBlocks: opt.NumBlocks,
@@ -71,13 +88,21 @@ func NewObladi(opt ObladiOptions) (Engine, error) {
 		EagerBatches:      true,
 		DisableDurability: !opt.Durability,
 	}
-	backend := storage.NewMemBackend(cfg.Params.Geometry().NumBuckets)
-	checker := storage.NewInvariantChecker(backend)
-	p, err := core.New(checker, cfg)
+	stores := make([]storage.Backend, opt.Shards)
+	checkers := make([]*storage.InvariantChecker, opt.Shards)
+	for i := range stores {
+		checkers[i] = storage.NewInvariantChecker(storage.NewMemBackend(cfg.Params.Geometry().NumBuckets))
+		stores[i] = checkers[i]
+	}
+	p, err := core.NewSharded(stores, cfg)
 	if err != nil {
 		return Engine{}, err
 	}
-	return Engine{Name: "obladi", DB: kvtxn.ProxyDB{P: p}, Checker: checker}, nil
+	name := "obladi"
+	if opt.Shards > 1 {
+		name = fmt.Sprintf("obladi-%dshard", opt.Shards)
+	}
+	return Engine{Name: name, DB: kvtxn.ProxyDB{P: p}, Checkers: checkers}, nil
 }
 
 // Baselines returns the NoPriv and 2PL engines over memory storage.

@@ -15,7 +15,11 @@ func testEngines(t *testing.T) []enginetest.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engines = append(engines, ob)
+	ob4, err := enginetest.NewObladi(enginetest.ObladiOptions{ValueSize: MinValueSize * 2, NumBlocks: 1024, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob, ob4)
 	return engines
 }
 
@@ -45,10 +49,8 @@ func TestLoadAndChart(t *testing.T) {
 			if err := client.GetPatientChart(); err != nil {
 				t.Fatalf("chart: %v", err)
 			}
-			if e.Checker != nil {
-				if v := e.Checker.Violation(); v != nil {
-					t.Fatal(v)
-				}
+			if v := e.Violation(); v != nil {
+				t.Fatal(v)
 			}
 		})
 	}

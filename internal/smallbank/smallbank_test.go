@@ -15,7 +15,11 @@ func testEngines(t *testing.T) []enginetest.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engines = append(engines, ob)
+	ob4, err := enginetest.NewObladi(enginetest.ObladiOptions{ValueSize: 64, NumBlocks: 256, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob, ob4)
 	return engines
 }
 
@@ -74,10 +78,8 @@ func TestMoneyConservation(t *testing.T) {
 			if want := int64(cfg.Accounts) * 20000; total != want {
 				t.Fatalf("funds not conserved: %d, want %d", total, want)
 			}
-			if e.Checker != nil {
-				if v := e.Checker.Violation(); v != nil {
-					t.Fatal(v)
-				}
+			if v := e.Violation(); v != nil {
+				t.Fatal(v)
 			}
 		})
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 )
 
@@ -339,6 +340,22 @@ type response struct {
 }
 
 var _ Backend = (*Client)(nil)
+
+// DialMulti connects to one storage server per shard. Addresses may carry
+// surrounding whitespace (comma-separated flag values). On any failure the
+// already-established connections are closed before returning.
+func DialMulti(addrs []string) ([]Backend, error) {
+	backends := make([]Backend, 0, len(addrs))
+	for _, a := range addrs {
+		c, err := Dial(strings.TrimSpace(a))
+		if err != nil {
+			CloseAll(backends)
+			return nil, err
+		}
+		backends = append(backends, c)
+	}
+	return backends, nil
+}
 
 // Dial connects to a storage server.
 func Dial(addr string) (*Client, error) {

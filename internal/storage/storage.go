@@ -92,3 +92,15 @@ func checkBucket(bucket, n int) error {
 	}
 	return nil
 }
+
+// CloseAll closes every backend of a sharded deployment, returning the first
+// error encountered.
+func CloseAll(backends []Backend) error {
+	var first error
+	for _, b := range backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

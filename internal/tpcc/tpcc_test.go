@@ -15,7 +15,11 @@ func testEngines(t *testing.T) []enginetest.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engines = append(engines, ob)
+	ob4, err := enginetest.NewObladi(enginetest.ObladiOptions{ValueSize: MinValueSize * 2, NumBlocks: 2048, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob, ob4)
 	return engines
 }
 
@@ -30,10 +34,8 @@ func TestLoadAndVerify(t *testing.T) {
 			if err := Verify(e.DB, cfg); err != nil {
 				t.Fatalf("verify after load: %v", err)
 			}
-			if e.Checker != nil {
-				if v := e.Checker.Violation(); v != nil {
-					t.Fatal(v)
-				}
+			if v := e.Violation(); v != nil {
+				t.Fatal(v)
 			}
 		})
 	}
@@ -68,10 +70,8 @@ func TestTransactionMix(t *testing.T) {
 			if err := Verify(e.DB, cfg); err != nil {
 				t.Fatalf("verify after mix: %v", err)
 			}
-			if e.Checker != nil {
-				if v := e.Checker.Violation(); v != nil {
-					t.Fatal(v)
-				}
+			if v := e.Violation(); v != nil {
+				t.Fatal(v)
 			}
 		})
 	}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"testing"
+
+	"obladi/internal/oramexec"
+)
+
+// TestRecoverWithFloor models the lagging shard of a torn cross-shard commit:
+// its log holds the prepared checkpoint for an epoch the coordinator decided,
+// but not its own commit record. The floor must promote that epoch to
+// committed; a floor with no matching checkpoint must fail loudly.
+func TestRecoverWithFloor(t *testing.T) {
+	o, backend := testORAM(t)
+	exec := oramexec.New(o, backend, oramexec.Config{})
+	l := newLog(t, backend, Config{FullCheckpointEvery: 1})
+
+	seed(t, o, backend, exec, 1, 4)
+	if _, err := l.AppendCheckpoint(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2 prepared (checkpoint durable) but this shard's commit record
+	// never made it.
+	seed(t, o, backend, exec, 2, 4)
+	if _, err := l.AppendCheckpoint(2, o); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CommittedEpoch != 1 {
+		t.Fatalf("own recovery committed epoch = %d, want 1", rec.CommittedEpoch)
+	}
+
+	// Coordinator says epoch 2 committed: the floor promotes it.
+	rec, err = l.RecoverWithFloor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CommittedEpoch != 2 {
+		t.Fatalf("floored recovery committed epoch = %d, want 2", rec.CommittedEpoch)
+	}
+	// The epoch-2 checkpoint must be part of the recovered state: its
+	// position map knows the keys written in epoch 2.
+	found2 := false
+	if rec.Full != nil {
+		_, found2 = rec.Full.Pos["e2-k0"]
+	}
+	for _, d := range rec.Deltas {
+		if _, ok := d.Pos["e2-k0"]; ok {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatal("floored recovery did not include the promoted epoch's checkpoint")
+	}
+
+	// A floor beyond any durable checkpoint is a protocol violation.
+	if _, err := l.RecoverWithFloor(3); err == nil {
+		t.Fatal("floor without a matching checkpoint accepted")
+	}
+}

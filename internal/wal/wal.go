@@ -46,6 +46,13 @@ const padKeyPrefix = "\x00pad"
 type Config struct {
 	// Key seals all log payloads. Required.
 	Key *cryptoutil.Key
+	// Shard and Shards identify this log's key-space partition (shard index
+	// and total shard count). They are recorded in every checkpoint and
+	// verified on recovery, so a deployment restarted with reordered storage
+	// addresses or a different shard count fails loudly instead of silently
+	// mis-routing the key space. Shards == 0 disables the check (unsharded
+	// tools and tests).
+	Shard, Shards int
 	// PadPosEntries pads every checkpoint's position-map delta to this
 	// many entries: the maximum number of keys an epoch can touch
 	// (R*bread + bwrite). 0 disables padding (tests only).
@@ -96,7 +103,9 @@ type batchRecord struct {
 // checkpointRecord is the gob payload of a checkpoint record.
 type checkpointRecord struct {
 	Epoch uint64
-	State ringoram.State
+	// Shard and ShardCount pin the checkpoint to its key-space partition.
+	Shard, ShardCount int
+	State             ringoram.State
 }
 
 // commitRecord is the gob payload of a commit record.
@@ -156,7 +165,7 @@ func (l *Log) AppendCheckpoint(epoch uint64, oram *ringoram.ORAM) (bool, error) 
 		return false, err
 	}
 	l.pad(st)
-	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: epoch, State: *st})
+	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: epoch, Shard: l.cfg.Shard, ShardCount: l.cfg.Shards, State: *st})
 	if err != nil {
 		return false, err
 	}
@@ -276,6 +285,11 @@ type Recovery struct {
 	// CommittedEpoch is the last epoch whose commit record is durable; the
 	// storage tree must be rolled back to it.
 	CommittedEpoch uint64
+	// HasCommit reports whether any commit record exists at all. A log with
+	// checkpoints but no commit record is a first boot that died mid-prepare:
+	// nothing ever committed, and callers should reinitialize instead of
+	// recovering "epoch 0".
+	HasCommit bool
 	// Full and Deltas reconstruct the ORAM client metadata.
 	Full   *ringoram.State
 	Deltas []*ringoram.State
@@ -290,7 +304,18 @@ var ErrNoCheckpoint = errors.New("wal: no full checkpoint in log")
 
 // Recover scans the log and reconstructs the latest committed state plus
 // the aborted epoch's read schedule.
-func (l *Log) Recover() (*Recovery, error) {
+func (l *Log) Recover() (*Recovery, error) { return l.RecoverWithFloor(0) }
+
+// RecoverWithFloor recovers like Recover but treats `floor` as committed even
+// if this log's own newest commit record is older. The cross-shard epoch
+// coordinator relies on this: every shard's checkpoint for an epoch is durable
+// before the coordinator appends the epoch's global commit record (prepare
+// precedes commit), so a crash between the coordinator's commit record and
+// this shard's own leaves the shard exactly one commit record behind; the
+// floor restores the coordinator's decision. A floor above this log's own
+// commit requires the floor epoch's checkpoint to be present, otherwise
+// recovery fails rather than silently resurrecting older state.
+func (l *Log) RecoverWithFloor(floor uint64) (*Recovery, error) {
 	recs, err := l.store.Scan(0)
 	if err != nil {
 		return nil, err
@@ -319,13 +344,19 @@ func (l *Log) Recover() (*Recovery, error) {
 			if cr.Epoch > r.CommittedEpoch {
 				r.CommittedEpoch = cr.Epoch
 			}
+			r.HasCommit = true
 		}
+	}
+	raised := floor > r.CommittedEpoch
+	if raised {
+		r.CommittedEpoch = floor
 	}
 	// Pass 2: decode checkpoints up to the committed epoch; find the newest
 	// full one, then collect subsequent deltas. Also decode batch records
 	// of the aborted epoch (committed+1).
 	start := time.Now()
 	var fullIdx = -1
+	haveFloorCp := false
 	cps := make([]*checkpointRecord, len(recs))
 	for i, rec := range recs {
 		if items[i].kind != kindCheckpoint {
@@ -335,13 +366,23 @@ func (l *Log) Recover() (*Recovery, error) {
 		if err := l.openCheckpoint(rec, &cp); err != nil {
 			return nil, fmt.Errorf("wal: checkpoint record %d: %w", i, err)
 		}
+		if l.cfg.Shards != 0 && (cp.ShardCount != l.cfg.Shards || cp.Shard != l.cfg.Shard) {
+			return nil, fmt.Errorf("wal: log belongs to shard %d of %d, configured as shard %d of %d — storage addresses reordered or shard count changed?",
+				cp.Shard, cp.ShardCount, l.cfg.Shard, l.cfg.Shards)
+		}
 		if cp.Epoch > r.CommittedEpoch {
 			continue // checkpoint of an epoch that never committed
+		}
+		if cp.Epoch == floor {
+			haveFloorCp = true
 		}
 		cps[i] = &cp
 		if cp.State.Full {
 			fullIdx = i
 		}
+	}
+	if raised && !haveFloorCp {
+		return nil, fmt.Errorf("wal: coordinator committed epoch %d but no local checkpoint for it", floor)
 	}
 	if fullIdx < 0 {
 		return nil, ErrNoCheckpoint

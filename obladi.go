@@ -5,10 +5,13 @@
 // A DB runs a trusted proxy: transactions execute under multiversioned
 // timestamp ordering, commit decisions are delayed to the end of fixed
 // epochs, and all storage traffic flows through a parallel Ring ORAM whose
-// request pattern is independent of the workload. Storage can be embedded
-// (in-memory) or a remote obladi-storage server reached over TCP; either
-// way the storage side never learns which keys are accessed, when, or how
-// often — only the fixed batch schedule.
+// request pattern is independent of the workload. The key space can be
+// hash-partitioned across multiple independent ORAM shards (Options.Shards),
+// coordinated so cross-shard transactions still commit atomically while
+// aggregate epoch capacity scales with the shard count. Storage can be
+// embedded (in-memory) or remote obladi-storage servers reached over TCP
+// (one per shard); either way the storage side never learns which keys are
+// accessed, when, or how often — only the fixed batch schedule.
 //
 // Basic usage:
 //
@@ -24,6 +27,7 @@ package obladi
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"obladi/internal/core"
@@ -52,6 +56,13 @@ type Options struct {
 	// MaxKeys bounds the number of distinct keys (ORAM capacity).
 	// Default 8192.
 	MaxKeys int
+	// Shards partitions the key space by hash across this many independent
+	// Ring ORAM instances, each with its own position map, stash, batch
+	// quotas, recovery log, and storage backend. Transactions may span
+	// shards and still commit atomically at the global epoch boundary; the
+	// batching parameters below apply per shard, so aggregate epoch capacity
+	// grows with the shard count. Default 1. See DESIGN.md ("Sharding").
+	Shards int
 	// MaxValueSize bounds value length in bytes. Default 256.
 	MaxValueSize int
 	// MaxKeySize bounds key length in bytes. Default 64.
@@ -76,8 +87,10 @@ type Options struct {
 	// cloud configuration is 100/196/168.
 	Z, S, A int
 
-	// RemoteAddr connects to an obladi-storage server instead of using
-	// embedded in-memory storage.
+	// RemoteAddr connects to obladi-storage servers instead of using
+	// embedded in-memory storage. With Shards > 1 it must hold one
+	// comma-separated address per shard; each server stores exactly one
+	// shard's bucket tree and recovery log.
 	RemoteAddr string
 	// SimulatedLatency, when non-empty, wraps embedded storage with one of
 	// the paper's latency profiles: "server" (0.3ms), "server-wan" (10ms),
@@ -100,15 +113,18 @@ type Options struct {
 
 // DB is an oblivious transactional key-value store.
 type DB struct {
-	proxy   *core.Proxy
-	backend storage.Backend
+	proxy    *core.Proxy
+	backends []storage.Backend
 }
 
-// Open creates (or, when the backend's recovery log holds a committed
+// Open creates (or, when the backends' recovery logs hold a committed
 // checkpoint, recovers) a DB.
 func Open(opt Options) (*DB, error) {
 	if opt.MaxKeys <= 0 {
 		opt.MaxKeys = 8192
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 1
 	}
 	if opt.MaxValueSize <= 0 {
 		opt.MaxValueSize = 256
@@ -135,8 +151,15 @@ func Open(opt Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	// Each shard gets its own ORAM sized for its slice of the key space.
+	// Hash partitioning is only near-uniform, so shards are provisioned with
+	// headroom against realistic skew.
+	perShard := (opt.MaxKeys + opt.Shards - 1) / opt.Shards
+	if opt.Shards > 1 {
+		perShard += perShard/4 + 16
+	}
 	params := ringoram.Params{
-		NumBlocks: opt.MaxKeys,
+		NumBlocks: perShard,
 		Z:         opt.Z,
 		S:         opt.S,
 		A:         opt.A,
@@ -147,29 +170,37 @@ func Open(opt Options) (*DB, error) {
 		return nil, err
 	}
 
-	var backend storage.Backend
+	var backends []storage.Backend
 	if opt.RemoteAddr != "" {
-		backend, err = storage.Dial(opt.RemoteAddr)
+		addrs := strings.Split(opt.RemoteAddr, ",")
+		if len(addrs) != opt.Shards {
+			return nil, fmt.Errorf("obladi: %d shards need %d comma-separated storage addresses in RemoteAddr, got %d", opt.Shards, opt.Shards, len(addrs))
+		}
+		backends, err = storage.DialMulti(addrs)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		mem := storage.NewMemBackend(params.Geometry().NumBuckets)
-		switch opt.SimulatedLatency {
-		case "":
-			backend = mem
-		case "server":
-			backend = storage.WithLatency(mem, storage.ProfileServer)
-		case "server-wan":
-			backend = storage.WithLatency(mem, storage.ProfileServerWAN)
-		case "dynamo":
-			backend = storage.WithLatency(mem, storage.ProfileDynamo)
-		default:
-			return nil, fmt.Errorf("obladi: unknown latency profile %q", opt.SimulatedLatency)
+		for i := 0; i < opt.Shards; i++ {
+			mem := storage.NewMemBackend(params.Geometry().NumBuckets)
+			var backend storage.Backend
+			switch opt.SimulatedLatency {
+			case "":
+				backend = mem
+			case "server":
+				backend = storage.WithLatency(mem, storage.ProfileServer)
+			case "server-wan":
+				backend = storage.WithLatency(mem, storage.ProfileServerWAN)
+			case "dynamo":
+				backend = storage.WithLatency(mem, storage.ProfileDynamo)
+			default:
+				return nil, fmt.Errorf("obladi: unknown latency profile %q", opt.SimulatedLatency)
+			}
+			backends = append(backends, backend)
 		}
 	}
 
-	proxy, err := core.New(backend, core.Config{
+	proxy, err := core.NewSharded(backends, core.Config{
 		Params:              params,
 		Key:                 key,
 		ReadBatches:         opt.ReadBatches,
@@ -182,10 +213,10 @@ func Open(opt Options) (*DB, error) {
 		FullCheckpointEvery: opt.FullCheckpointEvery,
 	})
 	if err != nil {
-		backend.Close()
+		storage.CloseAll(backends)
 		return nil, err
 	}
-	return &DB{proxy: proxy, backend: backend}, nil
+	return &DB{proxy: proxy, backends: backends}, nil
 }
 
 // Begin starts a transaction.
@@ -245,13 +276,16 @@ func (db *DB) Advance() error { return db.proxy.Advance() }
 // Epoch returns the current epoch number.
 func (db *DB) Epoch() uint64 { return db.proxy.Epoch() }
 
+// Shards returns the number of key-space partitions.
+func (db *DB) Shards() int { return db.proxy.Shards() }
+
 // Stats returns proxy counters.
 func (db *DB) Stats() core.Stats { return db.proxy.Stats() }
 
 // Close shuts the proxy down; in-flight transactions abort.
 func (db *DB) Close() error {
 	err := db.proxy.Close()
-	if cerr := db.backend.Close(); err == nil {
+	if cerr := storage.CloseAll(db.backends); err == nil {
 		err = cerr
 	}
 	return err
