@@ -64,6 +64,7 @@ var experiments = []struct {
 	{"fig11a", "throughput vs checkpoint frequency", Fig11a},
 	{"table11b", "recovery time breakdown", Table11b},
 	{"shards", "aggregate throughput vs shard count (beyond the paper: sharded proxy)", ShardScale},
+	{"pipeline", "epoch-boundary pipelining: synchronous vs overlapped commit stage (beyond the paper)", Pipeline},
 }
 
 // Names lists all experiment ids.

@@ -13,8 +13,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
-		t.Fatalf("expected 11 experiments (every table and figure, plus shards), got %d: %v", len(names), names)
+	if len(names) != 12 {
+		t.Fatalf("expected 12 experiments (every table and figure, plus shards and pipeline), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -203,6 +203,32 @@ func TestFig11aShape(t *testing.T) {
 	}
 	if last < first*0.85 {
 		t.Errorf("throughput fell as full checkpoints got rarer: %.0f -> %.0f", first, last)
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Pipeline(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]map[string]float64{}
+	for _, r := range rows {
+		if vals[r.X] == nil {
+			vals[r.X] = map[string]float64{}
+		}
+		vals[r.X][r.Series] = r.Value
+	}
+	// Overlapping epoch e's write-back + durability with epoch e+1's read
+	// batches must beat paying the full boundary inline on every
+	// latency-injected backend.
+	for backend, v := range vals {
+		if v["Pipelined"] <= v["Synchronous"] {
+			t.Errorf("%s: pipelined boundary (%.0f txns/s) did not beat synchronous (%.0f txns/s)",
+				backend, v["Pipelined"], v["Synchronous"])
+		}
 	}
 }
 

@@ -12,6 +12,19 @@
 // final write set is flushed to the ORAM, metadata is checkpointed to the
 // recovery unit, and clients are notified.
 //
+// # Pipelined epoch boundary
+//
+// The boundary is split into a cheap synchronous seal (decide fates, execute
+// the write batch, detach each shard's buffered write-back set, snapshot the
+// checkpoint) and a commit stage (flush, durable appends, storage epoch
+// commit, client acks) that can run on a background committer, overlapping
+// epoch e's write-back and durability round trips with epoch e+1's read
+// batches. Delayed visibility makes the overlap safe: clients were only ever
+// acknowledged at the boundary, so acknowledging them when the asynchronous
+// commit lands changes nothing they can observe, and reads of e+1 that land
+// on a not-yet-flushed bucket are served from the sealed buffer. At most one
+// boundary is in flight; see BoundaryMode.
+//
 // # Sharding
 //
 // The proxy can partition its key space by hash across N independent Ring
@@ -99,12 +112,42 @@ type Config struct {
 	// (§6.3 ablation).
 	DisableReadCache bool
 
+	// Boundary controls epoch-boundary pipelining: whether EndEpoch's
+	// commit stage (buffered-bucket flush, checkpoint and commit-record
+	// appends, storage epoch commit) overlaps the next epoch's read
+	// batches or runs inline. Default BoundaryAuto.
+	Boundary BoundaryMode
+
 	// DisableDurability skips the recovery unit entirely (microbenchmarks
 	// that isolate ORAM throughput; Figure 10 runs without durability).
 	DisableDurability bool
 	// FullCheckpointEvery is the full-checkpoint cadence (Figure 11a).
 	FullCheckpointEvery int
 }
+
+// BoundaryMode selects how an epoch boundary's commit stage runs relative
+// to the next epoch's read batches. The boundary is always split into a
+// cheap synchronous seal (fate decisions, write batch, buffer detach,
+// checkpoint snapshot) and a commit (flush, durable appends, storage epoch
+// commit, client acks); the mode decides where the commit executes.
+type BoundaryMode int
+
+const (
+	// BoundaryAuto pipelines boundaries in timer-driven mode
+	// (BatchInterval > 0) and keeps them synchronous under manual driving,
+	// where single-stepped determinism is the point.
+	BoundaryAuto BoundaryMode = iota
+	// BoundarySync runs the commit stage inline: EndEpoch returns only
+	// after the epoch is durable and its clients are notified. This is the
+	// paper's synchronous boundary and the `pipeline` benchmark baseline.
+	BoundarySync
+	// BoundaryPipelined hands the commit stage to a background committer
+	// even under manual driving, so epoch e's write-back and durability
+	// round trips overlap epoch e+1's read batches. At most one boundary
+	// is in flight: the next EndEpoch waits for the previous commit to
+	// land (back-pressure).
+	BoundaryPipelined
+)
 
 func (c *Config) setDefaults() error {
 	if c.ReadBatches <= 0 {
@@ -196,6 +239,15 @@ type Proxy struct {
 	// commit waiters, by transaction timestamp.
 	waiters map[mvtso.Timestamp]chan error
 
+	// inflight is the sealed boundary whose commit stage has not landed
+	// (guarded by mu; at most one). boundaryDone is signaled whenever it
+	// clears or the proxy closes, waking a boundary blocked on
+	// back-pressure. committers tracks background commit goroutines so
+	// Close can drain them.
+	inflight     *boundaryJob
+	boundaryDone *sync.Cond
+	committers   sync.WaitGroup
+
 	kick      chan struct{} // wakes the epoch loop (eager batches, close)
 	loop      sync.WaitGroup
 	ablateSeq uint64 // unique tokens for the DisableReadCache ablation
@@ -239,6 +291,7 @@ func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
 		waiters: make(map[mvtso.Timestamp]chan error),
 		kick:    make(chan struct{}, 1),
 	}
+	p.boundaryDone = sync.NewCond(&p.mu)
 	for i, st := range stores {
 		sh := &shard{
 			id:          i,
@@ -363,28 +416,52 @@ func (p *Proxy) bootstrap() error {
 // epoch under the same coordinator-commit protocol.
 func (p *Proxy) recover(coordRec *wal.Recovery) error {
 	committed := coordRec.CommittedEpoch
-	recoveryEpoch := committed + 1
-	// Per-shard recovery (log scan/decode, rollback, state rebuild, replay)
-	// has no cross-shard dependency once the committed epoch is known, so it
-	// runs concurrently like every other multi-shard phase; only the final
-	// checkpoint/commit records below need ordering.
-	replayed := make([]int, len(p.shards))
+	// Phase 1: per-shard log reconstruction. No cross-shard dependency once
+	// the committed epoch is known, so it runs concurrently.
+	recs := make([]*wal.Recovery, len(p.shards))
+	recs[0] = coordRec
 	errs := make([]error, len(p.shards))
 	var wg sync.WaitGroup
+	for i := 1; i < len(p.shards); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := p.shards[i].rlog.RecoverWithFloor(committed)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: recovering shard %d: %w", i, err)
+				return
+			}
+			recs[i] = rec
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// The recovery epoch must cover every logged epoch of the dead
+	// generation: the pipelined boundary can leave batch records of
+	// committed+1 AND committed+2 behind, and the next generation reuses
+	// epoch numbers starting after the recovery epoch. Committing the
+	// replay under the highest aborted epoch seen on ANY shard pushes the
+	// stale records at or below the committed floor, so a later crash can
+	// never replay this generation again.
+	recoveryEpoch := committed + 1
+	for _, rec := range recs {
+		if rec.MaxAbortedEpoch > recoveryEpoch {
+			recoveryEpoch = rec.MaxAbortedEpoch
+		}
+	}
+	// Phase 2: rollback, state rebuild, deterministic replay (concurrent);
+	// only the final checkpoint/commit records below need ordering.
+	replayed := make([]int, len(p.shards))
 	for i := range p.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sh := p.shards[i]
-			rec := coordRec
-			if i > 0 {
-				var err error
-				rec, err = sh.rlog.RecoverWithFloor(committed)
-				if err != nil {
-					errs[i] = fmt.Errorf("core: recovering shard %d: %w", i, err)
-					return
-				}
-			}
+			rec := recs[i]
 			if err := sh.store.RollbackTo(committed); err != nil {
 				errs[i] = err
 				return
@@ -486,20 +563,27 @@ func (p *Proxy) Stats() Stats {
 }
 
 // Close shuts the proxy down. In-flight transactions abort (fate sharing:
-// no transaction of the unfinished epoch survives).
+// no transaction of the unfinished epoch survives). A boundary whose commit
+// stage is already in flight is allowed to land first: its transactions are
+// durable and their acknowledgements truthful.
 func (p *Proxy) Close() error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.loop.Wait()
+		p.committers.Wait()
 		return nil
 	}
 	p.closed = true
+	// Wake a boundary blocked on back-pressure so the epoch loop can exit.
+	p.boundaryDone.Broadcast()
 	p.mu.Unlock()
 	select {
 	case p.kick <- struct{}{}:
 	default:
 	}
 	p.loop.Wait()
+	p.committers.Wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.failAllLocked(ErrClosed)
@@ -536,13 +620,19 @@ func (p *Proxy) epochLoop() {
 		if closed {
 			return
 		}
+		step := p.stepScheduled
 		select {
 		case <-timer.C:
 		case <-p.kick:
 			p.mu.Lock()
 			closed = p.closed
 			fire := false
-			if p.cfg.EagerBatches {
+			// An eager kick may only accelerate a read-batch slot. The
+			// epoch boundary stays on the Δ timer: routing a full-queue
+			// kick into EndEpoch would make the boundary's timing depend
+			// on how many keys clients queued — a trace-shape leak (and,
+			// pipelined, a premature seal).
+			if p.cfg.EagerBatches && p.batchIdx < p.cfg.ReadBatches {
 				for _, sh := range p.shards {
 					if len(sh.fetchQueue) >= p.cfg.ReadBatchSize {
 						fire = true
@@ -563,12 +653,14 @@ func (p *Proxy) epochLoop() {
 				default:
 				}
 			}
+			step = p.StepReadBatch
 		}
-		if err := p.stepScheduled(); err != nil {
-			p.mu.Lock()
-			p.failAllLocked(err)
-			p.closed = true
-			p.mu.Unlock()
+		if err := step(); err != nil {
+			// StepReadBatch and EndEpoch fail-stop the proxy themselves on
+			// execution errors; the loop only stops driving the schedule.
+			if !errors.Is(err, ErrClosed) {
+				p.failBoundary(err)
+			}
 			return
 		}
 		timer.Reset(p.cfg.BatchInterval)
@@ -704,20 +796,89 @@ func (p *Proxy) StepReadBatch() error {
 				}
 			}
 		}
+		// A failed batch leaves planned ORAM metadata with no matching
+		// storage reads: the executor state has diverged from the tree, so
+		// the proxy fail-stops (crash-and-recover is §8's answer) instead
+		// of continuing on a broken schedule.
+		p.closed = true
+		p.failAllLocked(firstErr)
+		p.boundaryDone.Broadcast()
 	}
 	p.mu.Unlock()
+	if firstErr != nil {
+		p.ccu.AbortAll()
+	}
 	return firstErr
 }
 
-// EndEpoch finalizes the current epoch: decide transaction fates, flush every
-// shard's write batch and buffered buckets, persist per-shard checkpoints,
-// append the coordinator-first commit records, notify clients, and open the
-// next epoch. Exported for manual mode and tests.
+// boundaryJob carries one sealed epoch from its seal to its commit.
+type boundaryJob struct {
+	epoch     uint64
+	sealed    []*oramexec.SealedEpoch  // per-shard detached write-back sets
+	ckpts     []*wal.PendingCheckpoint // per-shard checkpoint snapshots (nil without durability)
+	commitAck map[mvtso.Timestamp]chan error
+	committed uint64
+}
+
+// pipelined reports whether boundary commit stages run on the background
+// committer (see BoundaryMode).
+func (p *Proxy) pipelined() bool {
+	switch p.cfg.Boundary {
+	case BoundarySync:
+		return false
+	case BoundaryPipelined:
+		return true
+	default:
+		return p.cfg.BatchInterval > 0
+	}
+}
+
+// EndEpoch finalizes the current epoch in two stages. The synchronous SEAL
+// decides transaction fates, partitions and executes the write batch,
+// detaches every shard's buffered write-back set under a sealed-epoch
+// handle, snapshots the checkpoints, and immediately opens the next epoch so
+// read batches resume. The COMMIT stage flushes the sealed buckets, appends
+// the per-shard checkpoints and the coordinator-first commit records,
+// commits the storage epoch, and only then acknowledges the epoch's commit
+// waiters — delayed visibility already deferred acks to the boundary, so
+// deferring them to the commit's completion changes no client-visible
+// semantics. Pipelined, the commit runs on a background committer and
+// EndEpoch returns right after the seal, with at most one boundary in
+// flight (the next seal waits for the previous commit to land). A boundary
+// error in either stage fail-stops the proxy: every fetch and commit waiter
+// is woken, in manual mode as much as in auto mode. Exported for manual
+// mode and tests.
 func (p *Proxy) EndEpoch() error {
+	job, err := p.sealEpoch()
+	if err != nil {
+		return err
+	}
+	if p.pipelined() {
+		p.committers.Add(1)
+		go func() {
+			defer p.committers.Done()
+			p.commitBoundary(job)
+		}()
+		return nil
+	}
+	return p.commitBoundary(job)
+}
+
+// sealEpoch runs the boundary's synchronous stage and opens the next epoch.
+// On return the write batch has executed, every shard's write-back set is
+// sealed, the checkpoints are snapshotted, and read batches may resume; the
+// returned job is registered as the (single) in-flight boundary.
+func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 	p.mu.Lock()
+	// Back-pressure: at most one boundary in flight. If the previous
+	// epoch's commit has not landed yet, this boundary waits here — the
+	// current epoch's read batches already ran, so only the seal stalls.
+	for p.inflight != nil && !p.closed {
+		p.boundaryDone.Wait()
+	}
 	if p.closed {
 		p.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	epoch := p.epoch
 	// Reads that never got a batch slot: their transactions abort with the
@@ -743,7 +904,7 @@ func (p *Proxy) EndEpoch() error {
 		if len(shardOps[i]) == p.cfg.WriteBatchSize {
 			// Capacity guard at Write() keeps this from happening; if a
 			// race slips through, the epoch cannot commit these writes.
-			return fmt.Errorf("core: shard %d write set exceeds write batch (%d)", i, p.cfg.WriteBatchSize)
+			return nil, p.failBoundary(fmt.Errorf("core: shard %d write set exceeds write batch (%d)", i, p.cfg.WriteBatchSize))
 		}
 		shardOps[i] = append(shardOps[i], oramexec.WriteOp{Key: w.Key, Value: w.Value, Tombstone: w.Tombstone})
 	}
@@ -752,9 +913,16 @@ func (p *Proxy) EndEpoch() error {
 	p.stats.RealWrites += uint64(len(out.Writes))
 	p.mu.Unlock()
 
-	// Per-shard commit pipeline (pad, plan, log, execute, flush, checkpoint)
-	// runs concurrently across shards; each stage orders correctly within its
-	// shard, and the cross-shard commit point comes after the barrier.
+	// Per-shard seal pipeline (pad, plan, log, execute, seal, checkpoint
+	// snapshot) runs concurrently across shards; each stage orders
+	// correctly within its shard. The checkpoint must be snapshotted here,
+	// before the next epoch mutates the ORAM metadata; its durable append
+	// is the commit stage's job.
+	job := &boundaryJob{
+		epoch:  epoch,
+		sealed: make([]*oramexec.SealedEpoch, len(p.shards)),
+		ckpts:  make([]*wal.PendingCheckpoint, len(p.shards)),
+	}
 	errs := make([]error, len(p.shards))
 	var wg sync.WaitGroup
 	for i := range p.shards {
@@ -781,50 +949,37 @@ func (p *Proxy) EndEpoch() error {
 				errs[i] = err
 				return
 			}
-			// Epoch write-back: flush buffered buckets, then prepare the
-			// epoch's durability (checkpoint before any commit record).
-			if _, err := sh.exec.Flush(); err != nil {
+			// Detach the epoch's write-back set. The next epoch's reads
+			// that land on a sealed bucket are served from it locally, so
+			// they stay correct while the flush is still in flight.
+			if job.sealed[i], err = sh.exec.SealEpoch(); err != nil {
 				errs[i] = err
 				return
 			}
 			if sh.rlog != nil {
-				if _, err := sh.rlog.AppendCheckpoint(epoch, sh.exec.ORAM()); err != nil {
-					errs[i] = err
-					return
-				}
+				job.ckpts[i], errs[i] = sh.rlog.PrepareCheckpoint(epoch, sh.exec.ORAM())
 			}
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
-		}
-	}
-	// Global commit point: all shards prepared; the coordinator's commit
-	// record decides the epoch for everyone.
-	if p.shards[0].rlog != nil {
-		if err := p.appendCommitAll(epoch); err != nil {
-			return err
-		}
-	}
-	for _, sh := range p.shards {
-		if err := sh.store.CommitEpoch(epoch); err != nil {
-			return err
+			return nil, p.failBoundary(err)
 		}
 	}
 
-	// Notify clients; reset per-epoch state; open the next epoch.
+	// Collect the epoch's commit waiters for the commit stage, ack its
+	// aborts (no durability obligation), and open the next epoch.
 	p.mu.Lock()
-	p.stats.Epochs++
-	p.stats.Committed += uint64(len(out.Committed))
-	p.stats.Aborted += uint64(len(out.Aborted))
+	job.commitAck = make(map[mvtso.Timestamp]chan error, len(out.Committed))
+	job.committed = uint64(len(out.Committed))
 	for _, ts := range out.Committed {
 		if ch, ok := p.waiters[ts]; ok {
-			ch <- nil
+			job.commitAck[ts] = ch
 			delete(p.waiters, ts)
 		}
 	}
+	p.stats.Aborted += uint64(len(out.Aborted))
 	for _, ts := range out.Aborted {
 		if ch, ok := p.waiters[ts]; ok {
 			ch <- ErrAborted
@@ -851,6 +1006,102 @@ func (p *Proxy) EndEpoch() error {
 	p.batchIdx = 0
 	p.epoch++
 	p.beginEpochAllLocked()
+	p.inflight = job
 	p.mu.Unlock()
+	return job, nil
+}
+
+// commitBoundary runs a sealed boundary's commit stage and publishes its
+// outcome: on success the epoch's commit waiters are acknowledged; on
+// failure they receive the error and the proxy fail-stops (a half-committed
+// boundary leaves proxy metadata ahead of storage — §8's answer is to crash
+// and recover). Either way the boundary slot is freed for the next seal.
+func (p *Proxy) commitBoundary(job *boundaryJob) error {
+	err := p.runCommit(job)
+	p.mu.Lock()
+	p.inflight = nil
+	if err == nil {
+		p.stats.Epochs++
+		p.stats.Committed += job.committed
+		for _, ch := range job.commitAck {
+			ch <- nil
+		}
+	} else {
+		for _, ch := range job.commitAck {
+			ch <- err
+		}
+		p.closed = true
+		p.failAllLocked(err)
+	}
+	p.boundaryDone.Broadcast()
+	p.mu.Unlock()
+	if err != nil {
+		p.ccu.AbortAll()
+	}
+	return err
+}
+
+// runCommit makes a sealed epoch durable: flush every shard's sealed
+// buckets and append its checkpoint (prepare), then the coordinator-first
+// commit records (the global commit point), then commit the storage epoch.
+// Per-shard work runs concurrently; only the commit point needs cross-shard
+// ordering.
+func (p *Proxy) runCommit(job *boundaryJob) error {
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := p.shards[i]
+			if _, err := sh.exec.FlushSealed(job.sealed[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			if !p.pipelined() {
+				// A synchronous boundary has no overlap to serve: retire
+				// the sealed set so the next epoch reads storage directly,
+				// keeping the observable trace (and its crash replay)
+				// identical to the unpipelined design.
+				sh.exec.ReleaseSealed(job.sealed[i])
+			}
+			if job.ckpts[i] != nil {
+				if _, err := sh.rlog.AppendPrepared(job.ckpts[i]); err != nil {
+					errs[i] = err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Global commit point: all shards prepared; the coordinator's commit
+	// record decides the epoch for everyone.
+	if p.shards[0].rlog != nil {
+		if err := p.appendCommitAll(job.epoch); err != nil {
+			return err
+		}
+	}
+	for _, sh := range p.shards {
+		if err := sh.store.CommitEpoch(job.epoch); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// failBoundary fail-stops the proxy after a boundary error: every fetch and
+// commit waiter is woken with err regardless of mode, so manual-mode
+// Advance() callers are never stranded.
+func (p *Proxy) failBoundary(err error) error {
+	p.mu.Lock()
+	p.closed = true
+	p.failAllLocked(err)
+	p.boundaryDone.Broadcast()
+	p.mu.Unlock()
+	p.ccu.AbortAll()
+	return err
 }

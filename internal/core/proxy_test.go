@@ -509,6 +509,84 @@ func TestCloseAbortsInFlight(t *testing.T) {
 	}
 }
 
+// TestStatsConcurrentWithBatches races Stats snapshots against batch
+// execution and the background committer. Executor counters are mutated
+// from per-shard goroutines that do not hold the proxy mutex, so this test
+// is only meaningful under -race (the CI race job runs it): it pins down
+// that Stats is atomically readable mid-batch.
+func TestStatsConcurrentWithBatches(t *testing.T) {
+	cfg := testConfig(18)
+	cfg.Boundary = BoundaryPipelined
+	p, _, _ := testProxy(t, cfg)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = p.Stats()
+		}
+	}()
+	for e := 0; e < 3; e++ {
+		tx := p.Begin()
+		must(t, tx.Write(fmt.Sprintf("k%d", e), []byte("v")))
+		ch := tx.CommitAsync()
+		for b := 0; b < cfg.ReadBatches; b++ {
+			must(t, p.StepReadBatch())
+		}
+		must(t, p.EndEpoch())
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	st := p.Stats()
+	if st.Epochs == 0 || st.Committed == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestManualBoundaryErrorFailsProxy pins down fail-stop at the boundary: a
+// mid-boundary failure in manual mode must wake commit waiters and close
+// the proxy, not strand Advance() callers forever.
+func TestManualBoundaryErrorFailsProxy(t *testing.T) {
+	cfg := testConfig(19)
+	backend := storage.NewMemBackend(cfg.Params.Geometry().NumBuckets)
+	p, err := New(backend, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	boom := errors.New("injected boundary failure")
+	p.testCommitHook = func(shardID int) error { return boom }
+	tx := p.Begin()
+	must(t, tx.Write("k", []byte("v")))
+	ch := tx.CommitAsync()
+	if err := p.EndEpoch(); !errors.Is(err, boom) {
+		t.Fatalf("EndEpoch under injected failure: %v", err)
+	}
+	select {
+	case err := <-ch:
+		if !errors.Is(err, boom) {
+			t.Fatalf("commit waiter woke with %v, want the boundary error", err)
+		}
+	default:
+		t.Fatal("commit waiter stranded after a mid-boundary error")
+	}
+	if err := p.Advance(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Advance after boundary failure: %v", err)
+	}
+	if _, _, err := p.Begin().Read("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read after boundary failure: %v", err)
+	}
+}
+
 func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"obladi/internal/storage"
+	"obladi/internal/wal"
 )
 
 // commitKV commits a set of writes in one transaction, driving the schedule
@@ -417,6 +419,108 @@ func waitQueuedOrDone(p *Proxy, done chan struct{}) {
 		if p.PendingFetches() > 0 {
 			return
 		}
+	}
+}
+
+// commitGate wraps a backend and, when armed, fails every commit-record
+// append — freezing a boundary exactly between its prepare (batch records,
+// flush and checkpoints durable) and its commit point. Record kinds are
+// plaintext framing, so the "storage server" can target them precisely.
+type commitGate struct {
+	storage.Backend
+	mu    sync.Mutex
+	armed bool
+}
+
+var errCommitGate = errors.New("injected storage failure before commit record")
+
+func (g *commitGate) arm(on bool) {
+	g.mu.Lock()
+	g.armed = on
+	g.mu.Unlock()
+}
+
+func (g *commitGate) Append(rec []byte) (uint64, error) {
+	g.mu.Lock()
+	armed := g.armed
+	g.mu.Unlock()
+	if armed && wal.IsCommitRecord(rec) {
+		return 0, errCommitGate
+	}
+	return g.Backend.Append(rec)
+}
+
+// TestCrashBetweenSealAndCommit kills a pipelined boundary in its riskiest
+// window: epoch e is sealed (write batch executed, buckets flushing,
+// checkpoint prepared) and epoch e+1 is already open, but the coordinator's
+// commit record never lands. The commit waiter must be woken with the
+// failure (not acked, not stranded), and recovery must roll back to the last
+// committed epoch, drop the sealed epoch's writes, and replay its logged
+// reads.
+func TestCrashBetweenSealAndCommit(t *testing.T) {
+	cfg := testConfig(38)
+	cfg.Boundary = BoundaryPipelined
+	backend := storage.NewMemBackend(cfg.Params.Geometry().NumBuckets)
+	checker := storage.NewInvariantChecker(backend)
+	gate := &commitGate{Backend: checker}
+
+	p1, err := New(gate, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitKV(t, p1, map[string]string{"stable": "committed"})
+
+	// Doomed epoch: a logged read batch, two writes, then a boundary whose
+	// asynchronous commit dies before the commit record.
+	gate.arm(true)
+	tx := p1.Begin()
+	readDone := make(chan error, 1)
+	go func() {
+		_, rerr := tx.ReadMany([]string{"stable"})
+		readDone <- rerr
+	}()
+	waitQueued(t, p1, 1)
+	must(t, p1.StepReadBatch())
+	must(t, <-readDone)
+	must(t, tx.Write("stable", []byte("doomed")))
+	must(t, tx.Write("fresh", []byte("doomed-too")))
+	ch := tx.CommitAsync()
+	// The seal succeeds and epoch e+1 opens immediately; the background
+	// commit then hits the gate.
+	must(t, p1.EndEpoch())
+	// Reads of the next epoch may already be running when the commit dies;
+	// either they work or the proxy has fail-stopped by then.
+	if err := p1.StepReadBatch(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("read batch during async commit: %v", err)
+	}
+	select {
+	case err := <-ch:
+		if err == nil {
+			t.Fatal("commit acknowledged although the commit record never landed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit waiter stranded after a mid-commit crash")
+	}
+	p1.Close()
+
+	gate.arm(false)
+	p2, err := New(gate, cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer p2.Close()
+	if p2.ReplayedReads() == 0 {
+		t.Fatal("recovery replayed nothing despite logged batches")
+	}
+	got := readAll(t, p2, "stable", "fresh")
+	if got["stable"] != "committed" {
+		t.Fatalf("stable = %q after recovery, want the last committed value", got["stable"])
+	}
+	if _, leaked := got["fresh"]; leaked {
+		t.Fatal("write of the sealed-but-uncommitted epoch survived the crash")
+	}
+	if v := checker.Violation(); v != nil {
+		t.Fatal(v)
 	}
 }
 

@@ -188,13 +188,20 @@ func (t *Txn) CommitAsync() <-chan error {
 	p.waiters[t.inner.TS()] = ch
 	p.mu.Unlock()
 	if err := t.inner.Commit(); err != nil {
+		// Only deliver if the waiter is still ours: an epoch boundary
+		// sealing in this window may have already aborted the transaction
+		// and sent its fate (which is why inner.Commit errored) — a second
+		// send would jam the one-slot channel and block this caller.
 		p.mu.Lock()
+		_, registered := p.waiters[t.inner.TS()]
 		delete(p.waiters, t.inner.TS())
 		p.mu.Unlock()
-		if errors.Is(err, mvtso.ErrAborted) {
-			err = fmt.Errorf("%w: %v", ErrAborted, err)
+		if registered {
+			if errors.Is(err, mvtso.ErrAborted) {
+				err = fmt.Errorf("%w: %v", ErrAborted, err)
+			}
+			ch <- err
 		}
-		ch <- err
 	}
 	return ch
 }

@@ -38,6 +38,12 @@ func InitORAM(store storage.BucketStore, key *cryptoutil.Key, p ringoram.Params)
 	} else if need := p.Geometry().NumBuckets; n < need {
 		return nil, fmt.Errorf("oramexec: backend has %d buckets, geometry needs %d", n, need)
 	}
+	// Reinitializing wipes: discard any shadow versions a previous (e.g.
+	// non-durable or torn-first-boot) deployment left behind, so the fresh
+	// epoch-0 tree starts an ordered version history.
+	if err := store.RollbackTo(0); err != nil {
+		return nil, err
+	}
 	o, err := ringoram.New(StoreAdapter{B: store, Epoch: 0}, key, p)
 	if err != nil {
 		return nil, err

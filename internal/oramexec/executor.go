@@ -8,12 +8,20 @@
 // all bucket writes produced by evictions and early reshuffles are buffered
 // until the end of the epoch, deduplicated per bucket, and flushed in
 // parallel. Reads that target a buffered bucket are served locally.
+//
+// Epoch buffers are double-buffered to support the proxy's pipelined epoch
+// boundary: SealEpoch detaches the finished epoch's write-back set, which a
+// background committer flushes via FlushSealed while the next epoch's
+// batches already plan and execute. Until the sealed set is released (or
+// superseded by the next seal), reads that target a sealed bucket keep being
+// served locally — the sealed versions may not have reached storage yet.
 package oramexec
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"obladi/internal/ringoram"
 	"obladi/internal/storage"
@@ -36,7 +44,10 @@ func (c *Config) setDefaults() {
 }
 
 // Executor drives a ringoram client against shadow-paged storage.
-// It is not safe for concurrent use: the proxy serializes batch execution.
+// Planning and execution are not safe for concurrent use (the proxy
+// serializes batch execution per shard), with two exceptions: FlushSealed
+// may run from a background committer concurrently with the next epoch's
+// planning/execution, and Stats may be read from any goroutine.
 type Executor struct {
 	oram  *ringoram.ORAM
 	store storage.BucketStore
@@ -44,14 +55,33 @@ type Executor struct {
 
 	epoch    uint64
 	buffered map[int]*bufferedBucket
+	// sealed is the previous epoch's detached write-back set, retained so
+	// its buckets stay locally servable while (and after) a background
+	// committer flushes them. Written only by SealEpoch/ReleaseSealed,
+	// which the proxy serializes with planning; the map it points to is
+	// immutable after seal, so FlushSealed reads it without locks.
+	sealed *SealedEpoch
 
-	stats Stats
+	stats statCounters
 }
 
 type bufferedBucket struct {
 	ver   uint64
 	slots [][]byte
 }
+
+// SealedEpoch is a finished epoch's detached write-back set: every bucket
+// the epoch rewrote, deduplicated. It is immutable once sealed.
+type SealedEpoch struct {
+	epoch   uint64
+	buckets map[int]*bufferedBucket
+}
+
+// Epoch returns the sealed epoch's number.
+func (s *SealedEpoch) Epoch() uint64 { return s.epoch }
+
+// Buckets reports how many distinct buckets the sealed set holds.
+func (s *SealedEpoch) Buckets() int { return len(s.buckets) }
 
 // Stats counts executor activity since creation.
 type Stats struct {
@@ -61,6 +91,30 @@ type Stats struct {
 	WritesBuffered int64 // bucket write intents produced by evictions
 	Evictions      int64
 	Reshuffles     int64
+}
+
+// statCounters is the executor's internal, atomically updated counter set.
+// Batch execution mutates counters from per-shard goroutines while the
+// proxy snapshots Stats (and a background committer flushes sealed epochs)
+// from others, so every counter is an atomic.
+type statCounters struct {
+	remoteReads    atomic.Int64
+	localReads     atomic.Int64
+	bucketWrites   atomic.Int64
+	writesBuffered atomic.Int64
+	evictions      atomic.Int64
+	reshuffles     atomic.Int64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		RemoteReads:    c.remoteReads.Load(),
+		LocalReads:     c.localReads.Load(),
+		BucketWrites:   c.bucketWrites.Load(),
+		WritesBuffered: c.writesBuffered.Load(),
+		Evictions:      c.evictions.Load(),
+		Reshuffles:     c.reshuffles.Load(),
+	}
 }
 
 // LogKind identifies a durability-log entry kind.
@@ -147,8 +201,9 @@ func New(oram *ringoram.ORAM, store storage.BucketStore, cfg Config) *Executor {
 // ORAM returns the underlying client.
 func (e *Executor) ORAM() *ringoram.ORAM { return e.oram }
 
-// Stats returns a copy of the executor's counters.
-func (e *Executor) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the executor's counters. Safe to call from
+// any goroutine, including concurrently with batch execution.
+func (e *Executor) Stats() Stats { return e.stats.snapshot() }
 
 // BeginEpoch sets the shadow-paging tag for subsequent bucket writes.
 func (e *Executor) BeginEpoch(epoch uint64) {
@@ -249,7 +304,7 @@ func (e *Executor) planMaintenance(plan *BatchPlan, reshuffle []int) error {
 		if err != nil {
 			return err
 		}
-		e.stats.Reshuffles++
+		e.stats.reshuffles.Add(1)
 		t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
 		plan.log = append(plan.log, LogEntry{Kind: LogReshuffle, Bucket: b, Slots: ep.LogSlots()[0]})
 		e.markLocality(t)
@@ -265,7 +320,7 @@ func (e *Executor) planDueEvictions(plan *BatchPlan) error {
 		if err != nil {
 			return err
 		}
-		e.stats.Evictions++
+		e.stats.evictions.Add(1)
 		t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
 		plan.log = append(plan.log, LogEntry{Kind: LogEvict, BucketSlots: ep.LogSlots()})
 		e.markLocality(t)
@@ -275,14 +330,22 @@ func (e *Executor) planDueEvictions(plan *BatchPlan) error {
 	return nil
 }
 
-// markLocality decides, per slot read, whether it will be served from the
+// markLocality decides, per slot read, whether it will be served from an
 // epoch buffer. The decision is made at plan time: a bucket claimed by an
-// earlier-planned eviction is buffered by the time this task completes.
+// earlier-planned eviction is buffered by the time this task completes, and
+// a bucket in the sealed (previous-epoch) set holds a version that may not
+// have reached storage yet, so it MUST be served locally.
 func (e *Executor) markLocality(t *task) {
 	t.local = make([]bool, len(t.reads))
 	for i, r := range t.reads {
 		if _, ok := e.buffered[r.Bucket]; ok {
 			t.local[i] = true
+			continue
+		}
+		if e.sealed != nil {
+			if _, ok := e.sealed.buckets[r.Bucket]; ok {
+				t.local[i] = true
+			}
 		}
 	}
 }
@@ -377,13 +440,14 @@ func (e *Executor) issueRemote(t *task, sem chan struct{}) {
 			t.data[i] = d
 		}()
 	}
-	e.stats.RemoteReads += int64(len(t.reads))
+	locals := int64(0)
 	for _, l := range t.local {
 		if l {
-			e.stats.RemoteReads--
-			e.stats.LocalReads++
+			locals++
 		}
 	}
+	e.stats.remoteReads.Add(int64(len(t.reads)) - locals)
+	e.stats.localReads.Add(locals)
 }
 
 // completeTask waits for the task's reads, fills locals from the buffer, and
@@ -397,7 +461,14 @@ func (e *Executor) completeTask(t *task, plan *BatchPlan) error {
 		if !t.local[i] {
 			continue
 		}
+		// The current epoch's buffer supersedes the sealed one: a read
+		// planned after a rewrite completes after it (plan order). A read
+		// that still sees a nil (claimed, unfilled) current-epoch entry was
+		// planned before the claim and is served from the sealed version.
 		b := e.buffered[t.reads[i].Bucket]
+		if b == nil && e.sealed != nil {
+			b = e.sealed.buckets[t.reads[i].Bucket]
+		}
 		if b == nil {
 			return fmt.Errorf("oramexec: bucket %d claimed but not buffered at completion", t.reads[i].Bucket)
 		}
@@ -422,12 +493,12 @@ func (e *Executor) completeTask(t *task, plan *BatchPlan) error {
 			return err
 		}
 		for _, w := range writes {
-			e.stats.WritesBuffered++
+			e.stats.writesBuffered.Add(1)
 			if e.cfg.WriteThrough {
 				if err := e.store.WriteBucket(w.Bucket, e.epoch, w.Slots); err != nil {
 					return fmt.Errorf("oramexec: write-through bucket %d: %w", w.Bucket, err)
 				}
-				e.stats.BucketWrites++
+				e.stats.bucketWrites.Add(1)
 			} else {
 				e.buffered[w.Bucket] = &bufferedBucket{ver: w.Ver, slots: w.Slots}
 			}
@@ -448,7 +519,54 @@ func (e *Executor) drain(plan *BatchPlan) {
 // buffer. This is the epoch's deterministic write-back set: intermediate
 // bucket versions were already superseded in the buffer (write dedup).
 func (e *Executor) Flush() (int, error) {
-	if len(e.buffered) == 0 {
+	n, err := e.flushBuckets(e.epoch, e.buffered)
+	if err != nil {
+		return 0, err
+	}
+	e.buffered = make(map[int]*bufferedBucket)
+	return n, nil
+}
+
+// SealEpoch detaches the current epoch's write-back set and opens a fresh
+// buffer, so the next epoch's batches can plan and execute while a
+// background committer flushes the sealed set via FlushSealed. The sealed
+// buckets remain locally servable until ReleaseSealed or the next seal.
+// Must be called from the proxy's schedule driver (never concurrently with
+// planning or execution).
+func (e *Executor) SealEpoch() (*SealedEpoch, error) {
+	for b, buf := range e.buffered {
+		if buf == nil {
+			return nil, fmt.Errorf("oramexec: bucket %d claimed but never filled (incomplete epoch)", b)
+		}
+	}
+	s := &SealedEpoch{epoch: e.epoch, buckets: e.buffered}
+	e.sealed = s
+	e.buffered = make(map[int]*bufferedBucket)
+	return s, nil
+}
+
+// FlushSealed writes a sealed epoch's buckets to storage in parallel. It
+// only reads the immutable sealed set, so it is safe to run from a
+// background committer while the executor plans and executes the next
+// epoch's batches. The sealed set stays locally servable afterwards (the
+// flushed versions are identical); ReleaseSealed or the next SealEpoch
+// retires it.
+func (e *Executor) FlushSealed(s *SealedEpoch) (int, error) {
+	return e.flushBuckets(s.epoch, s.buckets)
+}
+
+// ReleaseSealed stops serving the sealed set locally. Only valid once the
+// set is durable on storage and no batch is in flight (the synchronous
+// boundary calls it right after FlushSealed; the pipelined boundary lets
+// the next SealEpoch supersede it instead).
+func (e *Executor) ReleaseSealed(s *SealedEpoch) {
+	if e.sealed == s {
+		e.sealed = nil
+	}
+}
+
+func (e *Executor) flushBuckets(epoch uint64, buckets map[int]*bufferedBucket) (int, error) {
+	if len(buckets) == 0 {
 		return 0, nil
 	}
 	type wr struct {
@@ -456,7 +574,7 @@ func (e *Executor) Flush() (int, error) {
 		slots  [][]byte
 	}
 	var writes []wr
-	for b, buf := range e.buffered {
+	for b, buf := range buckets {
 		if buf == nil {
 			return 0, fmt.Errorf("oramexec: bucket %d claimed but never filled (incomplete epoch)", b)
 		}
@@ -475,7 +593,7 @@ func (e *Executor) Flush() (int, error) {
 				<-sem
 				wg.Done()
 			}()
-			if err := e.store.WriteBucket(w.bucket, e.epoch, w.slots); err != nil {
+			if err := e.store.WriteBucket(w.bucket, epoch, w.slots); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -486,18 +604,19 @@ func (e *Executor) Flush() (int, error) {
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, fmt.Errorf("oramexec: flushing epoch %d: %w", e.epoch, firstErr)
+		return 0, fmt.Errorf("oramexec: flushing epoch %d: %w", epoch, firstErr)
 	}
 	n := len(writes)
-	e.stats.BucketWrites += int64(n)
-	e.buffered = make(map[int]*bufferedBucket)
+	e.stats.bucketWrites.Add(int64(n))
 	return n, nil
 }
 
-// DiscardBuffer drops all buffered writes (used when abandoning an epoch in
-// tests; a crashed proxy loses the buffer implicitly).
+// DiscardBuffer drops all buffered writes, current and sealed (used when
+// abandoning an epoch in tests; a crashed proxy loses the buffers
+// implicitly).
 func (e *Executor) DiscardBuffer() {
 	e.buffered = make(map[int]*bufferedBucket)
+	e.sealed = nil
 }
 
 // ReplayBatch replays logged entries during crash recovery: metadata is

@@ -101,6 +101,13 @@ func (m *MemBackend) WriteBucket(bucket int, epoch uint64, slots [][]byte) error
 		vs[n-1].slots = slots
 		return nil
 	}
+	// Shadow-paging keeps version stacks epoch-ordered so RollbackTo can
+	// pop from the top. The pipelined proxy may have two live epochs (the
+	// sealed one flushing plus its successor) but flushes them in order; a
+	// write that would bury a newer version is a pipelining bug.
+	if n := len(vs); n > 0 && vs[n-1].epoch > epoch {
+		return fmt.Errorf("storage: bucket %d write for epoch %d after epoch %d already written (out-of-order shadow-page write)", bucket, epoch, vs[n-1].epoch)
+	}
 	m.buckets[bucket] = append(vs, bucketVersion{epoch: epoch, slots: slots})
 	return nil
 }

@@ -227,7 +227,10 @@ func TestMemBackendConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				b := (g*200 + i) % 16
+				// Each goroutine owns two buckets so its epoch tags stay
+				// monotone per bucket (the shadow-paging write order the
+				// backend enforces); the log is shared by all.
+				b := g*2 + i%2
 				if err := m.WriteBucket(b, uint64(i+1), slots("x", "y")); err != nil {
 					t.Error(err)
 					return
@@ -262,6 +265,51 @@ func TestDummyBackendIgnoresWrites(t *testing.T) {
 	// Log still works (durability code path).
 	if seq, err := d.Append([]byte("rec")); err != nil || seq != 1 {
 		t.Fatalf("dummy log append: %d %v", seq, err)
+	}
+}
+
+// TestTwoLiveEpochsShadowPaging models the pipelined boundary's storage
+// footprint: the sealed epoch's flush and the next epoch's writes coexist as
+// uncommitted shadow versions, rollback discards both, commit in epoch order
+// garbage-collects superseded prefixes, and an out-of-order (lower-epoch)
+// write that would bury a newer version is rejected.
+func TestTwoLiveEpochsShadowPaging(t *testing.T) {
+	m := NewMemBackend(2)
+	must(t, m.WriteBucket(0, 1, slots("e1")))
+	must(t, m.CommitEpoch(1))
+
+	// Two live (uncommitted) epochs on the same bucket, flushed in order.
+	must(t, m.WriteBucket(0, 2, slots("e2")))
+	must(t, m.WriteBucket(0, 3, slots("e3")))
+	if got, _ := m.ReadSlot(0, 0); string(got) != "e3" {
+		t.Fatalf("newest version = %q, want e3", got)
+	}
+	if n := m.VersionCount(0); n != 3 {
+		t.Fatalf("version count = %d, want 3 (committed + two live epochs)", n)
+	}
+
+	// A write for an older epoch arriving after a newer one is a pipelining
+	// bug: the version stack would no longer be epoch-ordered.
+	if err := m.WriteBucket(0, 2, slots("stale")); err == nil {
+		t.Fatal("out-of-order shadow-page write accepted")
+	}
+
+	// Crash before either commit: both live epochs disappear.
+	must(t, m.RollbackTo(1))
+	if got, _ := m.ReadSlot(0, 0); string(got) != "e1" {
+		t.Fatalf("after rollback = %q, want e1", got)
+	}
+
+	// Same shape again, this time committing in epoch order.
+	must(t, m.WriteBucket(0, 2, slots("e2")))
+	must(t, m.WriteBucket(0, 3, slots("e3")))
+	must(t, m.CommitEpoch(2))
+	must(t, m.CommitEpoch(3))
+	if got, _ := m.ReadSlot(0, 0); string(got) != "e3" {
+		t.Fatalf("after commits = %q, want e3", got)
+	}
+	if n := m.VersionCount(0); n != 1 {
+		t.Fatalf("version count after GC = %d, want 1", n)
 	}
 }
 

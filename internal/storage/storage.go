@@ -42,7 +42,12 @@ type BucketStore interface {
 	ReadBucket(bucket int) ([][]byte, error)
 
 	// WriteBucket installs a new version of the bucket tagged with epoch.
-	// The store takes ownership of the slot slices.
+	// The store takes ownership of the slot slices. Per bucket, writes
+	// arrive in non-decreasing epoch order: the pipelined proxy keeps at
+	// most two live (uncommitted) epochs — the sealed epoch a background
+	// committer is flushing and its successor — and flushes them in epoch
+	// order, so a lower-epoch write after a higher-epoch one can only be a
+	// pipelining bug and implementations may reject it.
 	WriteBucket(bucket int, epoch uint64, slots [][]byte) error
 
 	// CommitEpoch makes every version tagged <= epoch durable and allows the

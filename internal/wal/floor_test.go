@@ -65,3 +65,120 @@ func TestRecoverWithFloor(t *testing.T) {
 		t.Fatal("floor without a matching checkpoint accepted")
 	}
 }
+
+// TestRecoverPipelinedTwoEpochsInFlight models a crash with the pipelined
+// boundary mid-commit: epoch 2 is sealed (its batches and checkpoint are
+// logged) but its commit record never landed, while epoch 3 had already
+// issued read batches. Recovery must report epoch 1 as committed and return
+// the batches of BOTH uncommitted epochs, in schedule order.
+func TestRecoverPipelinedTwoEpochsInFlight(t *testing.T) {
+	o, backend := testORAM(t)
+	exec := oramexec.New(o, backend, oramexec.Config{})
+	l := newLog(t, backend, Config{FullCheckpointEvery: 1})
+
+	seed(t, o, backend, exec, 1, 4)
+	if _, err := l.AppendCheckpoint(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Sealed epoch 2: read batch + write batch logged, checkpoint prepared
+	// at seal and appended by the committer, no commit record (the crash).
+	if err := l.AppendBatch(2, 0, []oramexec.LogEntry{{Kind: oramexec.LogAccess, Key: "e2-r"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(2, 1, []oramexec.LogEntry{{Kind: oramexec.LogWriteBump}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := l.PrepareCheckpoint(2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendPrepared(cp); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 3 was already reading while epoch 2's commit was in flight.
+	if err := l.AppendBatch(3, 0, []oramexec.LogEntry{{Kind: oramexec.LogAccess, Key: "e3-r"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CommittedEpoch != 1 {
+		t.Fatalf("committed epoch = %d, want 1", rec.CommittedEpoch)
+	}
+	if len(rec.AbortedBatches) != 3 {
+		t.Fatalf("aborted batches = %d, want 3 (two of epoch 2, one of epoch 3)", len(rec.AbortedBatches))
+	}
+	if rec.AbortedBatches[0][0].Key != "e2-r" || rec.AbortedBatches[1][0].Kind != oramexec.LogWriteBump || rec.AbortedBatches[2][0].Key != "e3-r" {
+		t.Fatalf("aborted batches out of schedule order: %+v", rec.AbortedBatches)
+	}
+	// Recovery commits its replay under the HIGHEST aborted epoch so these
+	// records can never be replayed by a later crash.
+	if rec.MaxAbortedEpoch != 3 {
+		t.Fatalf("max aborted epoch = %d, want 3", rec.MaxAbortedEpoch)
+	}
+}
+
+// TestTruncateKeepsLiveBatchRecords pins down truncation under the pipelined
+// boundary: epoch 3's batch record lands in the log BEFORE epoch 2's
+// checkpoint and commit records (the committer was still flushing), and a
+// truncation after commit(2) must not drop it — it is epoch 3's crash-replay
+// schedule.
+func TestTruncateKeepsLiveBatchRecords(t *testing.T) {
+	o, backend := testORAM(t)
+	exec := oramexec.New(o, backend, oramexec.Config{})
+	l := newLog(t, backend, Config{FullCheckpointEvery: 1})
+
+	seed(t, o, backend, exec, 1, 4)
+	if _, err := l.AppendCheckpoint(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2 seals; epoch 3's first read batch is appended while the
+	// committer is still writing epoch 2's checkpoint and commit records.
+	if err := l.AppendBatch(2, 0, []oramexec.LogEntry{{Kind: oramexec.LogAccess, Key: "e2-r"}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := l.PrepareCheckpoint(2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(3, 0, []oramexec.LogEntry{{Kind: oramexec.LogAccess, Key: "e3-r"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendPrepared(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommit(2); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recover after truncation: %v", err)
+	}
+	if rec.CommittedEpoch != 2 {
+		t.Fatalf("committed epoch = %d, want 2", rec.CommittedEpoch)
+	}
+	if len(rec.AbortedBatches) != 1 || rec.AbortedBatches[0][0].Key != "e3-r" {
+		t.Fatalf("truncation dropped epoch 3's live batch record: %+v", rec.AbortedBatches)
+	}
+	// The prefix before the live batch record IS gone: of the six appended
+	// records, only [batch(3,0), checkpoint(2), commit(2)] remain.
+	recs, err := backend.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("log holds %d records after truncation, want 3", len(recs))
+	}
+}

@@ -155,30 +155,62 @@ func (l *Log) AppendBatch(epoch uint64, batch int, entries []oramexec.LogEntry) 
 	return err
 }
 
-// AppendCheckpoint logs the epoch-end metadata snapshot. It decides
-// full-vs-delta per the configured cadence and pads the delta so its size is
-// workload independent. Returns whether a full checkpoint was written.
-func (l *Log) AppendCheckpoint(epoch uint64, oram *ringoram.ORAM) (bool, error) {
+// PendingCheckpoint is an epoch-end metadata snapshot whose log append has
+// been deferred. The pipelined epoch boundary snapshots at seal time (the
+// metadata must be captured before the next epoch mutates it) and appends
+// from the background committer, taking the expensive durable write off the
+// batch schedule's hot path.
+type PendingCheckpoint struct {
+	epoch uint64
+	state *ringoram.State
+}
+
+// Epoch returns the epoch the pending checkpoint belongs to.
+func (c *PendingCheckpoint) Epoch() uint64 { return c.epoch }
+
+// PrepareCheckpoint snapshots the epoch-end metadata without appending it.
+// It decides full-vs-delta per the configured cadence, pads the delta so its
+// size is workload independent, and resets the ORAM's dirty tracking (the
+// snapshot owns those changes now; if the later append fails the proxy
+// fail-stops, so no subsequent checkpoint can miss them).
+func (l *Log) PrepareCheckpoint(epoch uint64, oram *ringoram.ORAM) (*PendingCheckpoint, error) {
 	full := l.sinceFull >= l.cfg.FullCheckpointEvery
 	st, err := oram.Snapshot(full)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	l.pad(st)
-	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: epoch, Shard: l.cfg.Shard, ShardCount: l.cfg.Shards, State: *st})
-	if err != nil {
-		return false, err
-	}
-	if _, err := l.store.Append(rec); err != nil {
-		return false, err
-	}
 	oram.ClearDirty()
 	if full {
 		l.sinceFull = 1
 	} else {
 		l.sinceFull++
 	}
-	return full, nil
+	return &PendingCheckpoint{epoch: epoch, state: st}, nil
+}
+
+// AppendPrepared seals and durably appends a prepared checkpoint. Returns
+// whether it was a full checkpoint.
+func (l *Log) AppendPrepared(cp *PendingCheckpoint) (bool, error) {
+	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: cp.epoch, Shard: l.cfg.Shard, ShardCount: l.cfg.Shards, State: *cp.state})
+	if err != nil {
+		return false, err
+	}
+	if _, err := l.store.Append(rec); err != nil {
+		return false, err
+	}
+	return cp.state.Full, nil
+}
+
+// AppendCheckpoint logs the epoch-end metadata snapshot synchronously:
+// PrepareCheckpoint immediately followed by AppendPrepared. Returns whether
+// a full checkpoint was written.
+func (l *Log) AppendCheckpoint(epoch uint64, oram *ringoram.ORAM) (bool, error) {
+	cp, err := l.PrepareCheckpoint(epoch, oram)
+	if err != nil {
+		return false, err
+	}
+	return l.AppendPrepared(cp)
 }
 
 // pad injects dummy entries so a delta's position-map size and the stash
@@ -215,6 +247,14 @@ func unpad(st *ringoram.State) {
 		kept = append(kept, b)
 	}
 	st.Stash = kept
+}
+
+// IsCommitRecord reports whether a raw log record is a commit record.
+// Record kinds are plaintext framing (their timing is public information);
+// crash-injection tests use this to fail storage exactly between an epoch's
+// prepare (checkpoints durable) and its commit point.
+func IsCommitRecord(rec []byte) bool {
+	return len(rec) > 0 && rec[0] == kindCommit
 }
 
 // AppendCommit durably marks epoch as committed. After this record is
@@ -264,7 +304,26 @@ func (l *Log) Truncate() error {
 			return err
 		}
 		if cp.State.Full && cp.Epoch <= committed {
-			return l.store.Truncate(base + uint64(i))
+			cut := i
+			// The pipelined boundary appends the next epoch's batch
+			// records while the committer is still writing this epoch's
+			// checkpoint and commit records, so a live (uncommitted)
+			// batch record can precede the checkpoint in the log. Those
+			// records are the crash-replay schedule: never cut past one.
+			for j := 0; j < cut; j++ {
+				if len(recs[j]) == 0 || recs[j][0] != kindBatch {
+					continue
+				}
+				var br batchRecord
+				if err := l.open(recs[j], &br); err != nil {
+					return err
+				}
+				if br.Epoch > committed {
+					cut = j
+					break
+				}
+			}
+			return l.store.Truncate(base + uint64(cut))
 		}
 	}
 	return nil
@@ -293,10 +352,18 @@ type Recovery struct {
 	// Full and Deltas reconstruct the ORAM client metadata.
 	Full   *ringoram.State
 	Deltas []*ringoram.State
-	// AbortedBatches holds the logged read schedules of the epoch that was
-	// in flight when the proxy crashed, in order; recovery replays them.
+	// AbortedBatches holds the logged read schedules of every epoch that
+	// was still uncommitted when the proxy crashed, in log (= schedule)
+	// order; recovery replays them. With the pipelined epoch boundary up to
+	// two uncommitted epochs can be in flight at once: the sealed epoch
+	// whose commit had not landed, and its successor that was already
+	// issuing read batches.
 	AbortedBatches [][]oramexec.LogEntry
-	Stats          RecoveryStats
+	// MaxAbortedEpoch is the highest epoch appearing in AbortedBatches (0
+	// when none). Recovery commits its replay under this epoch so a later
+	// crash can never replay the dead generation's records again.
+	MaxAbortedEpoch uint64
+	Stats           RecoveryStats
 }
 
 // ErrNoCheckpoint indicates the log holds no usable full checkpoint.
@@ -411,10 +478,18 @@ func (l *Log) RecoverWithFloor(floor uint64) (*Recovery, error) {
 		if err := l.openBatch(rec, &br); err != nil {
 			return nil, fmt.Errorf("wal: batch record %d: %w", i, err)
 		}
-		if br.Epoch != r.CommittedEpoch+1 {
+		if br.Epoch <= r.CommittedEpoch {
 			continue // batch of a committed (already durable) epoch
 		}
+		// Epochs > committed: the sealed-but-uncommitted epoch plus, under
+		// the pipelined boundary, its successor's already-issued batches.
+		// Per-shard appends happen in schedule order (a batch record is
+		// durable before its reads execute, and every record of epoch e
+		// precedes epoch e+1's), so log order is replay order.
 		r.AbortedBatches = append(r.AbortedBatches, br.Entries)
+		if br.Epoch > r.MaxAbortedEpoch {
+			r.MaxAbortedEpoch = br.Epoch
+		}
 		r.Stats.PathEntries += len(br.Entries)
 	}
 	r.Stats.DecodePaths = time.Since(start)

@@ -79,8 +79,14 @@ type Options struct {
 	BatchInterval time.Duration
 	// EagerBatches fires a read batch as soon as it fills rather than
 	// waiting out Δ. This makes the schedule load-dependent (observable);
-	// use only for throughput experiments.
+	// use only for throughput experiments. Eager firing never moves the
+	// epoch boundary, which always waits out its Δ slot.
 	EagerBatches bool
+	// SyncEpochBoundary disables epoch-boundary pipelining: every epoch's
+	// write-back and durability round trips complete before the next
+	// epoch's batches start, instead of overlapping them. Slower on
+	// high-latency storage; useful as an ablation baseline.
+	SyncEpochBoundary bool
 
 	// Z, S, A tune the Ring ORAM (reals/dummies per bucket, eviction
 	// rate). Zero selects 8/12/8, suitable for small stores; the paper's
@@ -208,6 +214,7 @@ func Open(opt Options) (*DB, error) {
 		WriteBatchSize:      opt.WriteBatchSize,
 		BatchInterval:       opt.BatchInterval,
 		EagerBatches:        opt.EagerBatches,
+		Boundary:            boundaryMode(opt),
 		Parallelism:         opt.Parallelism,
 		DisableDurability:   opt.DisableDurability,
 		FullCheckpointEvery: opt.FullCheckpointEvery,
@@ -217,6 +224,13 @@ func Open(opt Options) (*DB, error) {
 		return nil, err
 	}
 	return &DB{proxy: proxy, backends: backends}, nil
+}
+
+func boundaryMode(opt Options) core.BoundaryMode {
+	if opt.SyncEpochBoundary {
+		return core.BoundarySync
+	}
+	return core.BoundaryAuto
 }
 
 // Begin starts a transaction.

@@ -201,8 +201,13 @@ func TestCrashRecoveryThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	must(t, db1.Update(func(tx *Txn) error { return tx.Write("persist", []byte("me")) }))
-	// Simulated crash: the proxy process dies without Close.
-	_ = db1
+	// Simulated crash: sever the proxy's storage connections mid-flight and
+	// let it fail-stop (nothing is flushed or committed on the way down),
+	// then wait for its goroutines to quiesce so the "dead" instance cannot
+	// keep racing the recovering one on the shared storage server. The
+	// acknowledged epoch is already durable; everything after it is lost.
+	storage.CloseAll(db1.backends)
+	db1.Close()
 
 	db2, err := Open(opt)
 	if err != nil {
