@@ -7,6 +7,7 @@
 //
 //	obladi-bench -list
 //	obladi-bench -experiment fig10a [-quick] [-latency-scale 0.25]
+//	obladi-bench -experiment vector -json [-json-dir results]
 //	obladi-bench -experiment all
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"obladi/internal/bench"
@@ -26,6 +28,8 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-scale data sizes and run lengths")
 	scale := flag.Float64("latency-scale", 0, "storage latency scale factor (0 = default)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json with machine-readable results")
+	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +53,13 @@ func main() {
 		}
 		if err := bench.Print(os.Stdout, rows); err != nil {
 			log.Fatal(err)
+		}
+		if *jsonOut {
+			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", name))
+			if err := bench.WriteJSON(path, name, rows); err != nil {
+				log.Fatalf("%s: writing %s: %v", name, path, err)
+			}
+			fmt.Printf("-- results written to %s\n", path)
 		}
 		fmt.Printf("-- %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
 	}

@@ -275,7 +275,7 @@ func Fig9a(cfg Config) ([]Row, error) {
 	var rows []Row
 	for _, as := range appSpecs(cfg) {
 		for _, es := range fig9Engines() {
-			rows = append(rows, Row{"fig9a", es.name, as.name, m[as.name][es.name][0], "txn/s"})
+			rows = append(rows, Row{Experiment: "fig9a", Series: es.name, X: as.name, Value: m[as.name][es.name][0], Unit: "txn/s"})
 		}
 	}
 	return rows, nil
@@ -290,7 +290,7 @@ func Fig9b(cfg Config) ([]Row, error) {
 	var rows []Row
 	for _, as := range appSpecs(cfg) {
 		for _, es := range fig9Engines() {
-			rows = append(rows, Row{"fig9b", es.name, as.name, m[as.name][es.name][1], "ms"})
+			rows = append(rows, Row{Experiment: "fig9b", Series: es.name, X: as.name, Value: m[as.name][es.name][1], Unit: "ms"})
 		}
 	}
 	return rows, nil
@@ -318,7 +318,7 @@ func Fig10f(cfg Config) ([]Row, error) {
 			}
 			tput, _ := runAppClients(eng.db, as.next, clients, txns, cfg.Seed)
 			epochMs := float64((iv * time.Duration(as.readBatches)).Microseconds()) / 1000
-			rows = append(rows, Row{"fig10f", as.name, fmt.Sprintf("%.1fms", epochMs), tput, "txn/s"})
+			rows = append(rows, Row{Experiment: "fig10f", Series: as.name, X: fmt.Sprintf("%.1fms", epochMs), Value: tput, Unit: "txn/s"})
 			eng.db.Close()
 		}
 	}
@@ -341,7 +341,7 @@ func AblationEpochCommit(cfg Config) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Row{"ablation-epoch", "Obladi", fmt.Sprintf("%d batches/epoch", bpe), rate, "txn/s"})
+		rows = append(rows, Row{Experiment: "ablation-epoch", Series: "Obladi", X: fmt.Sprintf("%d batches/epoch", bpe), Value: rate, Unit: "txn/s"})
 	}
 	return rows, nil
 }
@@ -405,7 +405,7 @@ func AblationReadCache(cfg Config) ([]Row, error) {
 		if disable {
 			name = "cache off"
 		}
-		rows = append(rows, Row{"ablation-readcache", "Obladi", name, opsPerSec(reads, time.Since(start)), "reads/s"})
+		rows = append(rows, Row{Experiment: "ablation-readcache", Series: "Obladi", X: name, Value: opsPerSec(reads, time.Since(start)), Unit: "reads/s"})
 		proxy.Close()
 	}
 	return rows, nil

@@ -6,8 +6,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -38,13 +40,51 @@ func (c *Config) setDefaults() {
 }
 
 // Row is one data point: Experiment/Series identify the curve or bar, X the
-// position on the x-axis, Value the measurement.
+// position on the x-axis, Value the measurement. Profile, Shards and the
+// latency percentiles are optional annotations experiments fill when they
+// apply; they ride into the machine-readable output (-json) so the perf
+// trajectory can be tracked across PRs.
 type Row struct {
-	Experiment string
-	Series     string
-	X          string
-	Value      float64
-	Unit       string
+	Experiment string `json:"experiment"`
+	Series     string `json:"series"`
+	X          string `json:"x"`
+	// Value is the measurement in Unit — a throughput for the rate-style
+	// experiments (the vector/pipeline/shards rows), but also latencies,
+	// ratios or sizes for the figure reproductions, hence the neutral
+	// JSON name.
+	Value   float64 `json:"value"`
+	Unit    string  `json:"unit"`
+	Profile string  `json:"profile,omitempty"`
+	Shards  int     `json:"shards,omitempty"`
+	P50ms   float64 `json:"p50_ms,omitempty"`
+	P99ms   float64 `json:"p99_ms,omitempty"`
+}
+
+// WriteJSON writes one experiment's rows as BENCH_<experiment>-style JSON:
+// a machine-readable record of throughput (and, where measured, latency
+// percentiles) per series/profile/shard-count.
+func WriteJSON(path, experiment string, rows []Row) error {
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Rows       []Row  `json:"results"`
+	}{Experiment: experiment, Rows: rows}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// percentile returns the p-th percentile (0..100) of durations in
+// milliseconds (nearest-rank on a sorted copy).
+func percentile(ds []time.Duration, p float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted)-1)*p/100 + 0.5)
+	return float64(sorted[rank]) / float64(time.Millisecond)
 }
 
 // Experiment names in paper order.
@@ -65,6 +105,7 @@ var experiments = []struct {
 	{"table11b", "recovery time breakdown", Table11b},
 	{"shards", "aggregate throughput vs shard count (beyond the paper: sharded proxy)", ShardScale},
 	{"pipeline", "epoch-boundary pipelining: synchronous vs overlapped commit stage (beyond the paper)", Pipeline},
+	{"vector", "scatter-gather storage I/O vs scalar call-per-slot baseline (beyond the paper)", Vector},
 }
 
 // Names lists all experiment ids.

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -13,8 +15,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 12 {
-		t.Fatalf("expected 12 experiments (every table and figure, plus shards and pipeline), got %d: %v", len(names), names)
+	if len(names) != 13 {
+		t.Fatalf("expected 13 experiments (every table and figure, plus shards, pipeline and vector), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -28,8 +30,8 @@ func TestNamesAndDescribe(t *testing.T) {
 
 func TestPrintFormatsRows(t *testing.T) {
 	rows := []Row{
-		{"figX", "s", "1", 12.5, "ops/s"},
-		{"figX", "s", "2", 13.5, "ops/s"},
+		{Experiment: "figX", Series: "s", X: "1", Value: 12.5, Unit: "ops/s"},
+		{Experiment: "figX", Series: "s", X: "2", Value: 13.5, Unit: "ops/s"},
 	}
 	var buf bytes.Buffer
 	if err := Print(&buf, rows); err != nil {
@@ -229,6 +231,56 @@ func TestPipelineShape(t *testing.T) {
 			t.Errorf("%s: pipelined boundary (%.0f txns/s) did not beat synchronous (%.0f txns/s)",
 				backend, v["Pipelined"], v["Synchronous"])
 		}
+	}
+}
+
+func TestVectorShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Vector(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]map[string]float64{}
+	for _, r := range rows {
+		if vals[r.X] == nil {
+			vals[r.X] = map[string]float64{}
+		}
+		vals[r.X][r.Series] = r.Value
+		if r.P50ms <= 0 || r.P99ms < r.P50ms {
+			t.Errorf("%s/%s: bad latency percentiles p50=%.2f p99=%.2f", r.Series, r.X, r.P50ms, r.P99ms)
+		}
+	}
+	// Packing a stage's reads into one frame must beat call-per-slot
+	// wherever round trips dominate; the WAN profile is the headline case.
+	for _, backend := range []string{"server WAN", "dynamo"} {
+		if vals[backend]["Vectored"] <= vals[backend]["Scalar"] {
+			t.Errorf("%s: vectored I/O (%.0f txns/s) did not beat scalar (%.0f txns/s)",
+				backend, vals[backend]["Vectored"], vals[backend]["Scalar"])
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/BENCH_x.json"
+	rows := []Row{{Experiment: "x", Series: "s", X: "p", Value: 10, Unit: "ops/s", Profile: "p", Shards: 2, P50ms: 1.5, P99ms: 2.5}}
+	if err := WriteJSON(path, "x", rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Rows       []Row  `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if doc.Experiment != "x" || len(doc.Rows) != 1 || doc.Rows[0] != rows[0] {
+		t.Fatalf("round trip mismatch: %+v", doc)
 	}
 }
 

@@ -143,7 +143,7 @@ func Fig10a(cfg Config) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, Row{"fig10a", "Sequential", prof.Name, opsPerSec(n, d), "ops/s"})
+			rows = append(rows, Row{Experiment: "fig10a", Series: "Sequential", X: prof.Name, Value: opsPerSec(n, d), Unit: "ops/s"})
 			backend.Close()
 		}
 		for _, crypto := range []bool{false, true} {
@@ -167,7 +167,7 @@ func Fig10a(cfg Config) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, Row{"fig10a", series, prof.Name, opsPerSec(ops, d), "ops/s"})
+			rows = append(rows, Row{Experiment: "fig10a", Series: series, X: prof.Name, Value: opsPerSec(ops, d), Unit: "ops/s"})
 			backend.Close()
 		}
 	}
@@ -220,9 +220,9 @@ func fig10bc(cfg Config, latency bool) ([]Row, error) {
 			}
 			if latency {
 				per := d / time.Duration(rounds)
-				rows = append(rows, Row{exp, prof.Name, fmt.Sprint(size), float64(per.Microseconds()) / 1000, "ms/batch"})
+				rows = append(rows, Row{Experiment: exp, Series: prof.Name, X: fmt.Sprint(size), Value: float64(per.Microseconds()) / 1000, Unit: "ms/batch"})
 			} else {
-				rows = append(rows, Row{exp, prof.Name, fmt.Sprint(size), opsPerSec(ops, d), "ops/s"})
+				rows = append(rows, Row{Experiment: exp, Series: prof.Name, X: fmt.Sprint(size), Value: opsPerSec(ops, d), Unit: "ops/s"})
 			}
 		}
 		backend.Close()
@@ -257,7 +257,7 @@ func Fig10d(cfg Config) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, Row{"fig10d", series, prof.Name, opsPerSec(ops, d), "ops/s"})
+			rows = append(rows, Row{Experiment: "fig10d", Series: series, X: prof.Name, Value: opsPerSec(ops, d), Unit: "ops/s"})
 			backend.Close()
 		}
 	}
@@ -295,7 +295,7 @@ func Fig10e(cfg Config) ([]Row, error) {
 				backend.Close()
 				continue
 			}
-			rows = append(rows, Row{"fig10e", prof.Name, fmt.Sprint(bpe), rate / baselineRate, "x vs 1 batch"})
+			rows = append(rows, Row{Experiment: "fig10e", Series: prof.Name, X: fmt.Sprint(bpe), Value: rate / baselineRate, Unit: "x vs 1 batch"})
 			backend.Close()
 		}
 	}
@@ -328,7 +328,7 @@ func Fig11a(cfg Config) ([]Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, Row{"fig11a", prof.Name, fmt.Sprint(freq), rate, "ops/s"})
+			rows = append(rows, Row{Experiment: "fig11a", Series: prof.Name, X: fmt.Sprint(freq), Value: rate, Unit: "ops/s"})
 		}
 	}
 	return rows, nil
@@ -347,7 +347,7 @@ func Table11b(cfg Config) ([]Row, error) {
 			KeySize: 24, ValueSize: 64, Seed: cfg.Seed,
 		}
 		label := fmt.Sprint(n)
-		rows = append(rows, Row{"table11b", "Levels", label, float64(p.Geometry().Levels), "levels"})
+		rows = append(rows, Row{Experiment: "table11b", Series: "Levels", X: label, Value: float64(p.Geometry().Levels), Unit: "levels"})
 
 		// Slowdown: durability on vs off throughput (normal execution).
 		base, err := proxyThroughput(cfg, proxyOpts{params: &p, numKeys: n, txns: 40, durability: false})
@@ -359,7 +359,7 @@ func Table11b(cfg Config) ([]Row, error) {
 			return nil, err
 		}
 		if base > 0 {
-			rows = append(rows, Row{"table11b", "Slowdown", label, durable / base, "x"})
+			rows = append(rows, Row{Experiment: "table11b", Series: "Slowdown", X: label, Value: durable / base, Unit: "x"})
 		}
 
 		// Recovery time breakdown: build state, crash mid-epoch, recover.
@@ -427,11 +427,11 @@ func Table11b(cfg Config) ([]Row, error) {
 		pathTime := time.Since(pathStart)
 		total := time.Since(start)
 		rows = append(rows,
-			Row{"table11b", "RecTime", label, float64(total.Microseconds()) / 1000, "ms"},
-			Row{"table11b", "Network", label, float64(logBytesBefore) / 1024, "KiB"},
-			Row{"table11b", "Pos", label, float64(rec.Stats.PosEntries), "entries"},
-			Row{"table11b", "Perm", label, float64(rec.Stats.PermBuckets), "buckets"},
-			Row{"table11b", "Paths", label, float64(pathTime.Microseconds()) / 1000, "ms"},
+			Row{Experiment: "table11b", Series: "RecTime", X: label, Value: float64(total.Microseconds()) / 1000, Unit: "ms"},
+			Row{Experiment: "table11b", Series: "Network", X: label, Value: float64(logBytesBefore) / 1024, Unit: "KiB"},
+			Row{Experiment: "table11b", Series: "Pos", X: label, Value: float64(rec.Stats.PosEntries), Unit: "entries"},
+			Row{Experiment: "table11b", Series: "Perm", X: label, Value: float64(rec.Stats.PermBuckets), Unit: "buckets"},
+			Row{Experiment: "table11b", Series: "Paths", X: label, Value: float64(pathTime.Microseconds()) / 1000, Unit: "ms"},
 		)
 	}
 	return rows, nil

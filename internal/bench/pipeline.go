@@ -115,7 +115,7 @@ func Pipeline(cfg Config) ([]Row, error) {
 			if committed == 0 {
 				return nil, fmt.Errorf("bench: pipeline %s/%s committed nothing", mode.name, prof.Name)
 			}
-			rows = append(rows, Row{"pipeline", mode.name, prof.Name, opsPerSec(committed, elapsed), "txns/s"})
+			rows = append(rows, Row{Experiment: "pipeline", Series: mode.name, X: prof.Name, Value: opsPerSec(committed, elapsed), Unit: "txns/s", Profile: prof.Name, Shards: 1})
 		}
 	}
 	return rows, nil

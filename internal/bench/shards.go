@@ -11,14 +11,20 @@ import (
 )
 
 // shardStoreProfile models one shard's private storage server: modest
-// latency with a bounded number of concurrent request slots, so a single
-// backend saturates under one shard's batch and extra shards add aggregate
-// capacity — the deployment the sharded proxy targets.
+// latency, a bounded number of concurrent request slots, and per-item
+// service times, so a single backend saturates under one shard's batch and
+// extra shards add aggregate capacity — the deployment the sharded proxy
+// targets. The per-item costs matter since I/O went vectored: without them
+// one scatter-gather call would amortize the whole batch to a single round
+// trip and the experiment would degenerate into a CPU benchmark instead of
+// measuring storage capacity scaling.
 var shardStoreProfile = storage.Profile{
-	Name:          "shardstore",
-	Read:          time.Millisecond,
-	Write:         time.Millisecond,
-	MaxConcurrent: 32,
+	Name:           "shardstore",
+	Read:           time.Millisecond,
+	Write:          time.Millisecond,
+	ReadPerSlot:    25 * time.Microsecond,
+	WritePerBucket: 30 * time.Microsecond,
+	MaxConcurrent:  32,
 }
 
 // ShardScale measures aggregate read/write throughput of a uniform
@@ -151,9 +157,9 @@ func ShardScale(cfg Config) ([]Row, error) {
 		storage.CloseAll(stores)
 		x := fmt.Sprint(shards)
 		rows = append(rows,
-			Row{"shards", "Reads", x, opsPerSec(totalReads, elapsed), "reads/s"},
-			Row{"shards", "Writes", x, opsPerSec(totalWrites, elapsed), "writes/s"},
-			Row{"shards", "Total", x, opsPerSec(totalReads+totalWrites, elapsed), "ops/s"},
+			Row{Experiment: "shards", Series: "Reads", X: x, Value: opsPerSec(totalReads, elapsed), Unit: "reads/s", Shards: shards},
+			Row{Experiment: "shards", Series: "Writes", X: x, Value: opsPerSec(totalWrites, elapsed), Unit: "writes/s", Shards: shards},
+			Row{Experiment: "shards", Series: "Total", X: x, Value: opsPerSec(totalReads+totalWrites, elapsed), Unit: "ops/s", Shards: shards},
 		)
 	}
 	return rows, nil

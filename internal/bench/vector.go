@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// Vector measures the scatter-gather storage plane (beyond the paper,
+// extending its §7 batching argument to the wire): committed write
+// transactions per second — and per-epoch latency percentiles — with the
+// executor's storage I/O vectored (one ReadSlots call per stage, one
+// WriteBuckets call per flush) versus the scalar baseline (one ReadSlot
+// frame and goroutine per slot, one WriteBucket call per bucket).
+//
+// Both modes run under the same bounded per-connection request window
+// (core.Config.Parallelism): real deployments cap in-flight requests, which
+// is precisely what makes un-batched wire traffic expensive — a stage of N
+// slot reads needs ceil(N/window) round-trip waves scalar, but exactly one
+// vectored. The latency backend charges each vectored call one round trip
+// plus per-item service time, so the win is modeled honestly rather than
+// assumed.
+func Vector(cfg Config) ([]Row, error) {
+	cfg.setDefaults()
+	const (
+		readBatches    = 4
+		readBatchSize  = 16
+		writeBatchSize = 32
+		txnsPerEpoch   = 8
+		numKeys        = 2048
+		// requestWindow models the per-connection in-flight request cap a
+		// remote store imposes; it only throttles the scalar path (a
+		// vectored stage is one request).
+		requestWindow = 32
+	)
+	epochs := 10
+	if cfg.Quick {
+		epochs = 5
+	}
+	profiles := []storage.Profile{storage.ProfileServer, storage.ProfileServerWAN, storage.ProfileDynamo}
+	var rows []Row
+	for _, prof := range profiles {
+		for _, mode := range []struct {
+			name   string
+			scalar bool
+		}{
+			{"Scalar", true},
+			{"Vectored", false},
+		} {
+			p := ringoram.Params{
+				NumBlocks: numKeys, Z: 16, S: 24, A: 16,
+				KeySize: 24, ValueSize: 64, Seed: cfg.Seed,
+			}
+			// Measure in the latency-bound regime vectoring targets; below a
+			// scale floor the run degenerates into a CPU benchmark where the
+			// wire overhead being amortized is already nearly free.
+			scale := cfg.LatencyScale
+			if scale < 0.5 {
+				scale = 0.5
+			}
+			if prof.Name == "server WAN" {
+				// Keep the WAN point CI-friendly; ratios are what matter.
+				scale /= 2
+			}
+			backend := storage.WithLatency(storage.NewMemBackend(p.Geometry().NumBuckets), prof.Scaled(scale))
+			proxy, err := core.New(backend, core.Config{
+				Params: p, Key: cryptoutil.KeyFromSeed([]byte("vector")),
+				ReadBatches:     readBatches,
+				ReadBatchSize:   readBatchSize,
+				WriteBatchSize:  writeBatchSize,
+				Boundary:        core.BoundarySync,
+				Parallelism:     requestWindow,
+				ScalarStorageIO: mode.scalar,
+				// Isolate storage I/O: durability round trips are the
+				// pipeline experiment's subject, not this one's.
+				DisableDurability: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rng := newRand(cfg.Seed + 2)
+			runEpoch := func() []<-chan error {
+				chans := make([]<-chan error, 0, txnsPerEpoch)
+				for i := 0; i < txnsPerEpoch; i++ {
+					tx := proxy.Begin()
+					// Distinct keys within an epoch: no write-write aborts.
+					k := fmt.Sprintf("v-%d-%d", i, rng.IntN(numKeys/txnsPerEpoch))
+					if err := tx.Write(k, []byte("v")); err != nil {
+						tx.Abort()
+						continue
+					}
+					chans = append(chans, tx.CommitAsync())
+				}
+				for b := 0; b < readBatches; b++ {
+					if err := proxy.StepReadBatch(); err != nil {
+						return chans
+					}
+				}
+				proxy.EndEpoch()
+				return chans
+			}
+			// Warm-up epoch (initial evictions), then measure.
+			for _, ch := range runEpoch() {
+				<-ch
+			}
+			start := time.Now()
+			var chans []<-chan error
+			epochTimes := make([]time.Duration, 0, epochs)
+			for e := 0; e < epochs; e++ {
+				es := time.Now()
+				chans = append(chans, runEpoch()...)
+				epochTimes = append(epochTimes, time.Since(es))
+			}
+			committed := 0
+			for _, ch := range chans {
+				if err := <-ch; err == nil {
+					committed++
+				}
+			}
+			elapsed := time.Since(start)
+			proxy.Close()
+			backend.Close()
+			if committed == 0 {
+				return nil, fmt.Errorf("bench: vector %s/%s committed nothing", mode.name, prof.Name)
+			}
+			rows = append(rows, Row{
+				Experiment: "vector",
+				Series:     mode.name,
+				X:          prof.Name,
+				Value:      opsPerSec(committed, elapsed),
+				Unit:       "txns/s",
+				Profile:    prof.Name,
+				Shards:     1,
+				P50ms:      percentile(epochTimes, 50),
+				P99ms:      percentile(epochTimes, 99),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -103,8 +103,13 @@ type Config struct {
 	// exists for throughput experiments only.
 	EagerBatches bool
 
-	// Parallelism caps concurrent storage operations (per shard).
+	// Parallelism caps concurrent storage operations on the scalar I/O
+	// path (per shard); the vectored path issues one call per stage.
 	Parallelism int
+	// ScalarStorageIO disables the executor's scatter-gather storage calls:
+	// every slot read and write-back bucket becomes its own storage call,
+	// as before vectorization. Baseline knob for the `vector` benchmark.
+	ScalarStorageIO bool
 	// WriteThrough disables delayed write-back (Figure 10d ablation).
 	WriteThrough bool
 	// DisableReadCache makes repeat reads of an epoch-resident key consume
@@ -390,6 +395,7 @@ func (p *Proxy) bootstrap() error {
 		sh.exec = oramexec.New(oram, sh.store, oramexec.Config{
 			Parallelism:  p.cfg.Parallelism,
 			WriteThrough: p.cfg.WriteThrough,
+			ScalarIO:     p.cfg.ScalarStorageIO,
 		})
 	}
 	p.epoch = 1
@@ -474,6 +480,7 @@ func (p *Proxy) recover(coordRec *wal.Recovery) error {
 			sh.exec = oramexec.New(oram, sh.store, oramexec.Config{
 				Parallelism:  p.cfg.Parallelism,
 				WriteThrough: p.cfg.WriteThrough,
+				ScalarIO:     p.cfg.ScalarStorageIO,
 			})
 			sh.exec.BeginEpoch(recoveryEpoch)
 			for _, batch := range rec.AbortedBatches {

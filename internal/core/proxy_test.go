@@ -395,21 +395,22 @@ func TestManualModeDeterministic(t *testing.T) {
 	cfg := testConfig(15)
 	p, checker, _ := testProxy(t, cfg)
 
-	// Write-only transactions never block before Commit.
-	errs := make(chan error, 2)
+	// Write-only transactions never block before Commit. CommitAsync
+	// registers the commit synchronously, so the manually driven schedule
+	// below cannot outrun it (a goroutine calling Commit could lose the
+	// race against a fast epoch and be aborted as "epoch ended").
 	tx1 := p.Begin()
 	must(t, tx1.Write("m1", []byte("v1")))
 	tx2 := p.Begin()
 	must(t, tx2.Write("m2", []byte("v2")))
-	go func() { errs <- tx1.Commit() }()
-	go func() { errs <- tx2.Commit() }()
+	c1, c2 := tx1.CommitAsync(), tx2.CommitAsync()
 	// Drive a full epoch by hand: R read batches + boundary.
 	for i := 0; i < cfg.ReadBatches; i++ {
 		must(t, p.Advance())
 	}
 	must(t, p.Advance()) // epoch boundary
-	for i := 0; i < 2; i++ {
-		if err := <-errs; err != nil {
+	for i, ch := range []<-chan error{c1, c2} {
+		if err := <-ch; err != nil {
 			t.Fatalf("commit %d: %v", i, err)
 		}
 	}

@@ -408,9 +408,15 @@ func TestProxyTraceShapeIndependence(t *testing.T) {
 }
 
 // waitQueuedOrDone waits briefly for fetches to enqueue (or the txn to
-// finish enqueuing everything it will).
+// finish enqueuing everything it will). The wait must be time-bounded, not
+// iteration-bounded: with vectored storage I/O a batch completes in
+// microseconds, so a fixed spin count can elapse before the just-woken
+// client goroutine gets scheduled to queue its next read — and a fetch that
+// misses the epoch's last batch waits for the next epoch, which a manually
+// driven test never starts.
 func waitQueuedOrDone(p *Proxy, done chan struct{}) {
-	for i := 0; i < 1000; i++ {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
 		select {
 		case <-done:
 			return
@@ -419,6 +425,7 @@ func waitQueuedOrDone(p *Proxy, done chan struct{}) {
 		if p.PendingFetches() > 0 {
 			return
 		}
+		time.Sleep(10 * time.Microsecond)
 	}
 }
 

@@ -2,12 +2,15 @@
 //
 // The executor turns a batch of logical operations into one pipelined pass
 // over storage: all client-side metadata is planned sequentially (cheap CPU),
-// the resulting physical slot reads are issued concurrently, completions are
-// applied in plan order (which realizes multilevel serializability: the
-// outcome is identical to the sequential execution of the same batch), and
-// all bucket writes produced by evictions and early reshuffles are buffered
-// until the end of the epoch, deduplicated per bucket, and flushed in
-// parallel. Reads that target a buffered bucket are served locally.
+// the resulting physical slot reads are coalesced into a single scatter-
+// gather storage call per stage (one wire op and one round trip however many
+// slots the stage reads), completions are applied in plan order (which
+// realizes multilevel serializability: the outcome is identical to the
+// sequential execution of the same batch), and all bucket writes produced by
+// evictions and early reshuffles are buffered until the end of the epoch,
+// deduplicated per bucket, and flushed as one vectored write-back. Reads
+// that target a buffered bucket are served locally. Config.ScalarIO restores
+// the pre-vectorization call-per-slot behaviour as a benchmark baseline.
 //
 // Epoch buffers are double-buffered to support the proxy's pipelined epoch
 // boundary: SealEpoch detaches the finished epoch's write-back set, which a
@@ -20,6 +23,7 @@ package oramexec
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,12 +33,20 @@ import (
 
 // Config tunes the executor.
 type Config struct {
-	// Parallelism caps concurrent storage operations (default 64).
+	// Parallelism caps concurrent storage operations on the scalar I/O
+	// path (default 64). The vectored path issues one storage call per
+	// stage, so the cap models per-connection in-flight request slots and
+	// only throttles ScalarIO (and scalar write-through) executions.
 	Parallelism int
 	// WriteThrough disables delayed visibility: eviction writes go to
 	// storage immediately and act as pipeline barriers. This is the
 	// "Write Back" ablation of Figure 10d and is never used in production.
 	WriteThrough bool
+	// ScalarIO disables scatter-gather storage calls: every slot read is
+	// its own ReadSlot call (goroutine-per-slot) and every write-back
+	// bucket its own WriteBucket call. This is the pre-vectorization wire
+	// behaviour, kept as the `vector` benchmark's baseline.
+	ScalarIO bool
 }
 
 func (c *Config) setDefaults() {
@@ -91,6 +103,12 @@ type Stats struct {
 	WritesBuffered int64 // bucket write intents produced by evictions
 	Evictions      int64
 	Reshuffles     int64
+	// ReadCalls and WriteCalls count storage calls (wire ops on a remote
+	// deployment): a vectored stage is one call however many slots it
+	// carries, a scalar stage one call per slot/bucket. Their ratio to
+	// RemoteReads/BucketWrites is the batching factor vectoring buys.
+	ReadCalls  int64
+	WriteCalls int64
 }
 
 // statCounters is the executor's internal, atomically updated counter set.
@@ -104,6 +122,8 @@ type statCounters struct {
 	writesBuffered atomic.Int64
 	evictions      atomic.Int64
 	reshuffles     atomic.Int64
+	readCalls      atomic.Int64
+	writeCalls     atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -114,6 +134,8 @@ func (c *statCounters) snapshot() Stats {
 		WritesBuffered: c.writesBuffered.Load(),
 		Evictions:      c.evictions.Load(),
 		Reshuffles:     c.reshuffles.Load(),
+		ReadCalls:      c.readCalls.Load(),
+		WriteCalls:     c.writeCalls.Load(),
 	}
 }
 
@@ -365,32 +387,21 @@ func (e *Executor) claimBuckets(ep *ringoram.EvictPlan) {
 	}
 }
 
-// Execute performs a planned batch: remote reads in parallel, completions in
-// plan order, eviction writes buffered (or written through).
+// Execute performs a planned batch as one stage: every non-local slot read
+// is coalesced into a single vectored ReadSlots call (or, on the scalar
+// path, issued goroutine-per-slot), completions are applied in plan order,
+// and eviction writes are buffered (or written through).
 func (e *Executor) Execute(plan *BatchPlan) ([]ReadResult, error) {
 	if e.cfg.WriteThrough {
 		return e.executeStaged(plan)
 	}
-	sem := make(chan struct{}, e.cfg.Parallelism)
-	// Issue every remote read up front.
-	for _, t := range plan.tasks {
-		e.issueRemote(t, sem)
-	}
-	// Complete in plan order.
-	for _, t := range plan.tasks {
-		if err := e.completeTask(t, plan); err != nil {
-			e.drain(plan)
-			return nil, err
-		}
-	}
-	return plan.results, nil
+	return e.executeStage(plan, plan.tasks)
 }
 
 // executeStaged runs the batch with evictions acting as barriers: each
 // eviction's writes reach storage before any later read is issued. This is
 // the non-delayed-visibility baseline of Figure 10d.
 func (e *Executor) executeStaged(plan *BatchPlan) ([]ReadResult, error) {
-	sem := make(chan struct{}, e.cfg.Parallelism)
 	stage := 0
 	for stage < len(plan.tasks) {
 		// A stage is a maximal run of access tasks plus one trailing
@@ -402,21 +413,78 @@ func (e *Executor) executeStaged(plan *BatchPlan) ([]ReadResult, error) {
 		if end < len(plan.tasks) {
 			end++ // include the eviction
 		}
-		for _, t := range plan.tasks[stage:end] {
-			e.issueRemote(t, sem)
-		}
-		for _, t := range plan.tasks[stage:end] {
-			if err := e.completeTask(t, plan); err != nil {
-				e.drain(plan)
-				return nil, err
-			}
+		if _, err := e.executeStage(plan, plan.tasks[stage:end]); err != nil {
+			return nil, err
 		}
 		stage = end
 	}
 	return plan.results, nil
 }
 
-// issueRemote schedules all non-local reads of a task.
+// executeStage issues one stage's remote reads — one vectored storage call,
+// or per-slot calls on the scalar path — then applies completions in plan
+// order.
+func (e *Executor) executeStage(plan *BatchPlan, tasks []*task) ([]ReadResult, error) {
+	if e.cfg.ScalarIO {
+		sem := make(chan struct{}, e.cfg.Parallelism)
+		for _, t := range tasks {
+			e.issueRemote(t, sem)
+		}
+	} else if err := e.issueVector(tasks); err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		if err := e.completeTask(t, plan); err != nil {
+			e.drain(plan)
+			return nil, err
+		}
+	}
+	return plan.results, nil
+}
+
+// issueVector coalesces every non-local read of the stage's tasks into one
+// scatter-gather ReadSlots call: the batch crosses the storage boundary as a
+// batch, paying one round trip (and one frame) instead of one per slot.
+func (e *Executor) issueVector(tasks []*task) error {
+	type scatter struct {
+		t *task
+		i int
+	}
+	var refs []storage.SlotRef
+	var dests []scatter
+	locals := int64(0)
+	for _, t := range tasks {
+		t.data = make([][]byte, len(t.reads))
+		for i, r := range t.reads {
+			if t.local[i] {
+				locals++
+				continue
+			}
+			refs = append(refs, storage.SlotRef{Bucket: r.Bucket, Slot: r.Slot})
+			dests = append(dests, scatter{t: t, i: i})
+		}
+	}
+	e.stats.remoteReads.Add(int64(len(refs)))
+	e.stats.localReads.Add(locals)
+	if len(refs) == 0 {
+		return nil
+	}
+	e.stats.readCalls.Add(1)
+	data, err := e.store.ReadSlots(refs)
+	if err != nil {
+		return fmt.Errorf("oramexec: slot read: %w", err)
+	}
+	if len(data) != len(refs) {
+		return fmt.Errorf("oramexec: vectored read returned %d slots for %d refs", len(data), len(refs))
+	}
+	for k, d := range data {
+		dests[k].t.data[dests[k].i] = d
+	}
+	return nil
+}
+
+// issueRemote schedules all non-local reads of a task as individual calls
+// (scalar path).
 func (e *Executor) issueRemote(t *task, sem chan struct{}) {
 	t.data = make([][]byte, len(t.reads))
 	for i := range t.reads {
@@ -427,6 +495,7 @@ func (e *Executor) issueRemote(t *task, sem chan struct{}) {
 		i := i
 		r := t.reads[i]
 		sem <- struct{}{}
+		e.stats.readCalls.Add(1)
 		go func() {
 			defer func() {
 				<-sem
@@ -492,16 +561,33 @@ func (e *Executor) completeTask(t *task, plan *BatchPlan) error {
 		if err != nil {
 			return err
 		}
-		for _, w := range writes {
-			e.stats.writesBuffered.Add(1)
-			if e.cfg.WriteThrough {
+		e.stats.writesBuffered.Add(int64(len(writes)))
+		switch {
+		case !e.cfg.WriteThrough:
+			for _, w := range writes {
+				e.buffered[w.Bucket] = &bufferedBucket{ver: w.Ver, slots: w.Slots}
+			}
+		case e.cfg.ScalarIO:
+			for _, w := range writes {
 				if err := e.store.WriteBucket(w.Bucket, e.epoch, w.Slots); err != nil {
 					return fmt.Errorf("oramexec: write-through bucket %d: %w", w.Bucket, err)
 				}
 				e.stats.bucketWrites.Add(1)
-			} else {
-				e.buffered[w.Bucket] = &bufferedBucket{ver: w.Ver, slots: w.Slots}
+				e.stats.writeCalls.Add(1)
 			}
+		case len(writes) > 0:
+			// Vectored write-through: the eviction's whole write set in one
+			// call, preserving the barrier (writes land before the next
+			// stage's reads are issued).
+			vec := make([]storage.BucketWrite, len(writes))
+			for i, w := range writes {
+				vec[i] = storage.BucketWrite{Bucket: w.Bucket, Epoch: e.epoch, Slots: w.Slots}
+			}
+			if err := e.store.WriteBuckets(vec); err != nil {
+				return fmt.Errorf("oramexec: write-through eviction: %w", err)
+			}
+			e.stats.bucketWrites.Add(int64(len(vec)))
+			e.stats.writeCalls.Add(1)
 		}
 	}
 	return nil
@@ -569,17 +655,39 @@ func (e *Executor) flushBuckets(epoch uint64, buckets map[int]*bufferedBucket) (
 	if len(buckets) == 0 {
 		return 0, nil
 	}
-	type wr struct {
-		bucket int
-		slots  [][]byte
-	}
-	var writes []wr
+	writes := make([]storage.BucketWrite, 0, len(buckets))
 	for b, buf := range buckets {
 		if buf == nil {
 			return 0, fmt.Errorf("oramexec: bucket %d claimed but never filled (incomplete epoch)", b)
 		}
-		writes = append(writes, wr{bucket: b, slots: buf.slots})
+		writes = append(writes, storage.BucketWrite{Bucket: b, Epoch: epoch, Slots: buf.slots})
 	}
+	// Canonical bucket order: the write-back SET is already deterministic
+	// (dedup per bucket), and sorting removes map-iteration order from the
+	// adversary-visible sequence so every flush of the same set looks the
+	// same on the wire.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Bucket < writes[j].Bucket })
+	if e.cfg.ScalarIO {
+		if err := e.flushScalar(writes); err != nil {
+			return 0, fmt.Errorf("oramexec: flushing epoch %d: %w", epoch, err)
+		}
+	} else {
+		// The sealed epoch's entire write-back set crosses the storage
+		// boundary in one scatter-gather call.
+		e.stats.writeCalls.Add(1)
+		if err := e.store.WriteBuckets(writes); err != nil {
+			return 0, fmt.Errorf("oramexec: flushing epoch %d: %w", epoch, err)
+		}
+	}
+	n := len(writes)
+	e.stats.bucketWrites.Add(int64(n))
+	return n, nil
+}
+
+// flushScalar is the pre-vectorization write-back: one WriteBucket call per
+// bucket, fanned out under the parallelism cap (the `vector` benchmark's
+// baseline).
+func (e *Executor) flushScalar(writes []storage.BucketWrite) error {
 	sem := make(chan struct{}, e.cfg.Parallelism)
 	var wg sync.WaitGroup
 	var firstErr error
@@ -588,12 +696,13 @@ func (e *Executor) flushBuckets(epoch uint64, buckets map[int]*bufferedBucket) (
 		wg.Add(1)
 		w := w
 		sem <- struct{}{}
+		e.stats.writeCalls.Add(1)
 		go func() {
 			defer func() {
 				<-sem
 				wg.Done()
 			}()
-			if err := e.store.WriteBucket(w.bucket, epoch, w.slots); err != nil {
+			if err := e.store.WriteBucket(w.Bucket, w.Epoch, w.Slots); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -603,12 +712,7 @@ func (e *Executor) flushBuckets(epoch uint64, buckets map[int]*bufferedBucket) (
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return 0, fmt.Errorf("oramexec: flushing epoch %d: %w", epoch, firstErr)
-	}
-	n := len(writes)
-	e.stats.bucketWrites.Add(int64(n))
-	return n, nil
+	return firstErr
 }
 
 // DiscardBuffer drops all buffered writes, current and sealed (used when

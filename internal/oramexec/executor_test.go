@@ -3,6 +3,7 @@ package oramexec
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"obladi/internal/cryptoutil"
@@ -69,12 +70,19 @@ func (h *harness) runReads(t *testing.T, keys ...string) []ReadResult {
 	return res
 }
 
-// runWrites applies a write batch.
+// runWrites applies a write batch. Keys are applied in sorted order so runs
+// are deterministic (map iteration order would otherwise vary the plans, and
+// with them the ORAM's random slot choices, between runs).
 func (h *harness) runWrites(t *testing.T, kv map[string]string, pad int) {
 	t.Helper()
-	var ops []WriteOp
-	for k, v := range kv {
-		ops = append(ops, WriteOp{Key: k, Value: []byte(v)})
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ops := make([]WriteOp, 0, len(kv)+pad)
+	for _, k := range keys {
+		ops = append(ops, WriteOp{Key: k, Value: []byte(kv[k])})
 	}
 	for i := 0; i < pad; i++ {
 		ops = append(ops, WriteOp{})

@@ -1,0 +1,176 @@
+package oramexec
+
+import (
+	"sort"
+	"testing"
+
+	"obladi/internal/storage"
+)
+
+// TestExecutorVectoredOneCallPerStage pins the batching guarantee at the
+// wire: a normal-mode batch is one stage, so however many slots it reads
+// remotely, storage sees at most ONE read call — and an epoch flush pushes
+// the whole write-back set in ONE write call.
+func TestExecutorVectoredOneCallPerStage(t *testing.T) {
+	h := newHarness(t, testParams(64, 7), Config{})
+	// Populate enough keys to trigger evictions and real paths.
+	h.runWrites(t, map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}, 8)
+	h.endEpoch(t)
+
+	h.rec.Reset()
+	res := h.runReads(t, "a", "b", "c", "")
+	if !res[0].Found || string(res[0].Value) != "1" {
+		t.Fatalf("read a = %+v", res[0])
+	}
+	calls := h.rec.Calls()
+	if calls.ReadSlot != 0 {
+		t.Fatalf("vectored executor issued %d scalar ReadSlot calls", calls.ReadSlot)
+	}
+	if calls.ReadSlots > 1 {
+		t.Fatalf("one batch (one stage) issued %d ReadSlots calls, want at most 1", calls.ReadSlots)
+	}
+	stats := h.exec.Stats()
+	if stats.RemoteReads > 0 && calls.ReadSlots != 1 {
+		t.Fatalf("%d remote slot reads crossed storage in %d calls", stats.RemoteReads, calls.ReadSlots)
+	}
+
+	// The epoch's whole write-back set must flush as one call.
+	h.runWrites(t, map[string]string{"a": "1b", "e": "5"}, 8)
+	h.rec.Reset()
+	n, err := h.exec.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls = h.rec.Calls()
+	if n > 0 && (calls.WriteBuckets != 1 || calls.WriteBucket != 0) {
+		t.Fatalf("flush of %d buckets used %d WriteBuckets + %d WriteBucket calls, want exactly 1 + 0",
+			n, calls.WriteBuckets, calls.WriteBucket)
+	}
+	if stats := h.exec.Stats(); stats.WriteCalls == 0 || stats.ReadCalls == 0 {
+		t.Fatalf("executor call counters not maintained: %+v", stats)
+	}
+	h.checkInvariant(t)
+}
+
+// TestExecutorSealedFlushOneCall covers the pipelined boundary's path: a
+// sealed epoch's detached write-back set crosses storage as a single
+// vectored call per shard.
+func TestExecutorSealedFlushOneCall(t *testing.T) {
+	h := newHarness(t, testParams(64, 8), Config{})
+	h.runWrites(t, map[string]string{"x": "1", "y": "2"}, 10)
+	sealed, err := h.exec.SealEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed.Buckets() == 0 {
+		t.Skip("no buckets buffered this epoch")
+	}
+	h.rec.Reset()
+	n, err := h.exec.FlushSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sealed.Buckets() {
+		t.Fatalf("FlushSealed wrote %d of %d buckets", n, sealed.Buckets())
+	}
+	calls := h.rec.Calls()
+	if calls.WriteBuckets != 1 || calls.WriteBucket != 0 {
+		t.Fatalf("sealed flush used %d WriteBuckets + %d WriteBucket calls, want exactly 1 + 0",
+			calls.WriteBuckets, calls.WriteBucket)
+	}
+	h.exec.ReleaseSealed(sealed)
+}
+
+// TestExecutorScalarBaselineStillScalar pins the ScalarIO knob: the
+// benchmark baseline must keep issuing per-slot and per-bucket calls.
+func TestExecutorScalarBaselineStillScalar(t *testing.T) {
+	h := newHarness(t, testParams(64, 9), Config{ScalarIO: true})
+	h.runWrites(t, map[string]string{"a": "1", "b": "2"}, 8)
+	h.rec.Reset()
+	h.runReads(t, "a", "b")
+	calls := h.rec.Calls()
+	if calls.ReadSlots != 0 {
+		t.Fatalf("scalar baseline issued %d vectored calls", calls.ReadSlots)
+	}
+	if h.exec.Stats().RemoteReads > 0 && calls.ReadSlot == 0 {
+		t.Fatal("scalar baseline issued no ReadSlot calls despite remote reads")
+	}
+	h.rec.Reset()
+	if n, err := h.exec.Flush(); err != nil {
+		t.Fatal(err)
+	} else if n > 0 {
+		calls := h.rec.Calls()
+		if calls.WriteBuckets != 0 || calls.WriteBucket != n {
+			t.Fatalf("scalar flush of %d buckets used %d WriteBucket + %d WriteBuckets calls",
+				n, calls.WriteBucket, calls.WriteBuckets)
+		}
+	}
+}
+
+// TestExecutorVectorTraceShapeMatchesScalar is the security argument for
+// vectoring: the adversary-visible trace — which slots of which buckets are
+// touched, which bucket versions are written — is identical whether the
+// batch crosses the wire as one frame or as many. Scalar issue order is
+// goroutine-nondeterministic, so traces compare as multisets.
+func TestExecutorVectorTraceShapeMatchesScalar(t *testing.T) {
+	run := func(scalar bool) []storage.Event {
+		h := newHarness(t, testParams(64, 11), Config{ScalarIO: scalar})
+		h.runWrites(t, map[string]string{"k1": "v1", "k2": "v2", "k3": "v3"}, 9)
+		h.endEpoch(t)
+		h.runReads(t, "k1", "k2", "", "k3")
+		h.runWrites(t, map[string]string{"k1": "v1b"}, 11)
+		if _, err := h.exec.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		h.checkInvariant(t)
+		return h.rec.Events()
+	}
+	a, b := run(false), run(true)
+	sortEvents(a)
+	sortEvents(b)
+	if len(a) != len(b) {
+		t.Fatalf("vectored trace has %d events, scalar %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace multiset diverges at %d: vectored %+v vs scalar %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func sortEvents(ev []storage.Event) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Bucket != b.Bucket {
+			return a.Bucket < b.Bucket
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Epoch < b.Epoch
+	})
+}
+
+// TestExecutorWriteThroughVectored: in the Figure 10d ablation each
+// eviction is a barrier, but its reads still coalesce per stage and its
+// writes ship as one vectored call per eviction.
+func TestExecutorWriteThroughVectored(t *testing.T) {
+	h := newHarness(t, testParams(64, 12), Config{WriteThrough: true})
+	h.rec.Reset()
+	h.runWrites(t, map[string]string{"a": "1", "b": "2", "c": "3"}, 9)
+	calls := h.rec.Calls()
+	if calls.ReadSlot != 0 || calls.WriteBucket != 0 {
+		t.Fatalf("write-through vectored mode issued scalar calls: %+v", calls)
+	}
+	if h.exec.Stats().BucketWrites > 0 && calls.WriteBuckets == 0 {
+		t.Fatal("write-through evictions produced no vectored write calls")
+	}
+	res := h.runReads(t, "b")
+	if !res[0].Found || string(res[0].Value) != "2" {
+		t.Fatalf("read through write-through store = %+v", res[0])
+	}
+	h.checkInvariant(t)
+}

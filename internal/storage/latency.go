@@ -15,20 +15,32 @@ import (
 //	             request slots (models its blocking HTTP client)
 type Profile struct {
 	Name string
-	// Read and Write are the one-way request latencies injected per
-	// operation.
+	// Read and Write are the per-request round-trip latencies. A request is
+	// one storage call: a scalar op or a whole vectored op. This is what
+	// makes the latency model honest for batched I/O — a vectored call pays
+	// the round trip once, not once per element.
 	Read  time.Duration
 	Write time.Duration
-	// MaxConcurrent caps in-flight operations (0 means unlimited).
+	// ReadPerSlot and WritePerBucket are per-item service times charged on
+	// top of the round trip: a vectored read of n slots costs
+	// Read + n*ReadPerSlot, a vectored write-back of b buckets costs
+	// Write + b*WritePerBucket, and scalar ops carry one item each. They
+	// keep vectored calls from being modeled as free.
+	ReadPerSlot    time.Duration
+	WritePerBucket time.Duration
+	// MaxConcurrent caps in-flight requests (0 means unlimited). A vectored
+	// call occupies a single request slot.
 	MaxConcurrent int
 }
 
-// Canonical profiles. Latencies follow §11 of the paper.
+// Canonical profiles. Round trips follow §11 of the paper; per-item service
+// times model the storage-side cost of carrying more items per request
+// (in-memory server lookups, DynamoDB batch item charges).
 var (
 	ProfileDummy     = Profile{Name: "dummy"}
-	ProfileServer    = Profile{Name: "server", Read: 300 * time.Microsecond, Write: 300 * time.Microsecond}
-	ProfileServerWAN = Profile{Name: "server WAN", Read: 10 * time.Millisecond, Write: 10 * time.Millisecond}
-	ProfileDynamo    = Profile{Name: "dynamo", Read: 1 * time.Millisecond, Write: 3 * time.Millisecond, MaxConcurrent: 128}
+	ProfileServer    = Profile{Name: "server", Read: 300 * time.Microsecond, Write: 300 * time.Microsecond, ReadPerSlot: 2 * time.Microsecond, WritePerBucket: 10 * time.Microsecond}
+	ProfileServerWAN = Profile{Name: "server WAN", Read: 10 * time.Millisecond, Write: 10 * time.Millisecond, ReadPerSlot: 2 * time.Microsecond, WritePerBucket: 10 * time.Microsecond}
+	ProfileDynamo    = Profile{Name: "dynamo", Read: 1 * time.Millisecond, Write: 3 * time.Millisecond, ReadPerSlot: 5 * time.Microsecond, WritePerBucket: 25 * time.Microsecond, MaxConcurrent: 128}
 )
 
 // Profiles lists the canonical profiles in the order the paper plots them.
@@ -43,6 +55,8 @@ func (p Profile) Scaled(factor float64) Profile {
 	q := p
 	q.Read = time.Duration(float64(p.Read) * factor)
 	q.Write = time.Duration(float64(p.Write) * factor)
+	q.ReadPerSlot = time.Duration(float64(p.ReadPerSlot) * factor)
+	q.WritePerBucket = time.Duration(float64(p.WritePerBucket) * factor)
 	return q
 }
 
@@ -100,8 +114,18 @@ func (l *Latency) delay(d time.Duration) {
 func (l *Latency) ReadSlot(bucket, slot int) ([]byte, error) {
 	release := l.acquire()
 	defer release()
-	l.delay(l.prof.Read)
+	l.delay(l.prof.Read + l.prof.ReadPerSlot)
 	return l.inner.ReadSlot(bucket, slot)
+}
+
+// ReadSlots charges one round trip for the whole vector plus per-slot
+// service time, occupying a single concurrency slot: the vectored call is
+// one request on the wire.
+func (l *Latency) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Read + time.Duration(len(refs))*l.prof.ReadPerSlot)
+	return l.inner.ReadSlots(refs)
 }
 
 func (l *Latency) ReadBucket(bucket int) ([][]byte, error) {
@@ -114,8 +138,17 @@ func (l *Latency) ReadBucket(bucket int) ([][]byte, error) {
 func (l *Latency) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
 	release := l.acquire()
 	defer release()
-	l.delay(l.prof.Write)
+	l.delay(l.prof.Write + l.prof.WritePerBucket)
 	return l.inner.WriteBucket(bucket, epoch, slots)
+}
+
+// WriteBuckets charges one round trip for the whole write-back vector plus
+// per-bucket service time, occupying a single concurrency slot.
+func (l *Latency) WriteBuckets(writes []BucketWrite) error {
+	release := l.acquire()
+	defer release()
+	l.delay(l.prof.Write + time.Duration(len(writes))*l.prof.WritePerBucket)
+	return l.inner.WriteBuckets(writes)
 }
 
 func (l *Latency) CommitEpoch(epoch uint64) error {

@@ -53,6 +53,10 @@ func (m *MemBackend) ReadSlot(bucket, slot int) ([]byte, error) {
 	if err := m.checkOpen(); err != nil {
 		return nil, err
 	}
+	return m.readSlotLocked(bucket, slot)
+}
+
+func (m *MemBackend) readSlotLocked(bucket, slot int) ([]byte, error) {
 	if err := checkBucket(bucket, len(m.buckets)); err != nil {
 		return nil, err
 	}
@@ -65,6 +69,25 @@ func (m *MemBackend) ReadSlot(bucket, slot int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: bucket %d slot %d (have %d)", ErrNoSuchSlot, bucket, slot, len(slots))
 	}
 	return slots[slot], nil
+}
+
+// ReadSlots implements BucketStore: the whole vector is served under one
+// lock acquisition, so it is atomic with respect to concurrent writes.
+func (m *MemBackend) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.checkOpen(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(refs))
+	for i, r := range refs {
+		d, err := m.readSlotLocked(r.Bucket, r.Slot)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
 }
 
 // ReadBucket implements BucketStore.
@@ -91,6 +114,26 @@ func (m *MemBackend) WriteBucket(bucket int, epoch uint64, slots [][]byte) error
 	if err := m.checkOpen(); err != nil {
 		return err
 	}
+	return m.writeBucketLocked(bucket, epoch, slots)
+}
+
+// WriteBuckets implements BucketStore: the whole vector installs under one
+// lock acquisition, in vector order.
+func (m *MemBackend) WriteBuckets(writes []BucketWrite) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkOpen(); err != nil {
+		return err
+	}
+	for _, w := range writes {
+		if err := m.writeBucketLocked(w.Bucket, w.Epoch, w.Slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *MemBackend) writeBucketLocked(bucket int, epoch uint64, slots [][]byte) error {
 	if err := checkBucket(bucket, len(m.buckets)); err != nil {
 		return err
 	}
@@ -310,6 +353,15 @@ func (d *DummyBackend) ReadSlot(bucket, slot int) ([]byte, error) {
 	return d.static, nil
 }
 
+// ReadSlots returns the static slot for every ref.
+func (d *DummyBackend) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	for i := range out {
+		out[i] = d.static
+	}
+	return out, nil
+}
+
 // ReadBucket returns nil: dummy buckets have no recoverable contents.
 func (d *DummyBackend) ReadBucket(bucket int) ([][]byte, error) {
 	return nil, nil
@@ -317,5 +369,10 @@ func (d *DummyBackend) ReadBucket(bucket int) ([][]byte, error) {
 
 // WriteBucket discards the write.
 func (d *DummyBackend) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	return nil
+}
+
+// WriteBuckets discards the writes.
+func (d *DummyBackend) WriteBuckets(writes []BucketWrite) error {
 	return nil
 }

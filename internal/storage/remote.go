@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // This file implements the wire protocol between the trusted proxy and the
@@ -36,6 +37,11 @@ const (
 	wireLogScan
 	wireLogTruncate
 	wireLogLastSeq
+	// Vector ops: a whole stage's slot reads (or a sealed epoch's bucket
+	// write-backs) packed into one frame, so batches cross the wire as
+	// batches instead of one frame + round trip per slot.
+	wireReadSlots
+	wireWriteBuckets
 )
 
 const (
@@ -44,8 +50,31 @@ const (
 )
 
 // maxFrame bounds a single protocol frame; large enough for a full bucket of
-// big slots or a log scan chunk.
+// big slots, a log scan chunk, or a vectored stage of slot reads.
 const maxFrame = 64 << 20
+
+// maxVector bounds the element count of a single vectored request.
+const maxVector = 1 << 20
+
+// vectorChunkBytes is the client-side payload threshold at which a vectored
+// call is split into several frames: a sealed epoch's write-back set can
+// exceed maxFrame with large slots, and one poison frame would tear down
+// the connection (erroring every pipelined request) instead of failing one
+// call. Chunks still travel back-to-back on one connection, so a chunked
+// vector pays one round trip of wall clock, and layers above (executor
+// stats, trace recorder) keep counting one storage call.
+const vectorChunkBytes = maxFrame / 4
+
+// vectorChunkRefs bounds refs per ReadSlots frame: the request side is tiny
+// (12 bytes/ref) but the response size is slot-size dependent and unknown to
+// the client, so the count is kept low enough that even MiB-scale slots fit
+// a response frame.
+const vectorChunkRefs = 1 << 12
+
+// serverMaxHandlers bounds concurrent request handlers per connection: the
+// server fans pipelined (and vectored) requests out to goroutines, and the
+// bound keeps a flood of frames from spawning an unbounded worker set.
+const serverMaxHandlers = 256
 
 // ErrRemote wraps an error string returned by the storage server.
 var ErrRemote = errors.New("storage: remote error")
@@ -128,6 +157,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	w := bufio.NewWriterSize(conn, 1<<16)
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
+	// Bounded worker pool: slow backends (e.g. latency-injected) must not
+	// serialize pipelined requests, but a frame flood must not spawn an
+	// unbounded goroutine set either. Acquiring before the spawn exerts
+	// back-pressure on the connection's read loop.
+	sem := make(chan struct{}, serverMaxHandlers)
 	for {
 		frame, err := readFrame(r)
 		if err != nil {
@@ -139,12 +173,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		op := wireOp(frame[0])
 		reqID := binary.BigEndian.Uint64(frame[1:9])
 		payload := frame[9:]
-		// Handle each request in its own goroutine so that a slow backend
-		// (e.g. latency-injected) does not serialize pipelined requests.
 		handlers.Add(1)
+		sem <- struct{}{}
 		go func() {
-			defer handlers.Done()
+			defer func() {
+				<-sem
+				handlers.Done()
+			}()
 			status, resp := s.handle(op, payload)
+			if len(resp)+9 > maxFrame {
+				// A response the peer's readFrame would reject must become a
+				// clean per-request error, not a connection-killing frame.
+				status, resp = statusErr, []byte(fmt.Sprintf("storage: response of %d bytes exceeds frame limit", len(resp)))
+			}
 			wmu.Lock()
 			defer wmu.Unlock()
 			if err := writeResponse(w, status, reqID, resp); err != nil {
@@ -190,7 +231,7 @@ func (s *Server) handle(op wireOp, payload []byte) (byte, []byte) {
 		bucket := int(d.u32())
 		epoch := d.u64()
 		n := int(d.u32())
-		if d.err != nil || n < 0 || n > 1<<20 {
+		if d.err != nil || n < 0 || n > maxVector {
 			return fail(fmt.Errorf("storage: bad write-bucket frame"))
 		}
 		slots := make([][]byte, n)
@@ -201,6 +242,51 @@ func (s *Server) handle(op wireOp, payload []byte) (byte, []byte) {
 			return fail(d.err)
 		}
 		if err := s.backend.WriteBucket(bucket, epoch, slots); err != nil {
+			return fail(err)
+		}
+	case wireReadSlots:
+		n := int(d.u32())
+		if d.err != nil || n < 0 || n > maxVector {
+			return fail(fmt.Errorf("storage: bad read-slots frame"))
+		}
+		refs := make([]SlotRef, n)
+		for i := range refs {
+			refs[i] = SlotRef{Bucket: int(d.u32()), Slot: int(d.u32())}
+		}
+		if d.err != nil {
+			return fail(d.err)
+		}
+		data, err := s.backend.ReadSlots(refs)
+		if err != nil {
+			return fail(err)
+		}
+		enc.u32(uint32(len(data)))
+		for _, sl := range data {
+			enc.bytes(sl)
+		}
+	case wireWriteBuckets:
+		n := int(d.u32())
+		if d.err != nil || n < 0 || n > maxVector {
+			return fail(fmt.Errorf("storage: bad write-buckets frame"))
+		}
+		writes := make([]BucketWrite, n)
+		for i := range writes {
+			writes[i].Bucket = int(d.u32())
+			writes[i].Epoch = d.u64()
+			ns := int(d.u32())
+			if d.err != nil || ns < 0 || ns > maxVector {
+				return fail(fmt.Errorf("storage: bad write-buckets frame"))
+			}
+			slots := make([][]byte, ns)
+			for j := range slots {
+				slots[j] = d.copyBytes()
+			}
+			writes[i].Slots = slots
+		}
+		if d.err != nil {
+			return fail(d.err)
+		}
+		if err := s.backend.WriteBuckets(writes); err != nil {
 			return fail(err)
 		}
 	case wireCommitEpoch:
@@ -357,11 +443,29 @@ func DialMulti(addrs []string) ([]Backend, error) {
 	return backends, nil
 }
 
-// Dial connects to a storage server.
+// DialTimeout bounds how long Dial waits for a TCP connection. A dead shard
+// address must fail proxy startup loudly, not hang it forever.
+const DialTimeout = 10 * time.Second
+
+// Dial connects to a storage server, failing after DialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithTimeout(addr, DialTimeout)
+}
+
+// DialWithTimeout connects to a storage server with an explicit connect
+// timeout (0 or negative selects DialTimeout).
+func DialWithTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("storage: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// The protocol is request/response with explicit flushes; Nagle
+		// buffering would add delayed-ACK stalls to every small frame.
+		tc.SetNoDelay(true)
 	}
 	c := &Client{
 		conn:    conn,
@@ -424,6 +528,14 @@ func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	if len(payload)+9 > maxFrame {
+		// Refuse rather than send: the server would reject the frame and
+		// kill the connection; a u32 header could even wrap past 4 GiB.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("storage: request of %d bytes exceeds frame limit", len(payload))
+	}
 	var hdr [13]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
 	hdr[4] = byte(op)
@@ -482,6 +594,52 @@ func (c *Client) ReadSlot(bucket, slot int) ([]byte, error) {
 	return data, d.err
 }
 
+// ReadSlots packs the whole vector into a single request frame: one wire op
+// and one round trip however many slots the stage reads. Vectors larger
+// than vectorChunkRefs are split across frames (sent back-to-back, still
+// ~one round trip) so a response can never exceed the frame limit.
+func (c *Client) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	if len(refs) > vectorChunkRefs {
+		out := make([][]byte, 0, len(refs))
+		for start := 0; start < len(refs); start += vectorChunkRefs {
+			end := start + vectorChunkRefs
+			if end > len(refs) {
+				end = len(refs)
+			}
+			part, err := c.readSlotsFrame(refs[start:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+	return c.readSlotsFrame(refs)
+}
+
+func (c *Client) readSlotsFrame(refs []SlotRef) ([][]byte, error) {
+	var enc encoder
+	enc.u32(uint32(len(refs)))
+	for _, r := range refs {
+		enc.u32(uint32(r.Bucket))
+		enc.u32(uint32(r.Slot))
+	}
+	resp, err := c.call(wireReadSlots, enc.buf)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{buf: resp}
+	n := int(d.u32())
+	if d.err != nil || n != len(refs) {
+		return nil, fmt.Errorf("storage: bad read-slots response (%d results for %d refs)", n, len(refs))
+	}
+	data := make([][]byte, n)
+	for i := range data {
+		data[i] = d.copyBytes()
+	}
+	return data, d.err
+}
+
 func (c *Client) ReadBucket(bucket int) ([][]byte, error) {
 	var enc encoder
 	enc.u32(uint32(bucket))
@@ -511,6 +669,43 @@ func (c *Client) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
 	}
 	_, err := c.call(wireWriteBucket, enc.buf)
 	return err
+}
+
+// WriteBuckets ships a whole write-back set in one request frame, splitting
+// into several frames (sent back-to-back) only when the encoded payload
+// would approach the frame limit — the exact size is known client-side.
+// Buckets install in vector order either way.
+func (c *Client) WriteBuckets(writes []BucketWrite) error {
+	start := 0
+	var enc encoder
+	flush := func(end int) error {
+		if end == start && len(writes) > 0 {
+			return nil
+		}
+		hdr := encoder{buf: make([]byte, 0, 4)}
+		hdr.u32(uint32(end - start))
+		payload := append(hdr.buf, enc.buf...)
+		_, err := c.call(wireWriteBuckets, payload)
+		enc.buf = enc.buf[:0]
+		start = end
+		return err
+	}
+	for i, w := range writes {
+		var one encoder
+		one.u32(uint32(w.Bucket))
+		one.u64(w.Epoch)
+		one.u32(uint32(len(w.Slots)))
+		for _, s := range w.Slots {
+			one.bytes(s)
+		}
+		if len(enc.buf) > 0 && len(enc.buf)+len(one.buf) > vectorChunkBytes {
+			if err := flush(i); err != nil {
+				return err
+			}
+		}
+		enc.buf = append(enc.buf, one.buf...)
+	}
+	return flush(len(writes))
 }
 
 func (c *Client) CommitEpoch(epoch uint64) error {

@@ -28,6 +28,20 @@ var (
 	ErrClosed = errors.New("storage: backend closed")
 )
 
+// SlotRef addresses one physical slot of a bucket for a vectored read.
+type SlotRef struct {
+	Bucket int
+	Slot   int
+}
+
+// BucketWrite is one bucket of a vectored write-back: a new version of the
+// bucket tagged with the epoch that produced it.
+type BucketWrite struct {
+	Bucket int
+	Epoch  uint64
+	Slots  [][]byte
+}
+
 // BucketStore is the shadow-paged ORAM bucket tree.
 //
 // Buckets are addressed 0..NumBuckets()-1 in heap order (0 is the root).
@@ -37,6 +51,22 @@ type BucketStore interface {
 	// ReadSlot returns the requested slot of the newest version of the
 	// bucket. The returned slice must not be modified by the caller.
 	ReadSlot(bucket, slot int) ([]byte, error)
+
+	// ReadSlots performs a vectored read: one storage call returning the
+	// requested slots in ref order (result[i] answers refs[i]). The whole
+	// vector fails atomically at the call level — a single bad ref errors
+	// the call (no partial results). The returned slices must not be
+	// modified by the caller.
+	ReadSlots(refs []SlotRef) ([][]byte, error)
+
+	// WriteBuckets performs a vectored write-back: every bucket write of a
+	// stage (typically one sealed epoch's deduplicated write-back set) in
+	// one storage call. The store takes ownership of the slot slices. The
+	// same per-bucket epoch-ordering rules as WriteBucket apply; writes are
+	// installed in vector order and the call stops at the first failing
+	// entry, so a mid-vector error may leave a prefix installed (shadow
+	// paging makes that harmless: RollbackTo discards it).
+	WriteBuckets(writes []BucketWrite) error
 
 	// ReadBucket returns all slots of the newest version of the bucket.
 	ReadBucket(bucket int) ([][]byte, error)

@@ -42,25 +42,38 @@ type Event struct {
 	Epoch  uint64
 }
 
+// CallStats counts actual backend invocations (wire ops on a remote
+// deployment), as opposed to the per-slot events of the trace. Vectored
+// calls count once however many items they carry — this is the measurement
+// behind the "one storage call per stage" batching guarantee.
+type CallStats struct {
+	ReadSlot     int // scalar slot reads
+	ReadSlots    int // vectored slot reads
+	ReadBucket   int
+	WriteBucket  int // scalar bucket writes
+	WriteBuckets int // vectored bucket write-backs
+	Commit       int
+	Rollback     int
+}
+
 // Recorder wraps a Backend and records the adversary-visible bucket access
 // trace. It is the measurement device behind the workload-independence tests:
 // two executions are indistinguishable to the honest-but-curious server
-// exactly when their recorded traces have the same shape.
+// exactly when their recorded traces have the same shape. Vectored calls are
+// expanded into per-slot / per-bucket events in vector order, so scalar and
+// vectored executions of the same plan record identical traces (vectoring
+// changes the framing, not which versions of which slots are touched); the
+// call-level difference is visible through Calls.
 type Recorder struct {
 	Backend
 	mu     sync.Mutex
 	events []Event
+	calls  CallStats
 }
 
 // NewRecorder wraps inner.
 func NewRecorder(inner Backend) *Recorder {
 	return &Recorder{Backend: inner}
-}
-
-func (r *Recorder) record(e Event) {
-	r.mu.Lock()
-	r.events = append(r.events, e)
-	r.mu.Unlock()
 }
 
 // Events returns a copy of the recorded trace.
@@ -72,35 +85,78 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Reset clears the trace.
+// Calls returns the backend-invocation counters.
+func (r *Recorder) Calls() CallStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+// Reset clears the trace and the call counters.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = nil
+	r.calls = CallStats{}
 	r.mu.Unlock()
 }
 
 func (r *Recorder) ReadSlot(bucket, slot int) ([]byte, error) {
-	r.record(Event{Op: OpReadSlot, Bucket: bucket, Slot: slot})
+	r.mu.Lock()
+	r.calls.ReadSlot++
+	r.events = append(r.events, Event{Op: OpReadSlot, Bucket: bucket, Slot: slot})
+	r.mu.Unlock()
 	return r.Backend.ReadSlot(bucket, slot)
 }
 
+func (r *Recorder) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	r.mu.Lock()
+	r.calls.ReadSlots++
+	for _, ref := range refs {
+		r.events = append(r.events, Event{Op: OpReadSlot, Bucket: ref.Bucket, Slot: ref.Slot})
+	}
+	r.mu.Unlock()
+	return r.Backend.ReadSlots(refs)
+}
+
 func (r *Recorder) ReadBucket(bucket int) ([][]byte, error) {
-	r.record(Event{Op: OpReadBucket, Bucket: bucket})
+	r.mu.Lock()
+	r.calls.ReadBucket++
+	r.events = append(r.events, Event{Op: OpReadBucket, Bucket: bucket})
+	r.mu.Unlock()
 	return r.Backend.ReadBucket(bucket)
 }
 
 func (r *Recorder) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
-	r.record(Event{Op: OpWriteBucket, Bucket: bucket, Epoch: epoch})
+	r.mu.Lock()
+	r.calls.WriteBucket++
+	r.events = append(r.events, Event{Op: OpWriteBucket, Bucket: bucket, Epoch: epoch})
+	r.mu.Unlock()
 	return r.Backend.WriteBucket(bucket, epoch, slots)
 }
 
+func (r *Recorder) WriteBuckets(writes []BucketWrite) error {
+	r.mu.Lock()
+	r.calls.WriteBuckets++
+	for _, w := range writes {
+		r.events = append(r.events, Event{Op: OpWriteBucket, Bucket: w.Bucket, Epoch: w.Epoch})
+	}
+	r.mu.Unlock()
+	return r.Backend.WriteBuckets(writes)
+}
+
 func (r *Recorder) CommitEpoch(epoch uint64) error {
-	r.record(Event{Op: OpCommit, Epoch: epoch})
+	r.mu.Lock()
+	r.calls.Commit++
+	r.events = append(r.events, Event{Op: OpCommit, Epoch: epoch})
+	r.mu.Unlock()
 	return r.Backend.CommitEpoch(epoch)
 }
 
 func (r *Recorder) RollbackTo(epoch uint64) error {
-	r.record(Event{Op: OpRollback, Epoch: epoch})
+	r.mu.Lock()
+	r.calls.Rollback++
+	r.events = append(r.events, Event{Op: OpRollback, Epoch: epoch})
+	r.mu.Unlock()
 	return r.Backend.RollbackTo(epoch)
 }
 
@@ -131,8 +187,7 @@ func (c *InvariantChecker) Violation() error {
 	return c.violation
 }
 
-func (c *InvariantChecker) ReadSlot(bucket, slot int) ([]byte, error) {
-	c.mu.Lock()
+func (c *InvariantChecker) checkReadLocked(bucket, slot int) {
 	set := c.readSlots[bucket]
 	if set == nil {
 		set = make(map[int]bool)
@@ -142,8 +197,24 @@ func (c *InvariantChecker) ReadSlot(bucket, slot int) ([]byte, error) {
 		c.violation = fmt.Errorf("storage: bucket invariant violated: bucket %d slot %d read twice between writes", bucket, slot)
 	}
 	set[slot] = true
+}
+
+func (c *InvariantChecker) ReadSlot(bucket, slot int) ([]byte, error) {
+	c.mu.Lock()
+	c.checkReadLocked(bucket, slot)
 	c.mu.Unlock()
 	return c.Backend.ReadSlot(bucket, slot)
+}
+
+// ReadSlots applies the per-slot invariant to every ref: packing reads into
+// one frame changes nothing about what the adversary sees touched.
+func (c *InvariantChecker) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	c.mu.Lock()
+	for _, r := range refs {
+		c.checkReadLocked(r.Bucket, r.Slot)
+	}
+	c.mu.Unlock()
+	return c.Backend.ReadSlots(refs)
 }
 
 func (c *InvariantChecker) ReadBucket(bucket int) ([][]byte, error) {
@@ -161,6 +232,17 @@ func (c *InvariantChecker) WriteBucket(bucket int, epoch uint64, slots [][]byte)
 	delete(c.readSlots, bucket)
 	c.mu.Unlock()
 	return c.Backend.WriteBucket(bucket, epoch, slots)
+}
+
+// WriteBuckets resets the read-set of every written bucket, like the scalar
+// write does.
+func (c *InvariantChecker) WriteBuckets(writes []BucketWrite) error {
+	c.mu.Lock()
+	for _, w := range writes {
+		delete(c.readSlots, w.Bucket)
+	}
+	c.mu.Unlock()
+	return c.Backend.WriteBuckets(writes)
 }
 
 func (c *InvariantChecker) RollbackTo(epoch uint64) error {
