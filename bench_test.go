@@ -1,4 +1,4 @@
-package obladi
+package obladi_test
 
 // This file maps every table and figure of the paper's evaluation (§11)
 // onto a Go benchmark. Each benchmark runs the corresponding experiment of
@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"obladi"
 	"obladi/internal/bench"
 )
 
@@ -120,7 +121,7 @@ func BenchmarkAblationReadCache(b *testing.B) {
 // BenchmarkPublicAPIUpdate measures the end-to-end public API on the
 // embedded backend (not a paper figure; a library-user-facing number).
 func BenchmarkPublicAPIUpdate(b *testing.B) {
-	db, err := Open(Options{
+	db, err := obladi.Open(obladi.Options{
 		MaxKeys:       4096,
 		KeySeed:       []byte("bench"),
 		EagerBatches:  true,
@@ -132,7 +133,7 @@ func BenchmarkPublicAPIUpdate(b *testing.B) {
 	defer db.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := db.Update(func(tx *Txn) error {
+		err := db.Update(func(tx *obladi.Txn) error {
 			return tx.Write("bench-key", []byte("bench-value"))
 		})
 		if err != nil {

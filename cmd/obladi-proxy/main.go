@@ -1,6 +1,15 @@
 // Command obladi-proxy runs the trusted Obladi proxy, connecting on-site
-// clients to an (untrusted) obladi-storage server. Clients speak the line
-// protocol of internal/clientproto, one transaction session per connection:
+// clients to an (untrusted) obladi-storage server. Clients speak one of the
+// two protocols of internal/clientproto over the same port, auto-detected
+// per connection from its first byte:
+//
+// The multiplexed v2 protocol (clientproto.DialMux) — a length-prefixed
+// binary framing that carries many concurrent transaction sessions per
+// connection and pipelines requests without waiting for replies. This is
+// what applications and the `client` benchmark should use.
+//
+// The legacy line protocol — one transaction session per connection, one
+// synchronous round trip per command:
 //
 //	BEGIN
 //	READ <key>
@@ -30,38 +39,7 @@ import (
 
 	"obladi"
 	"obladi/internal/clientproto"
-	"obladi/internal/kvtxn"
 )
-
-// dbAdapter exposes the public API as the kvtxn.DB the protocol server
-// consumes.
-type dbAdapter struct {
-	db *obladi.DB
-}
-
-func (a dbAdapter) Begin() kvtxn.Txn { return txnAdapter{a.db.Begin()} }
-func (a dbAdapter) Close() error     { return a.db.Close() }
-
-type txnAdapter struct {
-	tx *obladi.Txn
-}
-
-func (t txnAdapter) Read(key string) ([]byte, bool, error) { return t.tx.Read(key) }
-func (t txnAdapter) ReadMany(keys []string) ([]kvtxn.Value, error) {
-	res, err := t.tx.ReadMany(keys)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]kvtxn.Value, len(res))
-	for i, r := range res {
-		out[i] = kvtxn.Value{Key: r.Key, Value: r.Value, Found: r.Found}
-	}
-	return out, nil
-}
-func (t txnAdapter) Write(key string, value []byte) error { return t.tx.Write(key, value) }
-func (t txnAdapter) Delete(key string) error              { return t.tx.Delete(key) }
-func (t txnAdapter) Commit() error                        { return t.tx.Commit() }
-func (t txnAdapter) Abort()                               { t.tx.Abort() }
 
 func main() {
 	storageAddr := flag.String("storage", "localhost:7000", "obladi-storage server address(es); one per shard, comma-separated")
@@ -95,7 +73,7 @@ func main() {
 	}
 	defer db.Close()
 
-	srv, err := clientproto.NewServer(dbAdapter{db}, *listen)
+	srv, err := clientproto.NewServer(clientproto.WrapDB(db), *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}

@@ -1,8 +1,10 @@
-// Quickstart: open an embedded oblivious store, run a few transactions, and
-// inspect what the (untrusted) storage side would observe.
+// Quickstart: open an embedded oblivious store, run a few transactions
+// (including asynchronous, pipelined reads and a context-bounded update),
+// and inspect what the (untrusted) storage side would observe.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -56,8 +58,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A read-modify-write transaction.
-	err = db.Update(func(tx *obladi.Txn) error {
+	// Asynchronous reads: ReadAsync registers the read and returns a Future
+	// immediately, so independent reads issued back to back share one batch
+	// even when the key set isn't known up front (ReadMany's requirement).
+	err = db.View(func(tx *obladi.Txn) error {
+		name := tx.ReadAsync("user/1/name")
+		plan := tx.ReadAsync("user/1/plan")
+		nv, _, err := name.Value()
+		if err != nil {
+			return err
+		}
+		pv, _, err := plan.Value()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  async: %s is on %s\n", nv, pv)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A read-modify-write transaction, bounded by a deadline: if the store
+	// cannot decide the commit in time, UpdateCtx returns instead of
+	// blocking — and the oblivious schedule is unaffected either way.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err = db.UpdateCtx(ctx, func(tx *obladi.Txn) error {
 		v, found, err := tx.Read("user/1/plan")
 		if err != nil {
 			return err

@@ -106,6 +106,7 @@ var experiments = []struct {
 	{"shards", "aggregate throughput vs shard count (beyond the paper: sharded proxy)", ShardScale},
 	{"pipeline", "epoch-boundary pipelining: synchronous vs overlapped commit stage (beyond the paper)", Pipeline},
 	{"vector", "scatter-gather storage I/O vs scalar call-per-slot baseline (beyond the paper)", Vector},
+	{"client", "client plane: line vs multiplexed wire protocol at fixed connection counts (beyond the paper)", ClientPlane},
 }
 
 // Names lists all experiment ids.

@@ -15,8 +15,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 13 {
-		t.Fatalf("expected 13 experiments (every table and figure, plus shards, pipeline and vector), got %d: %v", len(names), names)
+	if len(names) != 14 {
+		t.Fatalf("expected 14 experiments (every table and figure, plus shards, pipeline, vector and client), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

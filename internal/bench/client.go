@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"obladi"
+	"obladi/internal/clientproto"
+	"obladi/internal/kvtxn"
+)
+
+// ClientPlane measures the client plane redesign (beyond the paper): the
+// same read-modify-write workload driven over real loopback TCP through the
+// legacy line protocol (one synchronous session per connection) versus the
+// multiplexed v2 protocol (many pipelined sessions per connection), at a
+// fixed connection count. The proxy runs the `server` latency profile on its
+// storage side, so epochs cost what they cost in the paper's deployment;
+// the x-axis is the connection count, and the gap at fixed x is what
+// multiplexing buys — the line protocol can fill an epoch only by opening
+// ever more connections, the mux protocol fills it from a handful.
+//
+// Committed-transaction counts come from the public DB.Stats() counters
+// (server-side truth), not from client bookkeeping.
+func ClientPlane(cfg Config) ([]Row, error) {
+	cfg.setDefaults()
+	const sessionsPerConn = 8
+	connCounts := []int{1, 4, 8}
+	runFor := 2 * time.Second
+	if cfg.Quick {
+		connCounts = []int{1, 4}
+		runFor = 1 * time.Second
+	}
+	var rows []Row
+	for _, conns := range connCounts {
+		for _, mode := range []string{"Line", "Mux"} {
+			row, err := runClientPlane(cfg, mode, conns, sessionsPerConn, runFor)
+			if err != nil {
+				return nil, fmt.Errorf("bench: client %s/%d conns: %w", mode, conns, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runClientPlane(cfg Config, mode string, conns, sessionsPerConn int, runFor time.Duration) (Row, error) {
+	const numKeys = 2048
+	db, err := obladi.Open(obladi.Options{
+		MaxKeys:        numKeys * 2,
+		MaxValueSize:   64,
+		ReadBatches:    4,
+		ReadBatchSize:  128,
+		WriteBatchSize: 128,
+		BatchInterval:  2 * time.Millisecond,
+		// The client plane is the subject; durability round trips belong to
+		// the pipeline experiment.
+		DisableDurability: true,
+		SimulatedLatency:  "server",
+		KeySeed:           []byte("client-bench"),
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer db.Close()
+	srv, err := clientproto.NewServer(clientproto.WrapDB(db), "127.0.0.1:0")
+	if err != nil {
+		return Row{}, err
+	}
+	defer srv.Close()
+
+	// One transaction: read a random key, write it back. Retries on aborts
+	// (epoch fate sharing) like any Obladi client.
+	runTxn := func(tx kvtxn.Txn, key string) error {
+		v, found, err := tx.Read(key)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		next := byte(0)
+		if found && len(v) > 0 {
+			next = v[0] + 1
+		}
+		if err := tx.Write(key, []byte{next}); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	record := func(d time.Duration) {
+		mu.Lock()
+		latencies = append(latencies, d)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make(chan error, 64)
+	worker := func(begin func() kvtxn.Txn, seed uint64, deadline time.Time) {
+		defer wg.Done()
+		rng := newRand(seed)
+		for time.Now().Before(deadline) {
+			key := fmt.Sprintf("c-%d", rng.IntN(numKeys))
+			start := time.Now()
+			if err := runTxn(begin(), key); err != nil {
+				if errors.Is(err, kvtxn.ErrAborted) {
+					continue
+				}
+				// A dead worker would silently deflate the series; surface
+				// the failure instead of reporting a skewed comparison.
+				select {
+				case workerErrs <- err:
+				default:
+				}
+				return
+			}
+			record(time.Since(start))
+		}
+	}
+
+	before := db.Stats()
+	start := time.Now()
+	deadline := start.Add(runFor)
+	switch mode {
+	case "Line":
+		// The line protocol's hard limit: one transaction session in flight
+		// per TCP connection.
+		clients := make([]*lineDB, 0, conns)
+		for i := 0; i < conns; i++ {
+			c, err := clientproto.DialClient(srv.Addr())
+			if err != nil {
+				return Row{}, err
+			}
+			defer c.Close()
+			clients = append(clients, &lineDB{c: c})
+			wg.Add(1)
+			go worker(clients[i].Begin, cfg.Seed+uint64(i), deadline)
+		}
+	case "Mux":
+		// The mux protocol multiplexes sessionsPerConn concurrent sessions
+		// over each connection.
+		for i := 0; i < conns; i++ {
+			mc, err := clientproto.DialMux(srv.Addr())
+			if err != nil {
+				return Row{}, err
+			}
+			defer mc.Close()
+			mdb := clientproto.MuxDB{C: mc}
+			for s := 0; s < sessionsPerConn; s++ {
+				wg.Add(1)
+				go worker(mdb.Begin, cfg.Seed+uint64(i*sessionsPerConn+s), deadline)
+			}
+		}
+	default:
+		return Row{}, fmt.Errorf("unknown mode %q", mode)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-workerErrs:
+		return Row{}, fmt.Errorf("worker died: %w", err)
+	default:
+	}
+	committed := db.Stats().Committed - before.Committed
+	if committed == 0 {
+		return Row{}, fmt.Errorf("committed nothing")
+	}
+	return Row{
+		Experiment: "client",
+		Series:     mode,
+		X:          fmt.Sprintf("%d conns", conns),
+		Value:      opsPerSec(int(committed), elapsed),
+		Unit:       "txns/s",
+		Profile:    "server",
+		Shards:     1,
+		P50ms:      percentile(latencies, 50),
+		P99ms:      percentile(latencies, 99),
+	}, nil
+}
+
+// lineDB adapts the single-session line client to a Begin-shaped interface
+// for the worker loop. The line protocol carries one transaction at a time,
+// so Begin blocks the connection until Commit/Abort — which is the point of
+// the comparison.
+type lineDB struct {
+	c *clientproto.Client
+}
+
+func (d *lineDB) Begin() kvtxn.Txn { return &lineTxn{c: d.c} }
+
+type lineTxn struct {
+	c     *clientproto.Client
+	begun bool
+	dead  bool
+}
+
+func (t *lineTxn) ensureBegin() error {
+	if t.begun {
+		return nil
+	}
+	if err := t.c.Begin(); err != nil {
+		t.dead = true
+		return err
+	}
+	t.begun = true
+	return nil
+}
+
+func (t *lineTxn) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	// The line protocol flattens errors to strings; treat every server-side
+	// error as a retryable abort (matching how its interactive clients
+	// behave) so the worker loop retries rather than bailing.
+	return fmt.Errorf("%w: %v", kvtxn.ErrAborted, err)
+}
+
+func (t *lineTxn) Read(key string) ([]byte, bool, error) {
+	if err := t.ensureBegin(); err != nil {
+		return nil, false, t.wrap(err)
+	}
+	v, found, err := t.c.Read(key)
+	return v, found, t.wrap(err)
+}
+
+func (t *lineTxn) ReadMany(keys []string) ([]kvtxn.Value, error) {
+	out := make([]kvtxn.Value, 0, len(keys))
+	for _, k := range keys {
+		v, found, err := t.Read(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kvtxn.Value{Key: k, Value: v, Found: found})
+	}
+	return out, nil
+}
+
+func (t *lineTxn) Write(key string, value []byte) error {
+	if err := t.ensureBegin(); err != nil {
+		return t.wrap(err)
+	}
+	return t.wrap(t.c.Write(key, value))
+}
+
+func (t *lineTxn) Delete(key string) error {
+	if err := t.ensureBegin(); err != nil {
+		return t.wrap(err)
+	}
+	return t.wrap(t.c.Delete(key))
+}
+
+func (t *lineTxn) Commit() error {
+	if !t.begun || t.dead {
+		return t.wrap(fmt.Errorf("no open session"))
+	}
+	t.begun = false
+	return t.wrap(t.c.Commit())
+}
+
+func (t *lineTxn) Abort() {
+	if t.begun && !t.dead {
+		t.c.Abort()
+	}
+	t.begun = false
+}

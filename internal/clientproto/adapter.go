@@ -1,0 +1,67 @@
+package clientproto
+
+import (
+	"context"
+
+	"obladi"
+	"obladi/internal/kvtxn"
+)
+
+// WrapDB adapts the public obladi API to the kvtxn.DB the protocol server
+// consumes, with the context and asynchronous-read extensions the mux server
+// uses to tie sessions to connections and pipeline read sets.
+func WrapDB(db *obladi.DB) kvtxn.DB { return dbAdapter{db: db} }
+
+type dbAdapter struct {
+	db *obladi.DB
+}
+
+var (
+	_ kvtxn.DB    = dbAdapter{}
+	_ kvtxn.CtxDB = dbAdapter{}
+)
+
+func (a dbAdapter) Begin() kvtxn.Txn { return txnAdapter{tx: a.db.Begin()} }
+
+func (a dbAdapter) BeginCtx(ctx context.Context) kvtxn.Txn {
+	return txnAdapter{tx: a.db.BeginCtx(ctx)}
+}
+
+func (a dbAdapter) Close() error { return a.db.Close() }
+
+type txnAdapter struct {
+	tx *obladi.Txn
+}
+
+var _ kvtxn.AsyncTxn = txnAdapter{}
+
+func (t txnAdapter) Read(key string) ([]byte, bool, error) { return t.tx.Read(key) }
+
+func (t txnAdapter) ReadAsync(key string) kvtxn.ReadFuture {
+	return futureAdapter{f: t.tx.ReadAsync(key)}
+}
+
+func (t txnAdapter) ReadMany(keys []string) ([]kvtxn.Value, error) {
+	res, err := t.tx.ReadMany(keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kvtxn.Value, len(res))
+	for i, r := range res {
+		out[i] = kvtxn.Value{Key: r.Key, Value: r.Value, Found: r.Found}
+	}
+	return out, nil
+}
+
+func (t txnAdapter) Write(key string, value []byte) error { return t.tx.Write(key, value) }
+func (t txnAdapter) Delete(key string) error              { return t.tx.Delete(key) }
+func (t txnAdapter) Commit() error                        { return t.tx.Commit() }
+func (t txnAdapter) Abort()                               { t.tx.Abort() }
+
+type futureAdapter struct {
+	f *obladi.Future
+}
+
+func (fa futureAdapter) Wait(ctx context.Context) ([]byte, bool, error) {
+	return fa.f.Wait(ctx)
+}

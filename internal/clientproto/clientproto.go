@@ -1,6 +1,15 @@
-// Package clientproto implements the line protocol between on-site
-// application clients and the Obladi proxy (cmd/obladi-proxy). One TCP
-// connection carries one transaction session at a time:
+// Package clientproto implements the wire protocols between on-site
+// application clients and the Obladi proxy (cmd/obladi-proxy). Two protocols
+// share one port, distinguished by the connection's first byte:
+//
+// The v2 protocol (DialMux/MuxClient) is a length-prefixed binary framing
+// that multiplexes many concurrent transaction sessions over one connection
+// and pipelines requests without waiting for replies; it opens with a
+// NUL-led magic. See frame.go for the frame format and mux.go/muxclient.go
+// for the server and client halves.
+//
+// The legacy line protocol carries one transaction session at a time per
+// connection, one synchronous round trip per command:
 //
 //	BEGIN                     -> OK
 //	READ <key>                -> OK <hex-value> | OK NONE
@@ -10,13 +19,15 @@
 //	ABORT                     -> OK
 //
 // Errors answer ERR <message>; a transaction-fatal error (abort) also closes
-// the session's transaction.
+// the session's transaction. No line-protocol command starts with a NUL
+// byte, which is what makes the first-byte auto-detect unambiguous.
 package clientproto
 
 import (
 	"bufio"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -24,13 +35,15 @@ import (
 	"obladi/internal/kvtxn"
 )
 
-// Server serves the client protocol over a kvtxn.DB.
+// Server serves both client protocols over a kvtxn.DB, auto-detecting per
+// connection.
 type Server struct {
 	db kvtxn.DB
 	ln net.Listener
 	wg sync.WaitGroup
 
 	mu     sync.Mutex
+	conns  map[net.Conn]bool
 	closed bool
 }
 
@@ -40,7 +53,7 @@ func NewServer(db kvtxn.DB, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clientproto: listen: %w", err)
 	}
-	s := &Server{db: db, ln: ln}
+	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -49,11 +62,14 @@ func NewServer(db kvtxn.DB, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for sessions to finish their current
-// command.
+// Close stops accepting, closes every client connection, and waits for their
+// sessions to wind down (open transactions abort).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -67,12 +83,46 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.serve(conn)
 		}()
 	}
+}
+
+// serve sniffs the connection's first byte and dispatches to the v2
+// multiplexed protocol (NUL magic) or the legacy line protocol.
+func (s *Server) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if first[0] == muxMagic[0] {
+		magic := make([]byte, len(muxMagic))
+		if _, err := io.ReadFull(r, magic); err != nil || string(magic) != muxMagic {
+			conn.Close()
+			return
+		}
+		s.serveMux(conn, r)
+		return
+	}
+	s.serveLine(conn, r)
 }
 
 // oneLine flattens an error message onto a single line: wrapped aborts carry
@@ -82,10 +132,10 @@ func oneLine(err error) string {
 	return strings.ReplaceAll(err.Error(), "\n", "; ")
 }
 
-// serve handles one client session.
-func (s *Server) serve(conn net.Conn) {
+// serveLine handles one legacy line-protocol session.
+func (s *Server) serveLine(conn net.Conn, r *bufio.Reader) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(r)
 	w := bufio.NewWriter(conn)
 	var tx kvtxn.Txn
 	defer func() {

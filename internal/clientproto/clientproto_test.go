@@ -1,27 +1,31 @@
-package clientproto
+package clientproto_test
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
+	"obladi/internal/clientproto"
 	"obladi/internal/enginetest"
 )
 
 // newStack builds a full stack: Obladi proxy over checked storage, served
 // through the client protocol.
-func newStack(t *testing.T) *Client {
+func newStack(t *testing.T) *clientproto.Client {
 	return newShardedStack(t, 1)
 }
 
-// newShardedStack is newStack over a hash-partitioned proxy.
-func newShardedStack(t *testing.T, shards int) *Client {
+// newServer builds the protocol server over a fresh Obladi engine.
+func newServer(t *testing.T, shards int) *clientproto.Server {
 	t.Helper()
 	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 256, ValueSize: 64, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(eng.DB, "127.0.0.1:0")
+	srv, err := clientproto.NewServer(eng.DB, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,12 +36,50 @@ func newShardedStack(t *testing.T, shards int) *Client {
 			t.Error(v)
 		}
 	})
-	c, err := DialClient(srv.Addr())
+	return srv
+}
+
+// newShardedStack is newStack over a hash-partitioned proxy.
+func newShardedStack(t *testing.T, shards int) *clientproto.Client {
+	t.Helper()
+	srv := newServer(t, shards)
+	c, err := clientproto.DialClient(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
 	return c
+}
+
+// rawLineConn dials the server and speaks the line protocol by hand, for
+// tests that need to send malformed commands the Client cannot produce.
+type rawLineConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialRawLine(t *testing.T, addr string) *rawLineConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawLineConn{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// roundTrip sends one command line and returns the raw reply line.
+func (c *rawLineConn) roundTrip(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(resp)
 }
 
 // TestProtocolShardedStack drives the full wire protocol against a 4-shard
@@ -105,24 +147,29 @@ func TestProtocolRoundTrip(t *testing.T) {
 }
 
 func TestProtocolErrors(t *testing.T) {
-	c := newStack(t)
+	srv := newServer(t, 1)
+	raw := dialRawLine(t, srv.Addr())
 	// Command before BEGIN.
-	if _, _, err := c.Read("x"); err == nil || !strings.Contains(err.Error(), "no transaction") {
-		t.Fatalf("read without txn: %v", err)
+	if resp := raw.roundTrip(t, "READ x"); !strings.Contains(resp, "no transaction") {
+		t.Fatalf("read without txn: %q", resp)
 	}
-	must(t, c.Begin())
-	if err := c.Begin(); err == nil {
-		t.Fatal("double BEGIN accepted")
+	if resp := raw.roundTrip(t, "BEGIN"); resp != "OK" {
+		t.Fatalf("begin: %q", resp)
+	}
+	if resp := raw.roundTrip(t, "BEGIN"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("double BEGIN accepted: %q", resp)
 	}
 	// Bad hex.
-	if _, err := c.roundTrip("WRITE k zzzz"); err == nil {
-		t.Fatal("bad hex accepted")
+	if resp := raw.roundTrip(t, "WRITE k zzzz"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("bad hex accepted: %q", resp)
 	}
 	// Unknown command.
-	if _, err := c.roundTrip("FROB k"); err == nil {
-		t.Fatal("unknown command accepted")
+	if resp := raw.roundTrip(t, "FROB k"); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("unknown command accepted: %q", resp)
 	}
-	must(t, c.Abort())
+	if resp := raw.roundTrip(t, "ABORT"); resp != "OK" {
+		t.Fatalf("abort: %q", resp)
+	}
 }
 
 func TestProtocolAbortDiscards(t *testing.T) {
@@ -139,24 +186,13 @@ func TestProtocolAbortDiscards(t *testing.T) {
 }
 
 func TestProtocolConcurrentSessions(t *testing.T) {
-	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 256, ValueSize: 64})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv, err := NewServer(eng.DB, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		srv.Close()
-		eng.DB.Close()
-	}()
-	c1, err := DialClient(srv.Addr())
+	srv := newServer(t, 1)
+	c1, err := clientproto.DialClient(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	c2, err := DialClient(srv.Addr())
+	c2, err := clientproto.DialClient(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +200,7 @@ func TestProtocolConcurrentSessions(t *testing.T) {
 	// Each session commits with retries: a session that lingers across an
 	// epoch boundary without requesting commit aborts by design (epoch
 	// fate sharing), so interactive clients always retry.
-	commitKV := func(c *Client, k, v string) {
+	commitKV := func(c *clientproto.Client, k, v string) {
 		t.Helper()
 		for attempt := 0; attempt < 10; attempt++ {
 			if err := c.Begin(); err != nil {

@@ -1,0 +1,181 @@
+package clientproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The v2 client protocol is a length-prefixed binary framing that multiplexes
+// many concurrent transaction sessions over one TCP connection (the framing
+// idiom of storage/remote.go, one layer up). A client opens the stream with a
+// 4-byte magic whose first byte is NUL — no line-protocol command starts with
+// NUL, which is what lets the server auto-detect the protocol from the first
+// byte and keep serving legacy line clients on the same port.
+//
+//	magic: 0x00 'O' 'B' '2'
+//	frame: len(u32) | kind(u8) | session(u32) | reqID(u32) | payload
+//
+// len counts everything after the length field itself (kind, session, reqID,
+// payload). Sessions are client-allocated identifiers, unique per connection
+// for its lifetime; request IDs are client-allocated, unique per session.
+// Each request frame is answered by exactly one reply frame echoing its
+// session and request ID. Requests of one session execute in wire order;
+// replies stream back in completion order — a read's reply lands when its
+// batch executes, so replies of different sessions (and a session's write
+// acks versus its read results) interleave freely.
+//
+// Request kinds and payloads:
+//
+//	frameBegin   —                       open the session
+//	frameRead    — key bytes             register a read
+//	frameWrite   — klen(u32) key value   write key
+//	frameDelete  — key bytes             delete key
+//	frameCommit  —                       commit and close the session
+//	frameAbort   —                       abort and close the session
+//
+// Reply kinds and payloads:
+//
+//	frameOK  — read: found(u8) value; others: empty
+//	frameErr — code(u8) message; code 1 marks a retryable transaction abort
+const muxMagic = "\x00OB2"
+
+type frameKind uint8
+
+// Frame kinds. Requests count up from 1; replies have the high bit set.
+const (
+	frameBegin frameKind = iota + 1
+	frameRead
+	frameWrite
+	frameDelete
+	frameCommit
+	frameAbort
+
+	frameOK  frameKind = 0x80
+	frameErr frameKind = 0x81
+)
+
+// Error codes carried by frameErr payloads.
+const (
+	errCodeGeneric uint8 = 0
+	errCodeAborted uint8 = 1 // transaction aborted; retrying is appropriate
+)
+
+// muxMaxFrame bounds a single frame; generous for any key/value the proxy
+// accepts, and small enough that a corrupt length prefix cannot balloon
+// allocation.
+const muxMaxFrame = 16 << 20
+
+// frameHeaderLen is the encoded size of kind+session+reqID.
+const frameHeaderLen = 9
+
+// frame is one decoded protocol frame.
+type frame struct {
+	kind    frameKind
+	session uint32
+	req     uint32
+	payload []byte
+}
+
+var errShortFrame = errors.New("clientproto: short frame")
+
+// decodeFrame parses a frame body (everything after the length prefix). The
+// returned payload aliases b.
+func decodeFrame(b []byte) (frame, error) {
+	if len(b) < frameHeaderLen {
+		return frame{}, errShortFrame
+	}
+	return frame{
+		kind:    frameKind(b[0]),
+		session: binary.BigEndian.Uint32(b[1:5]),
+		req:     binary.BigEndian.Uint32(b[5:9]),
+		payload: b[frameHeaderLen:],
+	}, nil
+}
+
+// appendFrame appends f's wire encoding (length prefix included) to dst.
+func appendFrame(dst []byte, f frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.payload)))
+	dst = append(dst, byte(f.kind))
+	dst = binary.BigEndian.AppendUint32(dst, f.session)
+	dst = binary.BigEndian.AppendUint32(dst, f.req)
+	return append(dst, f.payload...)
+}
+
+// readMuxFrame reads and decodes one frame.
+func readMuxFrame(r *bufio.Reader) (frame, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > muxMaxFrame {
+		return frame{}, fmt.Errorf("clientproto: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	return decodeFrame(body)
+}
+
+// encodeWritePayload builds a frameWrite payload: klen(u32) | key | value.
+func encodeWritePayload(key string, value []byte) []byte {
+	p := make([]byte, 0, 4+len(key)+len(value))
+	p = binary.BigEndian.AppendUint32(p, uint32(len(key)))
+	p = append(p, key...)
+	return append(p, value...)
+}
+
+// parseWritePayload is encodeWritePayload's inverse. The returned value
+// aliases p.
+func parseWritePayload(p []byte) (key string, value []byte, err error) {
+	if len(p) < 4 {
+		return "", nil, errShortFrame
+	}
+	klen := int(binary.BigEndian.Uint32(p))
+	if klen < 0 || len(p)-4 < klen {
+		return "", nil, errShortFrame
+	}
+	return string(p[4 : 4+klen]), p[4+klen:], nil
+}
+
+// encodeErrPayload builds a frameErr payload.
+func encodeErrPayload(code uint8, msg string) []byte {
+	p := make([]byte, 0, 1+len(msg))
+	p = append(p, code)
+	return append(p, msg...)
+}
+
+// parseErrPayload is encodeErrPayload's inverse.
+func parseErrPayload(p []byte) (code uint8, msg string, err error) {
+	if len(p) < 1 {
+		return 0, "", errShortFrame
+	}
+	return p[0], string(p[1:]), nil
+}
+
+// encodeReadOKPayload builds a read reply payload: found(u8) | value.
+func encodeReadOKPayload(value []byte, found bool) []byte {
+	p := make([]byte, 0, 1+len(value))
+	if found {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	return append(p, value...)
+}
+
+// parseReadOKPayload is encodeReadOKPayload's inverse. The returned value
+// aliases p.
+func parseReadOKPayload(p []byte) (value []byte, found bool, err error) {
+	if len(p) < 1 {
+		return nil, false, errShortFrame
+	}
+	if p[0] == 0 {
+		return nil, false, nil
+	}
+	return p[1:], true, nil
+}

@@ -1,0 +1,206 @@
+package clientproto
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"obladi/internal/core"
+	"obladi/internal/kvtxn"
+)
+
+// This file is the server half of the multiplexed v2 protocol: one goroutine
+// reads frames off the connection and routes them to per-session workers;
+// workers execute a session's operations in wire order, registering reads
+// asynchronously so a pipelined read set lands in one batch; replies stream
+// back whenever they complete, interleaved across sessions, serialized only
+// by the shared write mutex.
+
+// muxSessionQueue bounds the per-session op queue. A session ahead of its
+// worker by more than this exerts back-pressure on the connection's read
+// loop (clients are expected to pipeline one transaction's ops, not
+// thousands).
+const muxSessionQueue = 128
+
+// muxSession is one transaction session multiplexed on a connection.
+type muxSession struct {
+	id  uint32
+	ops chan frame
+}
+
+// replyFunc sends one reply frame; it is safe for concurrent use.
+type replyFunc func(kind frameKind, session, req uint32, payload []byte)
+
+// serveMux serves the v2 protocol on one connection (magic already
+// consumed). ctx is cancelled when the connection dies, aborting every open
+// session's transaction and unblocking its waits.
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wmu sync.Mutex
+	w := bufio.NewWriter(conn)
+	reply := func(kind frameKind, session, req uint32, payload []byte) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		buf := appendFrame(nil, frame{kind: kind, session: session, req: req, payload: payload})
+		if _, err := w.Write(buf); err != nil {
+			conn.Close()
+			return
+		}
+		if w.Flush() != nil {
+			conn.Close()
+		}
+	}
+	sessions := make(map[uint32]*muxSession)
+	var workers sync.WaitGroup
+
+	for {
+		f, err := readMuxFrame(r)
+		if err != nil {
+			break
+		}
+		switch f.kind {
+		case frameBegin:
+			if _, open := sessions[f.session]; open {
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "session already open"))
+				continue
+			}
+			ms := &muxSession{id: f.session, ops: make(chan frame, muxSessionQueue)}
+			sessions[f.session] = ms
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				s.runSession(ctx, ms, reply)
+			}()
+			ms.ops <- f
+		case frameRead, frameWrite, frameDelete:
+			ms, open := sessions[f.session]
+			if !open {
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"))
+				continue
+			}
+			ms.ops <- f
+		case frameCommit, frameAbort:
+			ms, open := sessions[f.session]
+			if !open {
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"))
+				continue
+			}
+			// The session ends with this op: frames for the id arriving
+			// later (a client bug) get "no such session", never a stale
+			// transaction. The worker drains the queue and exits.
+			delete(sessions, f.session)
+			ms.ops <- f
+			close(ms.ops)
+		default:
+			reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, fmt.Sprintf("unknown frame kind %d", f.kind)))
+		}
+	}
+	// Connection teardown: cancel session transactions (unblocking batch and
+	// commit waits), close the queues so workers drain, and wait them out.
+	cancel()
+	for _, ms := range sessions {
+		close(ms.ops)
+	}
+	workers.Wait()
+	conn.Close()
+}
+
+// runSession executes one session's operations in wire order. Reads are
+// registered asynchronously and resolved on side goroutines, so a pipelined
+// read set shares one batch and the worker moves straight on to the next op;
+// commit/abort wait for every outstanding read first (a commit may not
+// overtake the reads it depends on).
+func (s *Server) runSession(ctx context.Context, ms *muxSession, reply replyFunc) {
+	tx := beginTxn(s.db, ctx)
+	var reads sync.WaitGroup
+	settled := false
+	for f := range ms.ops {
+		switch f.kind {
+		case frameBegin:
+			reply(frameOK, ms.id, f.req, nil)
+		case frameRead:
+			atx, ok := tx.(kvtxn.AsyncTxn)
+			if !ok {
+				// Engines without asynchronous reads (the evaluation
+				// baselines) execute the read inline: a kvtxn.Txn is
+				// single-goroutine, so the worker may not run later ops
+				// concurrently with a pending read. Sessions still
+				// multiplex; only intra-session read pipelining is lost.
+				v, found, err := tx.Read(string(f.payload))
+				if err != nil {
+					reply(frameErr, ms.id, f.req, errReply(err))
+				} else {
+					reply(frameOK, ms.id, f.req, encodeReadOKPayload(v, found))
+				}
+				continue
+			}
+			fut := atx.ReadAsync(string(f.payload))
+			reads.Add(1)
+			go func(req uint32) {
+				defer reads.Done()
+				v, found, err := fut.Wait(ctx)
+				if err != nil {
+					reply(frameErr, ms.id, req, errReply(err))
+				} else {
+					reply(frameOK, ms.id, req, encodeReadOKPayload(v, found))
+				}
+			}(f.req)
+		case frameWrite:
+			key, value, err := parseWritePayload(f.payload)
+			if err == nil {
+				err = tx.Write(key, value)
+			}
+			if err != nil {
+				reply(frameErr, ms.id, f.req, errReply(err))
+			} else {
+				reply(frameOK, ms.id, f.req, nil)
+			}
+		case frameDelete:
+			if err := tx.Delete(string(f.payload)); err != nil {
+				reply(frameErr, ms.id, f.req, errReply(err))
+			} else {
+				reply(frameOK, ms.id, f.req, nil)
+			}
+		case frameCommit:
+			reads.Wait()
+			settled = true
+			if err := tx.Commit(); err != nil {
+				reply(frameErr, ms.id, f.req, errReply(err))
+			} else {
+				reply(frameOK, ms.id, f.req, nil)
+			}
+		case frameAbort:
+			reads.Wait()
+			settled = true
+			tx.Abort()
+			reply(frameOK, ms.id, f.req, nil)
+		}
+	}
+	if !settled {
+		// Connection died with the session open: discard the transaction.
+		reads.Wait()
+		tx.Abort()
+	}
+}
+
+// beginTxn starts a transaction bound to ctx when the engine supports it.
+func beginTxn(db kvtxn.DB, ctx context.Context) kvtxn.Txn {
+	if cdb, ok := db.(kvtxn.CtxDB); ok {
+		return cdb.BeginCtx(ctx)
+	}
+	return db.Begin()
+}
+
+// errReply encodes err as a frameErr payload, classifying retryable aborts
+// so the client can reconstruct errors.Is(err, kvtxn.ErrAborted) across the
+// wire.
+func errReply(err error) []byte {
+	code := errCodeGeneric
+	if errors.Is(err, kvtxn.ErrAborted) || errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrEpochFull) {
+		code = errCodeAborted
+	}
+	return encodeErrPayload(code, err.Error())
+}

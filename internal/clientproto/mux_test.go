@@ -1,0 +1,419 @@
+package clientproto_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obladi/internal/clientproto"
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/enginetest"
+	"obladi/internal/kvtxn"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// newMuxStack serves an auto-mode Obladi engine and dials a mux client.
+func newMuxStack(t *testing.T, shards int) *clientproto.MuxClient {
+	t.Helper()
+	srv := newServer(t, shards)
+	mc, err := clientproto.DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	return mc
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	mc := newMuxStack(t, 1)
+	db := clientproto.MuxDB{C: mc}
+	err := kvtxn.RunWithRetries(db, 10, func(tx kvtxn.Txn) error {
+		if err := tx.Write("hello", []byte("world")); err != nil {
+			return err
+		}
+		v, found, err := tx.Read("hello")
+		if err != nil {
+			return err
+		}
+		if !found || string(v) != "world" {
+			t.Fatalf("read own write: %q %v", v, found)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = kvtxn.RunWithRetries(db, 10, func(tx kvtxn.Txn) error {
+		v, found, err := tx.Read("hello")
+		if err != nil {
+			return err
+		}
+		if !found || string(v) != "world" {
+			return fmt.Errorf("read after commit: %q %v", v, found)
+		}
+		_, found, err = tx.Read("absent")
+		if err != nil {
+			return err
+		}
+		if found {
+			t.Fatal("absent key found")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxShardedStack drives the mux protocol against a 4-shard proxy.
+func TestMuxShardedStack(t *testing.T) {
+	mc := newMuxStack(t, 4)
+	db := clientproto.MuxDB{C: mc}
+	err := kvtxn.RunWithRetries(db, 10, func(tx kvtxn.Txn) error {
+		for i := 0; i < 16; i++ {
+			if err := tx.Write(fmt.Sprintf("mux-shard-%d", i), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadMany pipelines all keys into one batch round per shard.
+	err = kvtxn.RunWithRetries(db, 10, func(tx kvtxn.Txn) error {
+		keys := make([]string, 16)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("mux-shard-%d", i)
+		}
+		res, err := tx.ReadMany(keys)
+		if err != nil {
+			return err
+		}
+		for i, r := range res {
+			if !r.Found || len(r.Value) != 1 || r.Value[0] != byte(i) {
+				t.Fatalf("%s: %v %v", r.Key, r.Value, r.Found)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxPipelinedReadsShareOneBatch serves a *manual-mode* proxy so the
+// test drives the schedule: a session's pipelined read set must be served by
+// a single read batch, and a pipelined commit by the following boundary.
+func TestMuxPipelinedReadsShareOneBatch(t *testing.T) {
+	params := ringoram.Params{
+		NumBlocks: 256, Z: 8, S: 12, A: 8,
+		KeySize: 32, ValueSize: 64, Seed: 1,
+	}
+	store := storage.NewMemBackend(params.Geometry().NumBuckets)
+	p, err := core.New(store, core.Config{
+		Params: params, Key: cryptoutil.KeyFromSeed([]byte("mux-manual")),
+		ReadBatches: 4, ReadBatchSize: 16, WriteBatchSize: 16,
+		DisableDurability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv, err := clientproto.NewServer(kvtxn.ProxyDB{P: p}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mc, err := clientproto.DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	// Pipeline eight reads and the commit without waiting for any reply.
+	tx := mc.Begin()
+	futures := make([]kvtxn.ReadFuture, 8)
+	for i := range futures {
+		futures[i] = tx.ReadAsync(fmt.Sprintf("pipe-%d", i))
+	}
+	commitDone := make(chan error, 1)
+	go func() { commitDone <- tx.Commit() }()
+
+	// Wait until all eight reads are queued server-side, then fire exactly
+	// one batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.PendingFetches() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reads never queued: pending=%d", p.PendingFetches())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.StepReadBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futures {
+		v, found, err := f.Wait(nil)
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if found {
+			t.Fatalf("future %d: unexpected value %q", i, v)
+		}
+	}
+	// The commit decision arrives at the next boundary.
+	select {
+	case err := <-commitDone:
+		t.Fatalf("commit decided before the boundary: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.StepReadBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-commitDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxAndLineShareOneServer runs a legacy line client and a mux client
+// against the same listener: the auto-detect must route both.
+func TestMuxAndLineShareOneServer(t *testing.T) {
+	srv := newServer(t, 1)
+	line, err := clientproto.DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer line.Close()
+	mc, err := clientproto.DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	db := clientproto.MuxDB{C: mc}
+
+	if err := kvtxn.RunWithRetries(db, 10, func(tx kvtxn.Txn) error {
+		return tx.Write("shared", []byte("via-mux"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The line client reads what the mux client wrote.
+	var got []byte
+	for attempt := 0; attempt < 10; attempt++ {
+		if err := line.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		v, found, err := line.Read("shared")
+		if err != nil {
+			line.Abort()
+			continue
+		}
+		if !found {
+			t.Fatal("line client: key missing")
+		}
+		got = v
+		line.Abort()
+		break
+	}
+	if string(got) != "via-mux" {
+		t.Fatalf("line client read %q", got)
+	}
+}
+
+// TestMuxSessionProtocolErrors speaks raw frames: ops on unopened sessions
+// and double BEGINs get error replies without desyncing the connection.
+func TestMuxSessionProtocolErrors(t *testing.T) {
+	srv := newServer(t, 1)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("\x00OB2")); err != nil {
+		t.Fatal(err)
+	}
+	send := func(kind byte, session, req uint32, payload []byte) {
+		t.Helper()
+		buf := make([]byte, 0, 13+len(payload))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(9+len(payload)))
+		buf = append(buf, kind)
+		buf = binary.BigEndian.AppendUint32(buf, session)
+		buf = binary.BigEndian.AppendUint32(buf, req)
+		buf = append(buf, payload...)
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() (kind byte, session, req uint32, payload []byte) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		return body[0], binary.BigEndian.Uint32(body[1:5]), binary.BigEndian.Uint32(body[5:9]), body[9:]
+	}
+	const (
+		kindBegin = 1
+		kindRead  = 2
+		kindAbort = 6
+		kindOK    = 0x80
+		kindErr   = 0x81
+	)
+	// READ on a session that was never opened.
+	send(kindRead, 42, 1, []byte("k"))
+	if kind, session, req, payload := recv(); kind != kindErr || session != 42 || req != 1 {
+		t.Fatalf("unopened session read: kind=%#x session=%d req=%d %q", kind, session, req, payload)
+	}
+	// Open, then double-open.
+	send(kindBegin, 7, 1, nil)
+	if kind, _, _, _ := recv(); kind != kindOK {
+		t.Fatalf("begin: kind=%#x", kind)
+	}
+	send(kindBegin, 7, 2, nil)
+	if kind, _, _, payload := recv(); kind != kindErr {
+		t.Fatalf("double begin: kind=%#x %q", kind, payload)
+	}
+	// The connection still works: abort the session cleanly.
+	send(kindAbort, 7, 3, nil)
+	if kind, _, req, _ := recv(); kind != kindOK || req != 3 {
+		t.Fatalf("abort after errors: kind=%#x req=%d", kind, req)
+	}
+}
+
+// TestMuxManyConcurrentSessions runs many concurrent transaction sessions
+// over ONE connection, mixing reads and writes, and verifies every committed
+// value — the multiplexing the line protocol fundamentally cannot do.
+func TestMuxManyConcurrentSessions(t *testing.T) {
+	mc := newMuxStack(t, 1)
+	db := clientproto.MuxDB{C: mc}
+	const workers = 24
+	const txnsPer = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPer; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				err := kvtxn.RunWithRetries(db, 20, func(tx kvtxn.Txn) error {
+					return tx.Write(key, []byte(key))
+				})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Verify a sample of keys.
+	for _, key := range []string{"w0-k0", "w11-k3", "w23-k1"} {
+		err := kvtxn.RunWithRetries(db, 20, func(tx kvtxn.Txn) error {
+			v, found, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			if !found || string(v) != key {
+				t.Fatalf("%s: %q %v", key, v, found)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMuxStressServerClose is the -race stress for the v2 session machinery:
+// many concurrent sessions on one connection, with the server torn down
+// mid-flight. Every client call must return (no stranded futures), and the
+// engine must shut down cleanly afterwards (no stranded server workers).
+func TestMuxStressServerClose(t *testing.T) {
+	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 512, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := clientproto.NewServer(eng.DB, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := clientproto.DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := clientproto.MuxDB{C: mc}
+
+	const workers = 32
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				tx := db.Begin()
+				key := fmt.Sprintf("stress-%d-%d", w, i%8)
+				if err := tx.Write(key, []byte("v")); err != nil {
+					tx.Abort()
+					return
+				}
+				if _, _, err := tx.Read(key); err != nil {
+					tx.Abort()
+					if errors.Is(err, kvtxn.ErrAborted) {
+						continue // epoch boundary; retry
+					}
+					return // connection down: stop
+				}
+				if err := tx.Commit(); err != nil {
+					if errors.Is(err, kvtxn.ErrAborted) {
+						continue
+					}
+					return
+				}
+				committed.Add(1)
+			}
+		}(w)
+	}
+
+	// Let traffic build, then kill the server mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	srv.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("client workers stranded after server close")
+	}
+	mc.Close()
+	if err := eng.DB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := eng.Violation(); v != nil {
+		t.Fatal(v)
+	}
+	t.Logf("committed %d transactions before the close", committed.Load())
+}

@@ -1,0 +1,474 @@
+package clientproto
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"obladi/internal/kvtxn"
+)
+
+// MuxClient speaks the multiplexed v2 protocol: many concurrent transaction
+// sessions over one TCP connection, requests pipelined without waiting for
+// replies. It is safe for concurrent use; each MuxTxn it hands out follows
+// the kvtxn.Txn contract (single goroutine, though read futures may be
+// resolved from others).
+type MuxClient struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu          sync.Mutex
+	nextSession uint32
+	pending     map[uint64]chan frame
+	readErr     error
+	closed      bool
+}
+
+// DialMux connects to a proxy server and opens the v2 protocol.
+func DialMux(addr string) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are small and flushed eagerly; Nagle buffering would add
+		// delayed-ACK stalls to every pipelined burst.
+		tc.SetNoDelay(true)
+	}
+	c := &MuxClient{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]chan frame),
+	}
+	if _, err := conn.Write([]byte(muxMagic)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("clientproto: sending magic: %w", err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close closes the connection; pending operations fail with a
+// connection-lost error.
+func (c *MuxClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *MuxClient) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		f, err := readMuxFrame(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		key := uint64(f.session)<<32 | uint64(f.req)
+		c.mu.Lock()
+		ch := c.pending[key]
+		delete(c.pending, key)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// fail records the connection error and wakes every pending wait.
+func (c *MuxClient) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for key, ch := range c.pending {
+		delete(c.pending, key)
+		close(ch)
+	}
+}
+
+// send registers a pending reply and writes one request frame. The returned
+// channel delivers the reply (or closes on connection loss).
+func (c *MuxClient) send(kind frameKind, session, req uint32, payload []byte) (chan frame, error) {
+	if frameHeaderLen+len(payload) > muxMaxFrame {
+		return nil, fmt.Errorf("clientproto: request of %d bytes exceeds frame limit", len(payload))
+	}
+	ch := make(chan frame, 1)
+	key := uint64(session)<<32 | uint64(req)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("clientproto: client closed")
+		}
+		return nil, err
+	}
+	c.pending[key] = ch
+	c.mu.Unlock()
+
+	buf := appendFrame(nil, frame{kind: kind, session: session, req: req, payload: payload})
+	c.wmu.Lock()
+	_, err := c.w.Write(buf)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("clientproto: send: %w", err)
+	}
+	return ch, nil
+}
+
+// connLost reports the connection-level error behind a closed reply channel.
+func (c *MuxClient) connLost() error {
+	c.mu.Lock()
+	err := c.readErr
+	c.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("clientproto: client closed")
+	}
+	return fmt.Errorf("clientproto: connection lost: %w", err)
+}
+
+// replyError converts a reply frame into the operation's error result,
+// reconstructing retryable aborts so errors.Is(err, kvtxn.ErrAborted) holds
+// across the wire.
+func (c *MuxClient) replyError(f frame) error {
+	switch f.kind {
+	case frameOK:
+		return nil
+	case frameErr:
+		code, msg, err := parseErrPayload(f.payload)
+		if err != nil {
+			return fmt.Errorf("clientproto: malformed error reply")
+		}
+		if code == errCodeAborted {
+			return fmt.Errorf("%w: %s", kvtxn.ErrAborted, msg)
+		}
+		return fmt.Errorf("clientproto: %s", msg)
+	default:
+		return fmt.Errorf("clientproto: unexpected reply kind %d", f.kind)
+	}
+}
+
+// Begin opens a new transaction session. The BEGIN frame is pipelined like
+// every other request: Begin does not wait for the server's ack, which is
+// collected with the other outstanding acks at Commit/Abort.
+func (c *MuxClient) Begin() *MuxTxn {
+	return c.BeginCtx(context.Background())
+}
+
+// BeginCtx is Begin with a context applied to every wait the transaction
+// performs (read futures, commit).
+func (c *MuxClient) BeginCtx(ctx context.Context) *MuxTxn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	c.nextSession++
+	id := c.nextSession
+	c.mu.Unlock()
+	t := &MuxTxn{c: c, session: id, ctx: ctx}
+	t.enqueue(frameBegin, nil, "begin")
+	return t
+}
+
+// MuxTxn is one multiplexed transaction session.
+type MuxTxn struct {
+	c       *MuxClient
+	session uint32
+	ctx     context.Context
+	nextReq uint32
+	// pend holds the acks of pipelined mutations (begin/write/delete) not
+	// yet collected; Commit and Abort drain it.
+	pend    []*MuxOpFuture
+	settled bool
+	sendErr error
+}
+
+// enqueue sends one request frame and tracks its ack as an OpFuture.
+func (t *MuxTxn) enqueue(kind frameKind, payload []byte, op string) *MuxOpFuture {
+	t.nextReq++
+	f := &MuxOpFuture{t: t, op: op}
+	if t.sendErr != nil {
+		f.done, f.err = true, t.sendErr
+		return f
+	}
+	ch, err := t.c.send(kind, t.session, t.nextReq, payload)
+	if err != nil {
+		t.sendErr = err
+		f.done, f.err = true, err
+		return f
+	}
+	f.ch = ch
+	t.pend = append(t.pend, f)
+	return f
+}
+
+// MuxOpFuture is the pending ack of a pipelined mutation.
+type MuxOpFuture struct {
+	t  *MuxTxn
+	op string
+	ch chan frame
+
+	mu   sync.Mutex
+	done bool
+	err  error
+}
+
+// Wait blocks until the operation's ack arrives or ctx is done (nil means
+// the transaction's context). It is idempotent; Commit/Abort call it for
+// every ack the caller didn't collect.
+func (f *MuxOpFuture) Wait(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return f.err
+	}
+	if ctx == nil {
+		ctx = f.t.ctx
+	}
+	select {
+	case reply, ok := <-f.ch:
+		f.done = true
+		if !ok {
+			f.err = f.t.c.connLost()
+		} else {
+			f.err = f.t.c.replyError(reply)
+		}
+		return f.err
+	case <-ctx.Done():
+		// The ack may still arrive; the future stays pending so a later
+		// drain can collect it.
+		return ctx.Err()
+	}
+}
+
+// MuxFuture is a pending read result.
+type MuxFuture struct {
+	t  *MuxTxn
+	ch chan frame
+
+	mu    sync.Mutex
+	done  bool
+	value []byte
+	found bool
+	err   error
+}
+
+// Wait blocks until the read's batch executes server-side and the reply
+// arrives, or ctx is done (nil means the transaction's context).
+func (f *MuxFuture) Wait(ctx context.Context) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return f.value, f.found, f.err
+	}
+	if ctx == nil {
+		ctx = f.t.ctx
+	}
+	if f.ch == nil {
+		f.done = true
+		f.err = f.t.sendErrOrLost()
+		return nil, false, f.err
+	}
+	select {
+	case reply, ok := <-f.ch:
+		f.done = true
+		switch {
+		case !ok:
+			f.err = f.t.c.connLost()
+		case reply.kind == frameOK:
+			f.value, f.found, f.err = parseReadOKPayload(reply.payload)
+		default:
+			f.err = f.t.c.replyError(reply)
+		}
+		return f.value, f.found, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+func (t *MuxTxn) sendErrOrLost() error {
+	if t.sendErr != nil {
+		return t.sendErr
+	}
+	return t.c.connLost()
+}
+
+// ReadAsync pipelines a READ frame and returns its future immediately: a
+// transaction can put its whole read set on the wire before the first batch
+// fires, and the server packs the reads into the same batch.
+func (t *MuxTxn) ReadAsync(key string) kvtxn.ReadFuture {
+	f := &MuxFuture{t: t}
+	if t.settled {
+		f.done, f.err = true, fmt.Errorf("%w: session settled", kvtxn.ErrAborted)
+		return f
+	}
+	t.nextReq++
+	ch, err := t.c.send(frameRead, t.session, t.nextReq, []byte(key))
+	if err != nil {
+		t.sendErr = err
+		f.done, f.err = true, err
+		return f
+	}
+	f.ch = ch
+	return f
+}
+
+// Read fetches one key, blocking until its batch executes.
+func (t *MuxTxn) Read(key string) ([]byte, bool, error) {
+	return t.ReadAsync(key).Wait(t.ctx)
+}
+
+// ReadMany pipelines all keys, sharing one read batch server-side.
+func (t *MuxTxn) ReadMany(keys []string) ([]kvtxn.Value, error) {
+	futures := make([]kvtxn.ReadFuture, len(keys))
+	for i, k := range keys {
+		futures[i] = t.ReadAsync(k)
+	}
+	out := make([]kvtxn.Value, len(keys))
+	for i, f := range futures {
+		v, found, err := f.Wait(t.ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = kvtxn.Value{Key: keys[i], Value: v, Found: found}
+	}
+	return out, nil
+}
+
+// WriteAsync pipelines a WRITE frame; the returned future carries the ack.
+func (t *MuxTxn) WriteAsync(key string, value []byte) *MuxOpFuture {
+	if t.settled {
+		return &MuxOpFuture{t: t, op: "write", done: true, err: fmt.Errorf("%w: session settled", kvtxn.ErrAborted)}
+	}
+	return t.enqueue(frameWrite, encodeWritePayload(key, value), "write")
+}
+
+// Write pipelines a write without waiting for its ack; a failure surfaces on
+// WriteAsync's future, at Commit, or both.
+func (t *MuxTxn) Write(key string, value []byte) error {
+	f := t.WriteAsync(key, value)
+	if f.done {
+		return f.err
+	}
+	return nil
+}
+
+// DeleteAsync pipelines a DELETE frame; the returned future carries the ack.
+func (t *MuxTxn) DeleteAsync(key string) *MuxOpFuture {
+	if t.settled {
+		return &MuxOpFuture{t: t, op: "delete", done: true, err: fmt.Errorf("%w: session settled", kvtxn.ErrAborted)}
+	}
+	return t.enqueue(frameDelete, []byte(key), "delete")
+}
+
+// Delete pipelines a delete without waiting for its ack.
+func (t *MuxTxn) Delete(key string) error {
+	f := t.DeleteAsync(key)
+	if f.done {
+		return f.err
+	}
+	return nil
+}
+
+// Commit pipelines the COMMIT frame, then collects every outstanding ack and
+// the commit decision. The first failed mutation's error wins (the server
+// aborted the transaction at that op); otherwise Commit returns the epoch's
+// decision.
+func (t *MuxTxn) Commit() error {
+	if t.settled {
+		return fmt.Errorf("%w: session settled", kvtxn.ErrAborted)
+	}
+	t.settled = true
+	if t.sendErr != nil {
+		return t.sendErr
+	}
+	t.nextReq++
+	ch, err := t.c.send(frameCommit, t.session, t.nextReq, nil)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, f := range t.pend {
+		if err := f.Wait(t.ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", f.op, err)
+		}
+	}
+	t.pend = nil
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			if firstErr != nil {
+				return firstErr
+			}
+			return t.c.connLost()
+		}
+		if err := t.c.replyError(reply); err != nil {
+			if firstErr != nil {
+				return firstErr
+			}
+			return err
+		}
+		return firstErr
+	case <-t.ctx.Done():
+		return fmt.Errorf("clientproto: %w while awaiting commit decision (outcome unknown)", t.ctx.Err())
+	}
+}
+
+// Abort pipelines the ABORT frame and collects the outstanding acks,
+// discarding their errors (the transaction is being thrown away).
+func (t *MuxTxn) Abort() {
+	if t.settled {
+		return
+	}
+	t.settled = true
+	if t.sendErr != nil {
+		return
+	}
+	t.nextReq++
+	ch, err := t.c.send(frameAbort, t.session, t.nextReq, nil)
+	if err != nil {
+		return
+	}
+	for _, f := range t.pend {
+		f.Wait(t.ctx)
+	}
+	t.pend = nil
+	select {
+	case <-ch:
+	case <-t.ctx.Done():
+	}
+}
+
+// MuxDB adapts a MuxClient to the kvtxn.DB interface so workload suites and
+// benchmarks run unchanged over the multiplexed wire.
+type MuxDB struct {
+	C *MuxClient
+}
+
+var (
+	_ kvtxn.DB       = MuxDB{}
+	_ kvtxn.CtxDB    = MuxDB{}
+	_ kvtxn.AsyncTxn = (*MuxTxn)(nil)
+)
+
+// Begin implements kvtxn.DB.
+func (d MuxDB) Begin() kvtxn.Txn { return d.C.Begin() }
+
+// BeginCtx implements kvtxn.CtxDB.
+func (d MuxDB) BeginCtx(ctx context.Context) kvtxn.Txn { return d.C.BeginCtx(ctx) }
+
+// Close implements kvtxn.DB.
+func (d MuxDB) Close() error { return d.C.Close() }

@@ -1,30 +1,34 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"obladi/internal/mvtso"
 )
 
-// Txn is a transaction handle bound to the epoch it started in. A Txn must
-// not be used concurrently.
+// Txn is a transaction handle bound to the epoch it started in. Operations
+// (Read, Write, Commit, …) must not be called concurrently; resolving
+// ReadAsync Futures from other goroutines is allowed (see async.go).
 type Txn struct {
 	p     *Proxy
 	inner *mvtso.Txn
 	epoch uint64
-	done  bool
+	ctx   context.Context
+	// done flips when the client settles the transaction (Commit/Abort).
+	// Atomic because Future waiters may consult the handle while the owning
+	// goroutine settles it.
+	done atomic.Bool
 	// paidSlots tracks keys this txn already spent a batch slot on, for
-	// the DisableReadCache ablation.
+	// the DisableReadCache ablation. Guarded by p.mu.
 	paidSlots map[string]bool
 }
 
 // Begin starts a transaction in the current epoch.
 func (p *Proxy) Begin() *Txn {
-	p.mu.Lock()
-	epoch := p.epoch
-	p.mu.Unlock()
-	return &Txn{p: p, inner: p.ccu.Begin(), epoch: epoch}
+	return p.BeginCtx(context.Background())
 }
 
 // TS returns the transaction's serialization timestamp.
@@ -32,77 +36,28 @@ func (t *Txn) TS() uint64 { return uint64(t.inner.TS()) }
 
 // Read returns the value of key as visible to this transaction. It blocks
 // while the key's base version is fetched from the ORAM (at most until the
-// epoch's read batches are exhausted).
+// epoch's read batches are exhausted, or the transaction's context is done).
 func (t *Txn) Read(key string) ([]byte, bool, error) {
-	if err := t.check(key); err != nil {
-		return nil, false, err
-	}
-	if t.p.cfg.DisableReadCache {
-		// Ablation (§6.3): a version-cache hit still consumes a read-batch
-		// slot, modeling a system that cannot serve resident blocks
-		// locally.
-		if err := t.payCacheSlot(key); err != nil {
-			t.inner.Abort()
-			return nil, false, err
-		}
-	}
-	for {
-		v, found, err := t.inner.Read(key)
-		switch {
-		case err == nil:
-			return v, found, nil
-		case errors.Is(err, mvtso.ErrNeedFetch):
-			if ferr := t.awaitFetch(key); ferr != nil {
-				t.inner.Abort()
-				return nil, false, ferr
-			}
-		case errors.Is(err, mvtso.ErrAborted):
-			return nil, false, fmt.Errorf("%w: %v", ErrAborted, err)
-		default:
-			return nil, false, err
-		}
-	}
+	return t.ReadAsync(key).Wait(t.ctx)
 }
 
 // ReadMany reads several independent keys, requesting all missing base
 // versions in the same read batch instead of one batch per key. Results are
 // parallel to keys. Transactions with many independent reads should prefer
-// ReadMany: a sequential Read chain consumes one read batch per key (§6.4:
-// dependent reads cost batches).
+// ReadMany (or ReadAsync): a sequential Read chain consumes one read batch
+// per key (§6.4: dependent reads cost batches).
 func (t *Txn) ReadMany(keys []string) ([]ReadResult, error) {
-	for _, k := range keys {
-		if err := t.check(k); err != nil {
-			return nil, err
-		}
-	}
-	if t.p.cfg.DisableReadCache {
-		for _, k := range keys {
-			if err := t.payCacheSlot(k); err != nil {
-				t.inner.Abort()
-				return nil, err
-			}
-		}
-	}
-	// Queue fetches for every key not yet resident, then wait for all.
-	waits := make([]<-chan error, 0, len(keys))
-	for _, k := range keys {
-		if ch := t.p.queueFetch(t.epoch, k); ch != nil {
-			waits = append(waits, ch)
-		}
-	}
-	for _, ch := range waits {
-		if err := <-ch; err != nil {
-			t.inner.Abort()
-			return nil, err
-		}
+	futures := make([]*Future, len(keys))
+	for i, k := range keys {
+		futures[i] = t.ReadAsync(k)
 	}
 	out := make([]ReadResult, len(keys))
-	for i, k := range keys {
-		v, found, err := t.Read(k) // resident now; no further blocking
+	for i, f := range futures {
+		v, found, err := f.Wait(t.ctx)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = ReadResult{Key: k, Value: v, Found: found}
+		out[i] = ReadResult{Key: keys[i], Value: v, Found: found}
 	}
 	return out, nil
 }
@@ -154,9 +109,22 @@ func (t *Txn) Delete(key string) error {
 }
 
 // Commit requests commit and blocks until the epoch decides the
-// transaction's fate. nil means durably committed.
+// transaction's fate. nil means durably committed. If the transaction's
+// context (BeginCtx) ends while the decision is pending, Commit stops
+// waiting and returns the context's error — the outcome is then unknown to
+// the caller: the commit request was already registered, and the boundary
+// may still commit it.
 func (t *Txn) Commit() error {
-	return <-t.CommitAsync()
+	ch := t.CommitAsync()
+	select {
+	case err := <-ch:
+		return err
+	case <-t.ctx.Done():
+		// Best effort: aborts the transaction if the boundary has not
+		// decided it yet; a no-op if it has.
+		t.inner.Abort()
+		return fmt.Errorf("obladi: %w while awaiting epoch decision (outcome unknown)", context.Cause(t.ctx))
+	}
 }
 
 // CommitAsync requests commit and returns a channel that delivers the
@@ -165,11 +133,10 @@ func (t *Txn) Commit() error {
 // dependency aborts.
 func (t *Txn) CommitAsync() <-chan error {
 	ch := make(chan error, 1)
-	if t.done {
+	if !t.done.CompareAndSwap(false, true) {
 		ch <- ErrAborted
 		return ch
 	}
-	t.done = true
 	p := t.p
 	p.mu.Lock()
 	if p.closed {
@@ -208,17 +175,20 @@ func (t *Txn) CommitAsync() <-chan error {
 
 // Abort voluntarily aborts the transaction.
 func (t *Txn) Abort() {
-	if t.done {
+	if !t.done.CompareAndSwap(false, true) {
 		return
 	}
-	t.done = true
 	t.inner.Abort()
 }
 
-// check validates key and epoch membership for an operation.
+// check validates key, context, and epoch membership for an operation.
 func (t *Txn) check(key string) error {
-	if t.done {
+	if t.done.Load() {
 		return ErrAborted
+	}
+	if err := context.Cause(t.ctx); err != nil {
+		t.inner.Abort()
+		return fmt.Errorf("%w: %w", ErrAborted, err)
 	}
 	if key == "" {
 		return errors.New("obladi: empty key")
@@ -261,16 +231,6 @@ func (t *Txn) reserveWriteSlot(key string) error {
 	return nil
 }
 
-// awaitFetch queues key for the next read batch and blocks until its base
-// version installs (or the epoch runs out of batches).
-func (t *Txn) awaitFetch(key string) error {
-	ch := t.p.queueFetch(t.epoch, key)
-	if ch == nil {
-		return nil
-	}
-	return <-ch
-}
-
 // queueFetch enqueues key on its shard's next read batch and returns a
 // channel delivering the fetch outcome, or nil if the key is already resident
 // (no fetch needed) or an immediate error channel for a dead epoch.
@@ -310,10 +270,12 @@ func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
 }
 
 // payCacheSlot consumes one read-batch slot for a key whose base version is
-// already resident, by enqueueing a unique padding token on the key's shard
-// and waiting for its batch. No-op when the key has not been fetched this
-// epoch (the real fetch pays) or this transaction already paid for it.
-func (t *Txn) payCacheSlot(key string) error {
+// already resident, by enqueueing a unique padding token on the key's shard.
+// It returns a channel delivering the slot's batch outcome, or nil when no
+// payment is due: the key has not been fetched this epoch (the real fetch
+// pays) or this transaction already paid for it. The caller waits — with its
+// context, so cancellation is not blocked on the batch.
+func (t *Txn) payCacheSlot(key string) <-chan error {
 	p := t.p
 	p.mu.Lock()
 	sh := p.shards[shardOf(key, len(p.shards))]
@@ -331,5 +293,5 @@ func (t *Txn) payCacheSlot(key string) error {
 	sh.fetchQueue = append(sh.fetchQueue, token)
 	sh.queued[token] = append(sh.queued[token], w)
 	p.mu.Unlock()
-	return <-w.done
+	return w.done
 }

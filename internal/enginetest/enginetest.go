@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"obladi/internal/baseline"
+	"obladi/internal/clientproto"
 	"obladi/internal/core"
 	"obladi/internal/cryptoutil"
 	"obladi/internal/kvtxn"
@@ -103,6 +104,54 @@ func NewObladi(opt ObladiOptions) (Engine, error) {
 		name = fmt.Sprintf("obladi-%dshard", opt.Shards)
 	}
 	return Engine{Name: name, DB: kvtxn.ProxyDB{P: p}, Checkers: checkers}, nil
+}
+
+// NewObladiMux builds an Obladi engine served over loopback TCP through the
+// client protocol server and reached with the multiplexed v2 client — the
+// full wire stack a remote application sees. Closing the engine's DB closes
+// the client, the server, and the underlying proxy.
+func NewObladiMux(opt ObladiOptions) (Engine, error) {
+	eng, err := NewObladi(opt)
+	if err != nil {
+		return Engine{}, err
+	}
+	srv, err := clientproto.NewServer(eng.DB, "127.0.0.1:0")
+	if err != nil {
+		eng.DB.Close()
+		return Engine{}, err
+	}
+	mc, err := clientproto.DialMux(srv.Addr())
+	if err != nil {
+		srv.Close()
+		eng.DB.Close()
+		return Engine{}, err
+	}
+	return Engine{
+		Name:     eng.Name + "-mux",
+		DB:       wireDB{client: clientproto.MuxDB{C: mc}, srv: srv, engine: eng.DB},
+		Checkers: eng.Checkers,
+	}, nil
+}
+
+// wireDB chains a wire client over a protocol server over an engine,
+// closing all three in order.
+type wireDB struct {
+	client kvtxn.DB
+	srv    *clientproto.Server
+	engine kvtxn.DB
+}
+
+func (w wireDB) Begin() kvtxn.Txn { return w.client.Begin() }
+
+func (w wireDB) Close() error {
+	err := w.client.Close()
+	if serr := w.srv.Close(); err == nil {
+		err = serr
+	}
+	if eerr := w.engine.Close(); err == nil {
+		err = eerr
+	}
+	return err
 }
 
 // Baselines returns the NoPriv and 2PL engines over memory storage.

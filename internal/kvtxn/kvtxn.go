@@ -5,6 +5,7 @@
 package kvtxn
 
 import (
+	"context"
 	"errors"
 
 	"obladi/internal/core"
@@ -47,15 +48,49 @@ type Value struct {
 	Found bool
 }
 
+// CtxDB is the optional DB extension for engines whose transactions honor a
+// context: cancellation aborts the transaction and unblocks its waits. The
+// protocol server uses it to tie a wire session's transactions to the
+// connection's lifetime.
+type CtxDB interface {
+	DB
+	// BeginCtx starts a transaction bound to ctx.
+	BeginCtx(ctx context.Context) Txn
+}
+
+// ReadFuture is a pending asynchronous read.
+type ReadFuture interface {
+	// Wait blocks until the read resolves or ctx is done. A nil ctx means
+	// the transaction's own context (so futures of a context-bound
+	// transaction stay cancellable without re-threading the context).
+	Wait(ctx context.Context) (value []byte, found bool, err error)
+}
+
+// AsyncTxn is the optional Txn extension for engines that can register a
+// read without blocking, so a pipelined caller (one wire session worker, say)
+// can issue a transaction's whole read set before the first batch fires.
+// Futures may be resolved from goroutines other than the transaction's.
+type AsyncTxn interface {
+	Txn
+	// ReadAsync registers a read and returns immediately.
+	ReadAsync(key string) ReadFuture
+}
+
 // ProxyDB adapts the Obladi proxy to the DB interface.
 type ProxyDB struct {
 	P *core.Proxy
 }
 
-var _ DB = ProxyDB{}
+var (
+	_ DB    = ProxyDB{}
+	_ CtxDB = ProxyDB{}
+)
 
 // Begin implements DB.
 func (d ProxyDB) Begin() Txn { return &proxyTxn{t: d.P.Begin()} }
+
+// BeginCtx implements CtxDB.
+func (d ProxyDB) BeginCtx(ctx context.Context) Txn { return &proxyTxn{t: d.P.BeginCtx(ctx)} }
 
 // Close implements DB.
 func (d ProxyDB) Close() error { return d.P.Close() }
@@ -64,8 +99,24 @@ type proxyTxn struct {
 	t *core.Txn
 }
 
+var _ AsyncTxn = (*proxyTxn)(nil)
+
 func (p *proxyTxn) Read(key string) ([]byte, bool, error) {
 	v, found, err := p.t.Read(key)
+	return v, found, wrapAbort(err)
+}
+
+// ReadAsync implements AsyncTxn.
+func (p *proxyTxn) ReadAsync(key string) ReadFuture {
+	return proxyFuture{f: p.t.ReadAsync(key)}
+}
+
+type proxyFuture struct {
+	f *core.Future
+}
+
+func (pf proxyFuture) Wait(ctx context.Context) ([]byte, bool, error) {
+	v, found, err := pf.f.Wait(ctx)
 	return v, found, wrapAbort(err)
 }
 

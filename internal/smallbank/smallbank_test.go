@@ -19,7 +19,13 @@ func testEngines(t *testing.T) []enginetest.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engines = append(engines, ob, ob4)
+	// The same engine reached through the multiplexed wire protocol: the
+	// identical business logic must hold over the full client stack.
+	obmux, err := enginetest.NewObladiMux(enginetest.ObladiOptions{ValueSize: 64, NumBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines = append(engines, ob, ob4, obmux)
 	return engines
 }
 

@@ -25,6 +25,7 @@
 package obladi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -178,7 +179,10 @@ func Open(opt Options) (*DB, error) {
 
 	var backends []storage.Backend
 	if opt.RemoteAddr != "" {
-		addrs := strings.Split(opt.RemoteAddr, ",")
+		addrs, aerr := splitAddrs(opt.RemoteAddr)
+		if aerr != nil {
+			return nil, aerr
+		}
 		if len(addrs) != opt.Shards {
 			return nil, fmt.Errorf("obladi: %d shards need %d comma-separated storage addresses in RemoteAddr, got %d", opt.Shards, opt.Shards, len(addrs))
 		}
@@ -226,6 +230,22 @@ func Open(opt Options) (*DB, error) {
 	return &DB{proxy: proxy, backends: backends}, nil
 }
 
+// splitAddrs parses a comma-separated address list, trimming surrounding
+// whitespace ("a, b" means "a" and "b", not " b") and rejecting empty
+// entries, which would otherwise surface as a confusing dial error.
+func splitAddrs(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	addrs := make([]string, 0, len(parts))
+	for i, p := range parts {
+		a := strings.TrimSpace(p)
+		if a == "" {
+			return nil, fmt.Errorf("obladi: RemoteAddr %q: empty address at position %d", s, i+1)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
+}
+
 func boundaryMode(opt Options) core.BoundaryMode {
 	if opt.SyncEpochBoundary {
 		return core.BoundarySync
@@ -235,15 +255,35 @@ func boundaryMode(opt Options) core.BoundaryMode {
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Txn {
-	return &Txn{t: db.proxy.Begin()}
+	return db.BeginCtx(context.Background())
+}
+
+// BeginCtx starts a transaction bound to ctx: cancellation or deadline
+// expiry aborts it, and unblocks any operation waiting on a batch or on the
+// epoch's commit decision. The oblivious schedule is unaffected — batch
+// slots a cancelled transaction queued still execute as dummies.
+func (db *DB) BeginCtx(ctx context.Context) *Txn {
+	return &Txn{t: db.proxy.BeginCtx(ctx)}
 }
 
 // Update runs fn in a transaction and commits, retrying up to 10 times on
 // aborts. fn must be idempotent.
 func (db *DB) Update(fn func(*Txn) error) error {
+	return db.UpdateCtx(context.Background(), fn)
+}
+
+// UpdateCtx is Update bound to ctx: each attempt's transaction carries ctx,
+// and retries stop once ctx is done.
+func (db *DB) UpdateCtx(ctx context.Context, fn func(*Txn) error) error {
 	var last error
 	for attempt := 0; attempt < 10; attempt++ {
-		tx := db.Begin()
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		tx := db.BeginCtx(ctx)
 		if err := fn(tx); err != nil {
 			tx.Abort()
 			if errors.Is(err, ErrAborted) || errors.Is(err, ErrEpochFull) {
@@ -267,9 +307,20 @@ func (db *DB) Update(fn func(*Txn) error) error {
 // View runs fn in a transaction that is aborted afterwards (reads only take
 // effect); retries like Update.
 func (db *DB) View(fn func(*Txn) error) error {
+	return db.ViewCtx(context.Background(), fn)
+}
+
+// ViewCtx is View bound to ctx, with UpdateCtx's retry semantics.
+func (db *DB) ViewCtx(ctx context.Context, fn func(*Txn) error) error {
 	var last error
 	for attempt := 0; attempt < 10; attempt++ {
-		tx := db.Begin()
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		tx := db.BeginCtx(ctx)
 		err := fn(tx)
 		tx.Abort()
 		if err == nil {
@@ -293,8 +344,59 @@ func (db *DB) Epoch() uint64 { return db.proxy.Epoch() }
 // Shards returns the number of key-space partitions.
 func (db *DB) Shards() int { return db.proxy.Shards() }
 
-// Stats returns proxy counters.
-func (db *DB) Stats() core.Stats { return db.proxy.Stats() }
+// Stats is a snapshot of proxy counters, the public view of the trusted
+// proxy's bookkeeping: epochs and transaction fates, batch-slot utilization
+// (how much of the fixed schedule carried real work), and the storage wire
+// call counters the vectorized I/O plane exposes. Benchmarks and operators
+// read these instead of reaching into internal packages.
+type Stats struct {
+	// Shards is the number of key-space partitions.
+	Shards int
+	// Epochs counts committed epoch boundaries.
+	Epochs uint64
+	// Committed and Aborted count transaction fates.
+	Committed uint64
+	Aborted   uint64
+	// ConflictAborts and CascadingAborts break down MVTSO aborts.
+	ConflictAborts  int64
+	CascadingAborts int64
+	// ReadBatchSlots counts read-batch slots issued across all shards;
+	// RealReads the slots that carried real requests (the rest is padding).
+	ReadBatchSlots uint64
+	RealReads      uint64
+	// WriteSlots and RealWrites are the write-batch equivalents.
+	WriteSlots uint64
+	RealWrites uint64
+	// StorageReadCalls and StorageWriteCalls count storage wire calls; their
+	// ratio to the slot counters is the vectored I/O batching factor.
+	StorageReadCalls  int64
+	StorageWriteCalls int64
+	// StashPeak is the maximum Ring ORAM stash occupancy over shards.
+	StashPeak int
+	// RecoveryReplayed counts logged reads replayed by crash recovery.
+	RecoveryReplayed int
+}
+
+// Stats returns a snapshot of proxy counters.
+func (db *DB) Stats() Stats {
+	s := db.proxy.Stats()
+	return Stats{
+		Shards:            s.Shards,
+		Epochs:            s.Epochs,
+		Committed:         s.Committed,
+		Aborted:           s.Aborted,
+		ConflictAborts:    s.ConflictAborts,
+		CascadingAborts:   s.CascadingAborts,
+		ReadBatchSlots:    s.ReadBatchSlots,
+		RealReads:         s.RealReads,
+		WriteSlots:        s.WriteSlots,
+		RealWrites:        s.RealWrites,
+		StorageReadCalls:  s.Executor.ReadCalls,
+		StorageWriteCalls: s.Executor.WriteCalls,
+		StashPeak:         s.StashPeak,
+		RecoveryReplayed:  s.RecoveryReplayed,
+	}
+}
 
 // Close shuts the proxy down; in-flight transactions abort.
 func (db *DB) Close() error {
@@ -305,7 +407,8 @@ func (db *DB) Close() error {
 	return err
 }
 
-// Txn is a transaction handle. It must not be used concurrently.
+// Txn is a transaction handle. Operations must not be called concurrently,
+// but Futures returned by ReadAsync may be resolved from other goroutines.
 type Txn struct {
 	t *core.Txn
 }
@@ -313,6 +416,60 @@ type Txn struct {
 // Read returns the value visible to this transaction.
 func (tx *Txn) Read(key string) (value []byte, found bool, err error) {
 	return tx.t.Read(key)
+}
+
+// Future is the pending result of a ReadAsync; it resolves when the read's
+// batch executes.
+type Future struct {
+	f *core.Future
+}
+
+// Wait blocks until the Future resolves or ctx is done (nil means the
+// transaction's own context). Cancellation aborts the transaction; the
+// queued batch slot still executes as a dummy, so the oblivious schedule is
+// unaffected.
+func (f *Future) Wait(ctx context.Context) (value []byte, found bool, err error) {
+	return f.f.Wait(ctx)
+}
+
+// Value resolves the Future under the transaction's own context.
+func (f *Future) Value() (value []byte, found bool, err error) { return f.f.Value() }
+
+// ReadAsync registers a read of key and returns a Future immediately, so one
+// goroutine can issue a transaction's whole read set before the first batch
+// fires — every independent read then lands in the same batch:
+//
+//	a, b := tx.ReadAsync("alice"), tx.ReadAsync("bob")
+//	av, _, err := a.Value()
+//	bv, _, err := b.Value()
+func (tx *Txn) ReadAsync(key string) *Future {
+	return &Future{f: tx.t.ReadAsync(key)}
+}
+
+// OpFuture is the result of an enqueue-style mutation (WriteAsync,
+// DeleteAsync).
+type OpFuture struct {
+	err error
+}
+
+// Wait reports the operation's outcome. Embedded mutations are pure
+// enqueues (delayed write-back: nothing reaches storage before the epoch
+// boundary), so the future is always already resolved; the ctx parameter
+// exists for signature symmetry with the wire client, where WriteAsync
+// genuinely pipelines.
+func (f *OpFuture) Wait(ctx context.Context) error { return f.err }
+
+// Err is Wait without a context.
+func (f *OpFuture) Err() error { return f.err }
+
+// WriteAsync enqueues a write and returns its outcome as an OpFuture.
+func (tx *Txn) WriteAsync(key string, value []byte) *OpFuture {
+	return &OpFuture{err: tx.t.Write(key, value)}
+}
+
+// DeleteAsync enqueues a delete and returns its outcome as an OpFuture.
+func (tx *Txn) DeleteAsync(key string) *OpFuture {
+	return &OpFuture{err: tx.t.Delete(key)}
 }
 
 // ReadMany reads independent keys in one batch round; results are parallel
