@@ -8,6 +8,14 @@
 // Usage:
 //
 //	obladi-storage -listen :7000 -buckets 65536 [-latency server-wan]
+//	obladi-storage -listen :7000 -buckets 65536 -data-dir /var/lib/obladi
+//
+// With -data-dir the server runs the durable DiskBackend: an incrementally
+// persisted, crash-atomic store (shadow-paged bucket heap, segmented
+// fsync-barriered recovery log, KV journal) that recovers to the last
+// committed epoch after a crash or SIGKILL. The legacy -persist flag keeps
+// the whole-store snapshot behaviour for the in-memory backend; the two are
+// mutually exclusive.
 package main
 
 import (
@@ -25,23 +33,39 @@ func main() {
 	buckets := flag.Int("buckets", 1<<16, "number of ORAM buckets to provision (must cover the proxy's tree)")
 	latency := flag.String("latency", "", "inject a latency profile for experiments: server | server-wan | dynamo")
 	scale := flag.Float64("latency-scale", 1.0, "scale factor applied to the injected latency profile")
-	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown")
+	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown (in-memory backend)")
+	dataDir := flag.String("data-dir", "", "directory for the durable disk backend (incremental, crash-atomic persistence)")
 	flag.Parse()
 
-	mem := storage.NewMemBackend(*buckets)
-	if *persist != "" {
-		if loaded, err := storage.LoadMemBackend(*persist); err == nil {
-			mem = loaded
-			n, _ := mem.NumBuckets()
-			fmt.Printf("obladi-storage: restored %d buckets from %s\n", n, *persist)
-		} else if !os.IsNotExist(err) {
-			// A corrupt snapshot must not be silently ignored.
-			if _, statErr := os.Stat(*persist); statErr == nil {
-				log.Fatalf("loading snapshot %s: %v", *persist, err)
+	if *persist != "" && *dataDir != "" {
+		log.Fatal("-persist and -data-dir are mutually exclusive")
+	}
+	var backend storage.Backend
+	var mem *storage.MemBackend
+	if *dataDir != "" {
+		disk, err := storage.OpenDiskBackend(*dataDir, *buckets)
+		if err != nil {
+			log.Fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		defer disk.Close()
+		fmt.Printf("obladi-storage: durable store in %s (committed epoch %d)\n", *dataDir, disk.CommittedEpoch())
+		backend = disk
+	} else {
+		mem = storage.NewMemBackend(*buckets)
+		if *persist != "" {
+			if loaded, err := storage.LoadMemBackend(*persist); err == nil {
+				mem = loaded
+				n, _ := mem.NumBuckets()
+				fmt.Printf("obladi-storage: restored %d buckets from %s\n", n, *persist)
+			} else if !os.IsNotExist(err) {
+				// A corrupt snapshot must not be silently ignored.
+				if _, statErr := os.Stat(*persist); statErr == nil {
+					log.Fatalf("loading snapshot %s: %v", *persist, err)
+				}
 			}
 		}
+		backend = mem
 	}
-	var backend storage.Backend = mem
 	switch *latency {
 	case "":
 	case "server":
@@ -67,7 +91,7 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
-	if *persist != "" {
+	if *persist != "" && mem != nil {
 		if err := mem.SaveTo(*persist); err != nil {
 			log.Fatalf("saving snapshot: %v", err)
 		}

@@ -15,8 +15,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
-		t.Fatalf("expected 14 experiments (every table and figure, plus shards, pipeline, vector and client), got %d: %v", len(names), names)
+	if len(names) != 15 {
+		t.Fatalf("expected 15 experiments (every table and figure, plus shards, pipeline, vector, client and disk), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -259,6 +259,38 @@ func TestVectorShape(t *testing.T) {
 			t.Errorf("%s: vectored I/O (%.0f txns/s) did not beat scalar (%.0f txns/s)",
 				backend, vals[backend]["Vectored"], vals[backend]["Scalar"])
 		}
+	}
+}
+
+func TestDiskShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Disk(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected mem/disk x scalar/vectored rows: %+v", rows)
+	}
+	vals := map[string]map[string]float64{}
+	for _, r := range rows {
+		if vals[r.Series] == nil {
+			vals[r.Series] = map[string]float64{}
+		}
+		vals[r.Series][r.X] = r.Value
+		if r.Value <= 0 {
+			t.Errorf("%s/%s: nonpositive throughput %f", r.Series, r.X, r.Value)
+		}
+		if r.P50ms <= 0 || r.P99ms < r.P50ms {
+			t.Errorf("%s/%s: bad latency percentiles p50=%.2f p99=%.2f", r.Series, r.X, r.P50ms, r.P99ms)
+		}
+	}
+	// Durability costs real fsyncs, but the disk backend must stay within
+	// sight of memory on a local filesystem, not collapse.
+	if vals["Disk"]["Vectored"] < vals["Mem"]["Vectored"]/50 {
+		t.Errorf("disk vectored (%.0f txns/s) collapsed vs mem (%.0f txns/s)",
+			vals["Disk"]["Vectored"], vals["Mem"]["Vectored"])
 	}
 }
 

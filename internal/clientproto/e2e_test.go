@@ -21,33 +21,13 @@ func TestBinariesEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and launches binaries")
 	}
-	dir := t.TempDir()
-	storageBin := filepath.Join(dir, "obladi-storage")
-	proxyBin := filepath.Join(dir, "obladi-proxy")
-	for bin, pkg := range map[string]string{
-		storageBin: "obladi/cmd/obladi-storage",
-		proxyBin:   "obladi/cmd/obladi-proxy",
-	} {
-		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
-			t.Fatalf("building %s: %v\n%s", pkg, err, out)
-		}
-	}
+	storageBin, proxyBin := buildBinaries(t)
 
-	storageAddr := launch(t, storageBin, []string{"-listen", "127.0.0.1:0", "-buckets", "4096"},
-		"obladi-storage: serving", func(line string) string {
-			fields := strings.Fields(line)
-			return fields[len(fields)-1]
-		})
-	proxyAddr := launch(t, proxyBin,
+	storageAddr, _ := launch(t, storageBin, []string{"-listen", "127.0.0.1:0", "-buckets", "4096"},
+		"obladi-storage: serving", extractLastField)
+	proxyAddr, _ := launch(t, proxyBin,
 		[]string{"-storage", storageAddr, "-listen", "127.0.0.1:0", "-keys", "1024", "-batch-interval", "1ms"},
-		"clients=", func(line string) string {
-			for _, f := range strings.Fields(line) {
-				if strings.HasPrefix(f, "clients=") {
-					return strings.TrimPrefix(f, "clients=")
-				}
-			}
-			return ""
-		})
+		"clients=", extractClientsField)
 
 	// Drive the mux protocol end to end.
 	mc, err := clientproto.DialMux(proxyAddr)
@@ -101,9 +81,42 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 }
 
+// buildBinaries compiles the real obladi-storage and obladi-proxy binaries
+// into a test temp dir.
+func buildBinaries(t *testing.T) (storageBin, proxyBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	storageBin = filepath.Join(dir, "obladi-storage")
+	proxyBin = filepath.Join(dir, "obladi-proxy")
+	for bin, pkg := range map[string]string{
+		storageBin: "obladi/cmd/obladi-storage",
+		proxyBin:   "obladi/cmd/obladi-proxy",
+	} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return storageBin, proxyBin
+}
+
+func extractLastField(line string) string {
+	fields := strings.Fields(line)
+	return fields[len(fields)-1]
+}
+
+func extractClientsField(line string) string {
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, "clients=") {
+			return strings.TrimPrefix(f, "clients=")
+		}
+	}
+	return ""
+}
+
 // launch starts a binary, waits for a stdout line containing marker, and
-// extracts a value from it. The process is killed at test cleanup.
-func launch(t *testing.T, bin string, args []string, marker string, extract func(string) string) string {
+// extracts a value from it. The returned command lets crash tests SIGKILL
+// the process; it is also killed at test cleanup.
+func launch(t *testing.T, bin string, args []string, marker string, extract func(string) string) (string, *exec.Cmd) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -138,7 +151,7 @@ func launch(t *testing.T, bin string, args []string, marker string, extract func
 				if v == "" {
 					t.Fatalf("%s: could not extract address from %q", bin, line)
 				}
-				return v
+				return v, cmd
 			}
 		case <-deadline:
 			t.Fatalf("%s: no %q line within 30s", bin, marker)

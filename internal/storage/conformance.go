@@ -1,0 +1,408 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// This file exports a conformance suite for the Backend contract, so every
+// implementation — MemBackend, DiskBackend, DummyBackend, the latency
+// wrapper, the remote client/server pair, and any future store — is held to
+// the same edge cases instead of each accumulating ad-hoc coverage.
+//
+// The suite asserts error *presence*, not error identity, for range checks:
+// the remote client flattens server errors into ErrRemote strings. ErrClosed
+// is the exception — every backend must report it recognizably via
+// errors.Is.
+
+// ConformanceMinBuckets is the minimum bucket count a conformance factory
+// must provision.
+const ConformanceMinBuckets = 8
+
+// ConformanceOptions tunes the suite for intentionally lossy backends.
+type ConformanceOptions struct {
+	// BucketDataDiscarded marks backends that ignore bucket writes and
+	// serve synthetic reads (DummyBackend): read-back, epoch-ordering and
+	// vector-atomicity checks are skipped, while log, KV, NumBuckets and
+	// close semantics still apply.
+	BucketDataDiscarded bool
+}
+
+// RunBackendConformance exercises every Backend contract edge against fresh
+// instances produced by factory. The factory must return an empty, open
+// backend with at least ConformanceMinBuckets buckets and register any
+// cleanup on t.
+func RunBackendConformance(t *testing.T, factory func(t *testing.T) Backend) {
+	RunBackendConformanceOpts(t, factory, ConformanceOptions{})
+}
+
+// RunBackendConformanceOpts is RunBackendConformance with options.
+func RunBackendConformanceOpts(t *testing.T, factory func(t *testing.T) Backend, opts ConformanceOptions) {
+	type check struct {
+		name    string
+		buckets bool // requires faithful bucket storage
+		run     func(t *testing.T, b Backend)
+	}
+	checks := []check{
+		{"num-buckets", false, conformNumBuckets},
+		{"bucket-round-trip", true, conformBucketRoundTrip},
+		{"epoch-order-rejection", true, conformEpochOrder},
+		{"vector-read-atomicity", true, conformVectorReadAtomicity},
+		{"rollback-after-partial-vector", true, conformPartialVectorRollback},
+		{"commit-rollback-visibility", true, conformCommitRollback},
+		{"log-sequence", false, conformLogSequence},
+		{"log-truncate", false, conformLogTruncate},
+		{"kv", false, conformKV},
+		{"closed", false, func(t *testing.T, b Backend) { conformClosed(t, b, opts) }},
+	}
+	for _, c := range checks {
+		if c.buckets && opts.BucketDataDiscarded {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			c.run(t, factory(t))
+		})
+	}
+}
+
+func conformSlots(tag string, n int) [][]byte {
+	slots := make([][]byte, n)
+	for i := range slots {
+		slots[i] = []byte(fmt.Sprintf("%s-slot%d", tag, i))
+	}
+	return slots
+}
+
+func conformNumBuckets(t *testing.T, b Backend) {
+	n, err := b.NumBuckets()
+	if err != nil {
+		t.Fatalf("NumBuckets: %v", err)
+	}
+	if n < ConformanceMinBuckets {
+		t.Fatalf("NumBuckets = %d, conformance factories must provision at least %d", n, ConformanceMinBuckets)
+	}
+}
+
+func conformBucketRoundTrip(t *testing.T, b Backend) {
+	slots := conformSlots("e1b0", 3)
+	if err := b.WriteBucket(0, 1, slots); err != nil {
+		t.Fatalf("WriteBucket: %v", err)
+	}
+	for i, want := range slots {
+		got, err := b.ReadSlot(0, i)
+		if err != nil {
+			t.Fatalf("ReadSlot(0,%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadSlot(0,%d) = %q, want %q", i, got, want)
+		}
+	}
+	all, err := b.ReadBucket(0)
+	if err != nil {
+		t.Fatalf("ReadBucket: %v", err)
+	}
+	if len(all) != len(slots) {
+		t.Fatalf("ReadBucket returned %d slots, want %d", len(all), len(slots))
+	}
+	for i := range slots {
+		if !bytes.Equal(all[i], slots[i]) {
+			t.Fatalf("ReadBucket slot %d = %q, want %q", i, all[i], slots[i])
+		}
+	}
+	got, err := b.ReadSlots([]SlotRef{{Bucket: 0, Slot: 2}, {Bucket: 0, Slot: 0}})
+	if err != nil {
+		t.Fatalf("ReadSlots: %v", err)
+	}
+	if !bytes.Equal(got[0], slots[2]) || !bytes.Equal(got[1], slots[0]) {
+		t.Fatalf("ReadSlots out of ref order: %q", got)
+	}
+	// Contract edges on untouched buckets.
+	if _, err := b.ReadSlot(1, 0); err == nil {
+		t.Fatal("ReadSlot on a never-written bucket succeeded")
+	}
+	if all, err := b.ReadBucket(1); err != nil || len(all) != 0 {
+		t.Fatalf("ReadBucket on a never-written bucket = %v, %v (want empty, nil)", all, err)
+	}
+	if _, err := b.ReadSlot(-1, 0); err == nil {
+		t.Fatal("ReadSlot(-1, 0) succeeded")
+	}
+	if _, err := b.ReadSlot(1<<30, 0); err == nil {
+		t.Fatal("ReadSlot on an out-of-range bucket succeeded")
+	}
+	if err := b.WriteBucket(1<<30, 1, conformSlots("x", 1)); err == nil {
+		t.Fatal("WriteBucket on an out-of-range bucket succeeded")
+	}
+}
+
+func conformEpochOrder(t *testing.T, b Backend) {
+	if err := b.WriteBucket(2, 5, conformSlots("e5", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBucket(2, 4, conformSlots("e4", 2)); err == nil {
+		t.Fatal("lower-epoch write after a higher epoch was accepted")
+	}
+	if err := b.WriteBuckets([]BucketWrite{{Bucket: 2, Epoch: 3, Slots: conformSlots("e3", 2)}}); err == nil {
+		t.Fatal("lower-epoch vectored write after a higher epoch was accepted")
+	}
+	// Same-epoch writes supersede in place (recovery replay rewrites buckets).
+	rewritten := conformSlots("e5-rewrite", 2)
+	if err := b.WriteBucket(2, 5, rewritten); err != nil {
+		t.Fatalf("same-epoch rewrite rejected: %v", err)
+	}
+	got, err := b.ReadSlot(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rewritten[0]) {
+		t.Fatalf("same-epoch rewrite did not supersede: got %q", got)
+	}
+	// A fresh bucket may still accept epochs at or below the frontier.
+	if err := b.WriteBucket(3, 4, conformSlots("fresh", 1)); err != nil {
+		t.Fatalf("write to an untouched bucket at a lower epoch rejected: %v", err)
+	}
+}
+
+func conformVectorReadAtomicity(t *testing.T, b Backend) {
+	if err := b.WriteBucket(0, 1, conformSlots("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadSlots([]SlotRef{{Bucket: 0, Slot: 0}, {Bucket: 1 << 30, Slot: 0}, {Bucket: 0, Slot: 1}})
+	if err == nil {
+		t.Fatal("vector with an out-of-range ref succeeded")
+	}
+	if got != nil {
+		t.Fatalf("failed vector returned partial results: %v", got)
+	}
+	got, err = b.ReadSlots([]SlotRef{{Bucket: 0, Slot: 0}, {Bucket: 0, Slot: 7}})
+	if err == nil {
+		t.Fatal("vector with an out-of-range slot succeeded")
+	}
+	if got != nil {
+		t.Fatalf("failed vector returned partial results: %v", got)
+	}
+}
+
+func conformPartialVectorRollback(t *testing.T, b Backend) {
+	// Epoch 1 is the committed baseline.
+	base0, base1 := conformSlots("e1b0", 2), conformSlots("e1b1", 2)
+	if err := b.WriteBuckets([]BucketWrite{
+		{Bucket: 0, Epoch: 1, Slots: base0},
+		{Bucket: 1, Epoch: 1, Slots: base1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	// An epoch-2 vector that fails mid-way may leave a prefix installed.
+	err := b.WriteBuckets([]BucketWrite{
+		{Bucket: 0, Epoch: 2, Slots: conformSlots("e2b0", 2)},
+		{Bucket: 1 << 30, Epoch: 2, Slots: conformSlots("bad", 2)},
+		{Bucket: 1, Epoch: 2, Slots: conformSlots("e2b1", 2)},
+	})
+	if err == nil {
+		t.Fatal("vectored write with an out-of-range bucket succeeded")
+	}
+	// Shadow paging makes the partial prefix harmless: revert to epoch 1.
+	if err := b.RollbackTo(1); err != nil {
+		t.Fatalf("RollbackTo after partial vector: %v", err)
+	}
+	for bucket, want := range map[int][][]byte{0: base0, 1: base1} {
+		got, err := b.ReadBucket(bucket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || !bytes.Equal(got[0], want[0]) || !bytes.Equal(got[1], want[1]) {
+			t.Fatalf("bucket %d after rollback = %q, want %q", bucket, got, want)
+		}
+	}
+}
+
+func conformCommitRollback(t *testing.T, b Backend) {
+	if err := b.WriteBucket(0, 1, conformSlots("e1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CommitEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBucket(0, 2, conformSlots("e2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadSlot(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "e2-slot0" {
+		t.Fatalf("newest version not served: %q", got)
+	}
+	if err := b.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b.ReadSlot(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "e1-slot0" {
+		t.Fatalf("rollback did not restore the committed version: %q", got)
+	}
+	// Rolling back to the committed frontier is a no-op.
+	if err := b.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.ReadSlot(0, 0); string(got) != "e1-slot0" {
+		t.Fatalf("idempotent rollback changed state: %q", got)
+	}
+	// Committing again is idempotent too.
+	if err := b.CommitEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func conformLogSequence(t *testing.T, b Backend) {
+	if seq, err := b.LastSeq(); err != nil || seq != 0 {
+		t.Fatalf("fresh LastSeq = %d, %v (want 0)", seq, err)
+	}
+	for i := 1; i <= 5; i++ {
+		seq, err := b.Append([]byte(fmt.Sprintf("rec%d", i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+	}
+	recs, err := b.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || string(recs[0]) != "rec1" || string(recs[4]) != "rec5" {
+		t.Fatalf("Scan(0) = %q", recs)
+	}
+	recs, err = b.Scan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "rec4" {
+		t.Fatalf("Scan(4) = %q", recs)
+	}
+	if recs, err := b.Scan(99); err != nil || len(recs) != 0 {
+		t.Fatalf("Scan past the end = %q, %v", recs, err)
+	}
+}
+
+func conformLogTruncate(t *testing.T, b Backend) {
+	for i := 1; i <= 5; i++ {
+		if _, err := b.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[0]) != "rec3" {
+		t.Fatalf("Scan after Truncate(3) = %q", recs)
+	}
+	if seq, _ := b.LastSeq(); seq != 5 {
+		t.Fatalf("LastSeq after truncate = %d, want 5", seq)
+	}
+	// Truncation beyond the end clamps: sequence numbers keep counting.
+	if err := b.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := b.Scan(0); len(recs) != 0 {
+		t.Fatalf("Scan after truncate-all = %q", recs)
+	}
+	if seq, _ := b.LastSeq(); seq != 5 {
+		t.Fatalf("LastSeq after truncate-all = %d, want 5", seq)
+	}
+	seq, err := b.Append([]byte("rec6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("Append after truncate-all returned seq %d, want 6", seq)
+	}
+	// Truncate never rewinds.
+	if err := b.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := b.Scan(0); len(recs) != 1 || string(recs[0]) != "rec6" {
+		t.Fatalf("Scan after no-op truncate = %q", recs)
+	}
+}
+
+func conformKV(t *testing.T, b Backend) {
+	if _, found, err := b.Get("missing"); err != nil || found {
+		t.Fatalf("Get(missing) = %v, %v", found, err)
+	}
+	if err := b.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := b.Get("k"); err != nil || !found || string(v) != "v1" {
+		t.Fatalf("Get(k) = %q, %v, %v", v, found, err)
+	}
+	if err := b.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := b.Get("k"); string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if err := b.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := b.Get("empty"); err != nil || !found {
+		t.Fatalf("empty value not found: %v, %v", found, err)
+	}
+	if err := b.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := b.Get("k"); found {
+		t.Fatal("deleted key still found")
+	}
+	if err := b.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete of a missing key errored: %v", err)
+	}
+}
+
+func conformClosed(t *testing.T, b Backend, opts ConformanceOptions) {
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	checkClosed := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("%s after Close = %v, want ErrClosed", op, err)
+		}
+	}
+	if !opts.BucketDataDiscarded {
+		_, err := b.ReadSlot(0, 0)
+		checkClosed("ReadSlot", err)
+		_, err = b.ReadSlots([]SlotRef{{Bucket: 0, Slot: 0}})
+		checkClosed("ReadSlots", err)
+		_, err = b.ReadBucket(0)
+		checkClosed("ReadBucket", err)
+		checkClosed("WriteBucket", b.WriteBucket(0, 1, conformSlots("x", 1)))
+		checkClosed("WriteBuckets", b.WriteBuckets([]BucketWrite{{Bucket: 0, Epoch: 1, Slots: conformSlots("x", 1)}}))
+	}
+	checkClosed("CommitEpoch", b.CommitEpoch(1))
+	checkClosed("RollbackTo", b.RollbackTo(0))
+	_, err := b.NumBuckets()
+	checkClosed("NumBuckets", err)
+	_, _, err = b.Get("k")
+	checkClosed("Get", err)
+	checkClosed("Put", b.Put("k", []byte("v")))
+	checkClosed("Delete", b.Delete("k"))
+	_, err = b.Append([]byte("r"))
+	checkClosed("Append", err)
+	_, err = b.Scan(0)
+	checkClosed("Scan", err)
+	checkClosed("Truncate", b.Truncate(1))
+	_, err = b.LastSeq()
+	checkClosed("LastSeq", err)
+}

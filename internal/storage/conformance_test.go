@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"testing"
+)
+
+// The conformance suite runs against every Backend implementation in the
+// package, replacing the ad-hoc per-backend coverage that let contract edges
+// drift apart.
+
+func TestBackendConformanceMem(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		return NewMemBackend(ConformanceMinBuckets)
+	})
+}
+
+func TestBackendConformanceDisk(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		b, err := OpenDiskBackend(t.TempDir(), ConformanceMinBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	})
+}
+
+// The disk backend must also pass the suite after a close/reopen cycle at
+// the start, proving a recovered store honors the same contract.
+func TestBackendConformanceDiskReopened(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		dir := t.TempDir()
+		b, err := OpenDiskBackend(dir, ConformanceMinBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err = OpenDiskBackend(dir, ConformanceMinBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	})
+}
+
+func TestBackendConformanceDummy(t *testing.T) {
+	RunBackendConformanceOpts(t, func(t *testing.T) Backend {
+		return NewDummyBackend(ConformanceMinBuckets, 64)
+	}, ConformanceOptions{BucketDataDiscarded: true})
+}
+
+func TestBackendConformanceLatency(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		return WithLatency(NewMemBackend(ConformanceMinBuckets), Profile{Name: "conformance"})
+	})
+}
+
+func TestBackendConformanceRemote(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		inner := NewMemBackend(ConformanceMinBuckets)
+		srv, err := NewServer(inner, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			c.Close()
+			srv.Close()
+		})
+		return c
+	})
+}
+
+// The remote client over a DiskBackend is the deployment obladi-storage
+// -data-dir actually serves; the composition must hold the contract too.
+func TestBackendConformanceRemoteDisk(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		inner, err := OpenDiskBackend(t.TempDir(), ConformanceMinBuckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(inner, "127.0.0.1:0")
+		if err != nil {
+			inner.Close()
+			t.Fatal(err)
+		}
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			c.Close()
+			srv.Close()
+		})
+		return c
+	})
+}

@@ -1,0 +1,828 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DiskBackend is a durable, crash-atomic implementation of the full Backend
+// interface. Unlike MemBackend's whole-store gob snapshot, it persists
+// incrementally:
+//
+//   - buckets.heap — a slotted heap of shadow-paged bucket versions.
+//     WriteBuckets appends version records (no fsync: shadow paging makes
+//     uncommitted versions discardable); CommitEpoch appends a commit record
+//     and fsyncs — the durability barrier a commit ack stands on; RollbackTo
+//     appends a rollback record and fsyncs. Superseded committed versions are
+//     garbage-collected logically on commit and physically by compaction.
+//   - wal-<base>.seg — segmented append-only log files for the recovery
+//     unit. Append fsyncs before acking (the log IS the durability point for
+//     the proxy's write-ahead records); Truncate drops whole dead segments.
+//   - kv.log — an append-only put/delete journal for the NoPriv baseline's
+//     namespace, compacted when dead entries dominate.
+//   - meta — a tiny atomically-replaced file holding the bucket count and
+//     the log truncation point.
+//
+// Every record is length-prefixed and checksummed; replay stops at the first
+// invalid record and truncates the torn tail, so reopening after a crash at
+// any point recovers exactly the state of the last completed fsync barrier.
+// All I/O goes through the vfs abstraction so tests can interpose fault
+// injection.
+type DiskBackend struct {
+	mu     sync.RWMutex
+	fsys   vfs
+	dir    string
+	closed bool
+	ioErr  error // sticky: a failed write may leave memory ahead of disk
+
+	numBuckets int
+
+	// Bucket heap.
+	heap           vfile
+	heapSize       int64
+	index          [][]diskVersion // per bucket: version stack, oldest first
+	committed      uint64
+	heapLive       int64 // bytes of records still referenced by the index
+	heapDead       int64 // bytes of superseded/rolled-back/control records
+	heapCompactMin int64 // compact only past this much dead data
+
+	// KV namespace.
+	kvf          vfile
+	kvSize       int64
+	kv           map[string]kvEntry
+	kvLive       int64
+	kvDead       int64
+	kvCompactMin int64
+
+	// Recovery log.
+	segs        []*segment
+	lastSeq     uint64
+	truncBefore uint64 // sequence numbers below this are logically gone
+	segMaxBytes int64
+}
+
+// diskVersion locates one shadow-paged bucket version inside the heap file.
+type diskVersion struct {
+	epoch    uint64
+	dataOff  int64 // file offset of the first slot's length prefix
+	recSize  int64 // framed record size, for garbage accounting
+	slotLens []uint32
+}
+
+type kvEntry struct {
+	value   []byte
+	recSize int64
+}
+
+type segment struct {
+	f    vfile
+	name string
+	base uint64  // sequence number of the first record
+	offs []int64 // frame offset of each record
+	lens []int32 // framed length of each record
+	size int64
+}
+
+var _ Backend = (*DiskBackend)(nil)
+
+const (
+	heapFileName = "buckets.heap"
+	kvFileName   = "kv.log"
+	metaFileName = "meta"
+	segPrefix    = "wal-"
+	segSuffix    = ".seg"
+	tmpSuffix    = ".tmp"
+)
+
+const (
+	defaultHeapCompactMin = 1 << 20
+	defaultKVCompactMin   = 1 << 18
+	defaultSegMaxBytes    = 4 << 20
+	// readCoalesceGap merges vectored slot reads whose file ranges are
+	// within this many bytes into one pread.
+	readCoalesceGap = 4096
+)
+
+// OpenDiskBackend opens (or creates) a durable backend rooted at dir.
+// numBuckets fixes the tree size at creation; reopening an existing store
+// with a different non-zero numBuckets fails loudly (0 adopts the stored
+// size).
+func OpenDiskBackend(dir string, numBuckets int) (*DiskBackend, error) {
+	return openDiskBackend(osFS{}, dir, numBuckets)
+}
+
+func openDiskBackend(fsys vfs, dir string, numBuckets int) (*DiskBackend, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating data dir: %w", err)
+	}
+	b := &DiskBackend{
+		fsys:           fsys,
+		dir:            dir,
+		kv:             make(map[string]kvEntry),
+		heapCompactMin: defaultHeapCompactMin,
+		kvCompactMin:   defaultKVCompactMin,
+		segMaxBytes:    defaultSegMaxBytes,
+		truncBefore:    1,
+	}
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing data dir: %w", err)
+	}
+	for _, n := range names {
+		// A crashed compaction or meta update leaves a stray temp file;
+		// it was never renamed into place, so it is dead weight.
+		if len(n) > len(tmpSuffix) && n[len(n)-len(tmpSuffix):] == tmpSuffix {
+			_ = fsys.Remove(joinPath(dir, n))
+		}
+	}
+	if err := b.openMeta(numBuckets); err != nil {
+		return nil, err
+	}
+	if err := b.openHeap(); err != nil {
+		return nil, err
+	}
+	if err := b.openKV(); err != nil {
+		return nil, err
+	}
+	if err := b.openLog(names); err != nil {
+		return nil, err
+	}
+	// Creating buckets.heap / kv.log fsyncs their contents, but on ext4 a
+	// new file's *directory entry* is only durable after a directory fsync;
+	// without it, an acked first commit or Put could vanish with the whole
+	// file on power loss. One barrier covers everything open created.
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ---- meta ----
+
+func (b *DiskBackend) openMeta(numBuckets int) error {
+	f, err := b.fsys.OpenFile(joinPath(b.dir, metaFileName), os.O_RDONLY, 0)
+	if errors.Is(err, fs.ErrNotExist) {
+		if numBuckets <= 0 {
+			return fmt.Errorf("storage: creating a disk backend needs a positive bucket count (got %d)", numBuckets)
+		}
+		b.numBuckets = numBuckets
+		return b.writeMeta()
+	}
+	if err != nil {
+		return fmt.Errorf("storage: opening meta: %w", err)
+	}
+	size, serr := f.Size()
+	if serr == nil && size == 0 {
+		// A crash can install the meta rename before the file's content ever
+		// became durable (e.g. a dropped fsync); an empty meta is the
+		// pre-creation state, not corruption.
+		f.Close()
+		if numBuckets <= 0 {
+			return fmt.Errorf("storage: creating a disk backend needs a positive bucket count (got %d)", numBuckets)
+		}
+		b.numBuckets = numBuckets
+		return b.writeMeta()
+	}
+	buf, rerr := readFileRange(f, 0, fileHeaderSize)
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	if rerr != nil {
+		return fmt.Errorf("storage: reading meta: %w", rerr)
+	}
+	if cerr != nil {
+		return cerr
+	}
+	stored, trunc, err := decodeFileHeader(buf, metaMagic)
+	if err != nil {
+		return fmt.Errorf("storage: meta file: %w", err)
+	}
+	if numBuckets != 0 && int(stored) != numBuckets {
+		return fmt.Errorf("storage: data dir holds %d buckets but %d requested (refusing to silently resize)", stored, numBuckets)
+	}
+	b.numBuckets = int(stored)
+	if trunc > 0 {
+		b.truncBefore = trunc
+	}
+	return nil
+}
+
+// writeMeta atomically replaces the meta file: temp file, fsync, rename,
+// directory fsync. Callers hold the write lock (or are inside open).
+func (b *DiskBackend) writeMeta() error {
+	tmp := joinPath(b.dir, metaFileName+tmpSuffix)
+	f, err := b.fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating meta: %w", err)
+	}
+	hdr := encodeFileHeader(metaMagic, uint32(b.numBuckets), b.truncBefore)
+	if _, err := f.WriteAt(hdr, 0); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = b.fsys.Remove(tmp)
+		return fmt.Errorf("storage: writing meta: %w", err)
+	}
+	if err := b.fsys.Rename(tmp, joinPath(b.dir, metaFileName)); err != nil {
+		_ = b.fsys.Remove(tmp)
+		return fmt.Errorf("storage: installing meta: %w", err)
+	}
+	return b.fsys.SyncDir(b.dir)
+}
+
+// ---- heap open / replay ----
+
+func (b *DiskBackend) openHeap() error {
+	f, err := b.fsys.OpenFile(joinPath(b.dir, heapFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening bucket heap: %w", err)
+	}
+	b.heap = f
+	b.index = make([][]diskVersion, b.numBuckets)
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	if size < fileHeaderSize {
+		// Empty, or shorter than a header: creation never durably completed
+		// (the header is synced before any record can follow it), so no
+		// committed data can exist — initialize fresh.
+		if err := f.Truncate(0); err != nil {
+			return err
+		}
+		hdr := encodeFileHeader(heapMagic, uint32(b.numBuckets), 0)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			return fmt.Errorf("storage: initializing bucket heap: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		b.heapSize = fileHeaderSize
+		return nil
+	}
+	hdr, err := readFileRange(f, 0, fileHeaderSize)
+	if err != nil {
+		return err
+	}
+	nb, _, err := decodeFileHeader(hdr, heapMagic)
+	if err != nil {
+		return fmt.Errorf("storage: bucket heap: %w", err)
+	}
+	if int(nb) != b.numBuckets {
+		return fmt.Errorf("storage: bucket heap holds %d buckets but meta says %d", nb, b.numBuckets)
+	}
+	end, err := b.replayHeap(f, size)
+	if err != nil {
+		return err
+	}
+	if end < size {
+		// Torn tail from a crash between the last fsync barrier and the
+		// crash point; every record past end is unreachable by replay.
+		if err := f.Truncate(end); err != nil {
+			return fmt.Errorf("storage: truncating torn heap tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	b.heapSize = end
+	return nil
+}
+
+// replayHeap scans heap records from the header to the first invalid record,
+// rebuilding the version index, and returns the offset replay stopped at.
+func (b *DiskBackend) replayHeap(f vfile, size int64) (int64, error) {
+	sc := newRecordScanner(f, fileHeaderSize, size)
+	off := int64(fileHeaderSize)
+	for off < size {
+		body, total, err := sc.next()
+		if err != nil {
+			if errors.Is(err, errTornRecord) {
+				return off, nil
+			}
+			return 0, fmt.Errorf("storage: bucket heap at offset %d: %w", off, err)
+		}
+		rec, err := parseHeapBody(body)
+		if err != nil {
+			// A structurally invalid body under a valid checksum is not a
+			// torn write — it is corruption, and must fail loudly.
+			return 0, fmt.Errorf("storage: bucket heap at offset %d: %w", off, err)
+		}
+		switch rec.kind {
+		case heapKindVersion:
+			if rec.bucket < 0 || rec.bucket >= b.numBuckets {
+				return 0, fmt.Errorf("storage: bucket heap references bucket %d of %d", rec.bucket, b.numBuckets)
+			}
+			v := diskVersion{
+				epoch:    rec.epoch,
+				dataOff:  off + recordFrameSize + heapVersionDataStart,
+				recSize:  int64(total),
+				slotLens: rec.slotLens,
+			}
+			if err := b.installVersionLocked(rec.bucket, v); err != nil {
+				return 0, fmt.Errorf("storage: bucket heap replay: %w", err)
+			}
+		case heapKindCommit:
+			b.applyCommitLocked(rec.epoch)
+			b.heapDead += int64(total)
+		case heapKindRollback:
+			b.applyRollbackLocked(rec.epoch)
+			b.heapDead += int64(total)
+		}
+		off += int64(total)
+	}
+	return off, nil
+}
+
+// installVersionLocked applies one version to the index with MemBackend's
+// shadow-paging rules: same-epoch writes supersede in place, lower-epoch
+// writes after a higher epoch are rejected.
+func (b *DiskBackend) installVersionLocked(bucket int, v diskVersion) error {
+	vs := b.index[bucket]
+	if n := len(vs); n > 0 && vs[n-1].epoch == v.epoch {
+		b.heapDead += vs[n-1].recSize
+		b.heapLive += v.recSize - vs[n-1].recSize
+		vs[n-1] = v
+		return nil
+	}
+	if n := len(vs); n > 0 && vs[n-1].epoch > v.epoch {
+		return fmt.Errorf("storage: bucket %d write for epoch %d after epoch %d already written (out-of-order shadow-page write)", bucket, v.epoch, vs[n-1].epoch)
+	}
+	b.index[bucket] = append(vs, v)
+	b.heapLive += v.recSize
+	return nil
+}
+
+// applyCommitLocked advances the committed frontier and garbage-collects
+// superseded versions inside the committed prefix (index only; bytes become
+// dead and are reclaimed by compaction).
+func (b *DiskBackend) applyCommitLocked(epoch uint64) {
+	if epoch > b.committed {
+		b.committed = epoch
+	}
+	for i, vs := range b.index {
+		keep := -1
+		for j := len(vs) - 1; j >= 0; j-- {
+			if vs[j].epoch <= b.committed {
+				keep = j
+				break
+			}
+		}
+		if keep > 0 {
+			for _, v := range vs[:keep] {
+				b.heapDead += v.recSize
+				b.heapLive -= v.recSize
+			}
+			b.index[i] = append(vs[:0], vs[keep:]...)
+		}
+	}
+}
+
+func (b *DiskBackend) applyRollbackLocked(epoch uint64) {
+	for i, vs := range b.index {
+		n := len(vs)
+		for n > 0 && vs[n-1].epoch > epoch {
+			n--
+			b.heapDead += vs[n].recSize
+			b.heapLive -= vs[n].recSize
+		}
+		b.index[i] = vs[:n]
+	}
+	if b.committed > epoch {
+		b.committed = epoch
+	}
+}
+
+// ---- common guards ----
+
+func (b *DiskBackend) checkUsable() error {
+	if b.closed {
+		return ErrClosed
+	}
+	return b.ioErr
+}
+
+// wedge marks the backend unusable: after a failed write the in-memory index
+// may be ahead of the file, and continuing could ack operations the disk
+// never saw. Fail-stop is the honest behaviour; reopening replays the file
+// back to a consistent state.
+func (b *DiskBackend) wedge(err error) error {
+	if b.ioErr == nil {
+		b.ioErr = fmt.Errorf("storage: disk backend disabled by I/O error: %w", err)
+	}
+	return err
+}
+
+// appendHeapLocked appends pre-framed bytes to the heap file (no fsync).
+func (b *DiskBackend) appendHeapLocked(framed []byte) error {
+	if _, err := b.heap.WriteAt(framed, b.heapSize); err != nil {
+		return b.wedge(err)
+	}
+	b.heapSize += int64(len(framed))
+	return nil
+}
+
+// ---- BucketStore ----
+
+// NumBuckets implements BucketStore.
+func (b *DiskBackend) NumBuckets() (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return 0, err
+	}
+	return b.numBuckets, nil
+}
+
+func (b *DiskBackend) newestVersionLocked(bucket int) (*diskVersion, error) {
+	if err := checkBucket(bucket, b.numBuckets); err != nil {
+		return nil, err
+	}
+	vs := b.index[bucket]
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	return &vs[len(vs)-1], nil
+}
+
+// slotRange locates slot within v: file offset of the slot's data bytes and
+// its length.
+func (v *diskVersion) slotRange(slot int) (off int64, n int) {
+	off = v.dataOff
+	for i := 0; i < slot; i++ {
+		off += 4 + int64(v.slotLens[i])
+	}
+	return off + 4, int(v.slotLens[slot])
+}
+
+// span reports the file range covering all of v's slots.
+func (v *diskVersion) span() (off int64, n int) {
+	off = v.dataOff
+	for _, l := range v.slotLens {
+		n += 4 + int(l)
+	}
+	return off, n
+}
+
+// resolveSlotLocked maps a SlotRef to its file range.
+func (b *DiskBackend) resolveSlotLocked(bucket, slot int) (off int64, n int, err error) {
+	v, err := b.newestVersionLocked(bucket)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v == nil {
+		return 0, 0, fmt.Errorf("%w: bucket %d never written", ErrNoSuchSlot, bucket)
+	}
+	if slot < 0 || slot >= len(v.slotLens) {
+		return 0, 0, fmt.Errorf("%w: bucket %d slot %d (have %d)", ErrNoSuchSlot, bucket, slot, len(v.slotLens))
+	}
+	off, n = v.slotRange(slot)
+	return off, n, nil
+}
+
+// ReadSlot implements BucketStore.
+func (b *DiskBackend) ReadSlot(bucket, slot int) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, err
+	}
+	off, n, err := b.resolveSlotLocked(bucket, slot)
+	if err != nil {
+		return nil, err
+	}
+	return readFileRange(b.heap, off, n)
+}
+
+// ReadSlots implements BucketStore: the whole vector resolves under one lock
+// acquisition and is served scatter-gather style — refs are sorted by file
+// offset and adjacent ranges coalesce into shared preads, so a stage's reads
+// cost a handful of syscalls instead of one per slot. The vector fails
+// atomically: every ref is validated before any I/O.
+func (b *DiskBackend) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, err
+	}
+	type slotRead struct {
+		resIdx int
+		off    int64
+		n      int
+	}
+	reads := make([]slotRead, len(refs))
+	for i, r := range refs {
+		off, n, err := b.resolveSlotLocked(r.Bucket, r.Slot)
+		if err != nil {
+			return nil, err
+		}
+		reads[i] = slotRead{resIdx: i, off: off, n: n}
+	}
+	sort.Slice(reads, func(i, j int) bool { return reads[i].off < reads[j].off })
+	out := make([][]byte, len(refs))
+	for start := 0; start < len(reads); {
+		end := start
+		runEnd := reads[start].off + int64(reads[start].n)
+		for end+1 < len(reads) && reads[end+1].off <= runEnd+readCoalesceGap {
+			end++
+			if e := reads[end].off + int64(reads[end].n); e > runEnd {
+				runEnd = e
+			}
+		}
+		base := reads[start].off
+		buf, err := readFileRange(b.heap, base, int(runEnd-base))
+		if err != nil {
+			return nil, err
+		}
+		for i := start; i <= end; i++ {
+			lo := reads[i].off - base
+			out[reads[i].resIdx] = buf[lo : lo+int64(reads[i].n)]
+		}
+		start = end + 1
+	}
+	return out, nil
+}
+
+// ReadBucket implements BucketStore with a single pread covering the whole
+// newest version.
+func (b *DiskBackend) ReadBucket(bucket int) ([][]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, err
+	}
+	v, err := b.newestVersionLocked(bucket)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	return b.readVersionSlotsLocked(v)
+}
+
+func (b *DiskBackend) readVersionSlotsLocked(v *diskVersion) ([][]byte, error) {
+	off, n := v.span()
+	buf, err := readFileRange(b.heap, off, n)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([][]byte, len(v.slotLens))
+	pos := 0
+	for i, l := range v.slotLens {
+		pos += 4
+		slots[i] = buf[pos : pos+int(l)]
+		pos += int(l)
+	}
+	return slots, nil
+}
+
+func (b *DiskBackend) validateWriteLocked(bucket int, epoch uint64) error {
+	if err := checkBucket(bucket, b.numBuckets); err != nil {
+		return err
+	}
+	vs := b.index[bucket]
+	if n := len(vs); n > 0 && vs[n-1].epoch > epoch {
+		return fmt.Errorf("storage: bucket %d write for epoch %d after epoch %d already written (out-of-order shadow-page write)", bucket, epoch, vs[n-1].epoch)
+	}
+	return nil
+}
+
+// WriteBucket implements BucketStore.
+func (b *DiskBackend) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	return b.WriteBuckets([]BucketWrite{{Bucket: bucket, Epoch: epoch, Slots: slots}})
+}
+
+// WriteBuckets implements BucketStore: the whole vector is encoded into one
+// buffer and appended with a single write syscall (no fsync — CommitEpoch is
+// the durability barrier; shadow paging makes an unsynced or partially
+// persisted version harmless). Writes install in vector order and the call
+// stops at the first failing entry, leaving the validated prefix installed,
+// exactly like MemBackend.
+func (b *DiskBackend) WriteBuckets(writes []BucketWrite) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	var buf []byte
+	var firstErr error
+	for _, w := range writes {
+		if err := b.validateWriteLocked(w.Bucket, w.Epoch); err != nil {
+			firstErr = err
+			break
+		}
+		body := encodeVersionBody(w.Bucket, w.Epoch, w.Slots)
+		recOff := b.heapSize + int64(len(buf))
+		buf = encodeRecord(buf, body)
+		v := diskVersion{
+			epoch:    w.Epoch,
+			dataOff:  recOff + recordFrameSize + heapVersionDataStart,
+			recSize:  int64(recordFrameSize + len(body)),
+			slotLens: make([]uint32, len(w.Slots)),
+		}
+		for i, s := range w.Slots {
+			v.slotLens[i] = uint32(len(s))
+		}
+		if err := b.installVersionLocked(w.Bucket, v); err != nil {
+			// validateWriteLocked already screened the failure modes.
+			firstErr = err
+			break
+		}
+	}
+	if len(buf) > 0 {
+		if err := b.appendHeapLocked(buf); err != nil {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// CommitEpoch implements BucketStore. The commit record plus fsync is the
+// barrier that makes every version tagged <= epoch durable: replay only
+// learns a commit from its record, and any record written before it is
+// covered by the same fsync.
+func (b *DiskBackend) CommitEpoch(epoch uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	if epoch > b.committed {
+		framed := encodeRecord(nil, encodeEpochBody(heapKindCommit, epoch))
+		if err := b.appendHeapLocked(framed); err != nil {
+			return err
+		}
+		if err := b.heap.Sync(); err != nil {
+			return b.wedge(err)
+		}
+		b.heapDead += int64(len(framed))
+	}
+	b.applyCommitLocked(epoch)
+	b.maybeCompactHeapLocked()
+	return nil
+}
+
+// RollbackTo implements BucketStore: crash recovery's shadow-paging revert.
+// The rollback record is made durable before the index mutates, so a crash
+// in between replays to a superset the next rollback discards again.
+func (b *DiskBackend) RollbackTo(epoch uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	framed := encodeRecord(nil, encodeEpochBody(heapKindRollback, epoch))
+	if err := b.appendHeapLocked(framed); err != nil {
+		return err
+	}
+	if err := b.heap.Sync(); err != nil {
+		return b.wedge(err)
+	}
+	b.heapDead += int64(len(framed))
+	b.applyRollbackLocked(epoch)
+	return nil
+}
+
+// CommittedEpoch reports the highest committed epoch (parity with
+// MemBackend's test helper; recovery uses it to pick its revert target).
+func (b *DiskBackend) CommittedEpoch() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.committed
+}
+
+// VersionCount reports how many shadow versions a bucket currently holds.
+// Test helper.
+func (b *DiskBackend) VersionCount(bucket int) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if bucket < 0 || bucket >= len(b.index) {
+		return 0
+	}
+	return len(b.index[bucket])
+}
+
+// ---- heap compaction ----
+
+// maybeCompactHeapLocked rewrites the heap when dead bytes dominate live
+// ones. Compaction is pure garbage collection: the old file replays to the
+// identical logical state, so a crash anywhere during compaction — before or
+// after the rename — recovers correctly; the temp file is discarded on open.
+func (b *DiskBackend) maybeCompactHeapLocked() {
+	if b.heapDead < b.heapCompactMin || b.heapDead <= b.heapLive {
+		return
+	}
+	// A failed compaction (before the rename) leaves the old file intact;
+	// skip and retry at a later commit rather than wedging the store.
+	_ = b.compactHeapLocked()
+}
+
+func (b *DiskBackend) compactHeapLocked() error {
+	tmpName := joinPath(b.dir, heapFileName+tmpSuffix)
+	tf, err := b.fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		tf.Close()
+		_ = b.fsys.Remove(tmpName)
+		return err
+	}
+	off := int64(0)
+	write := func(p []byte) error {
+		if _, err := tf.WriteAt(p, off); err != nil {
+			return err
+		}
+		off += int64(len(p))
+		return nil
+	}
+	if err := write(encodeFileHeader(heapMagic, uint32(b.numBuckets), 0)); err != nil {
+		return abort(err)
+	}
+	newIndex := make([][]diskVersion, b.numBuckets)
+	var newLive int64
+	for bucket, vs := range b.index {
+		for i := range vs {
+			slots, err := b.readVersionSlotsLocked(&vs[i])
+			if err != nil {
+				return abort(err)
+			}
+			body := encodeVersionBody(bucket, vs[i].epoch, slots)
+			nv := diskVersion{
+				epoch:    vs[i].epoch,
+				dataOff:  off + recordFrameSize + heapVersionDataStart,
+				recSize:  int64(recordFrameSize + len(body)),
+				slotLens: vs[i].slotLens,
+			}
+			if err := write(encodeRecord(nil, body)); err != nil {
+				return abort(err)
+			}
+			newIndex[bucket] = append(newIndex[bucket], nv)
+			newLive += nv.recSize
+		}
+	}
+	var ctrl int64
+	if b.committed > 0 {
+		framed := encodeRecord(nil, encodeEpochBody(heapKindCommit, b.committed))
+		if err := write(framed); err != nil {
+			return abort(err)
+		}
+		ctrl = int64(len(framed))
+	}
+	if err := tf.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := b.fsys.Rename(tmpName, joinPath(b.dir, heapFileName)); err != nil {
+		return abort(err)
+	}
+	// Rename durability is best-effort: if the directory sync fails and the
+	// rename is lost in a crash, the old heap file replays to the same
+	// logical state (compaction removed only dead bytes).
+	_ = b.fsys.SyncDir(b.dir)
+	b.heap.Close()
+	b.heap = tf
+	b.heapSize = off
+	b.index = newIndex
+	b.heapLive = newLive
+	b.heapDead = ctrl
+	return nil
+}
+
+// ---- Close ----
+
+// Close implements Backend. Appended-but-unsynced bucket versions are not
+// flushed: they are uncommitted by definition, and the durability contract
+// only covers acknowledged commits, log appends and KV writes.
+func (b *DiskBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if b.heap != nil {
+		keep(b.heap.Close())
+	}
+	if b.kvf != nil {
+		keep(b.kvf.Close())
+	}
+	for _, s := range b.segs {
+		keep(s.f.Close())
+	}
+	return first
+}

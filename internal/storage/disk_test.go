@@ -1,0 +1,390 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openDisk(t *testing.T, dir string, buckets int) *DiskBackend {
+	t.Helper()
+	b, err := OpenDiskBackend(dir, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDiskReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 8)
+	for e := uint64(1); e <= 3; e++ {
+		var writes []BucketWrite
+		for bucket := 0; bucket < 4; bucket++ {
+			writes = append(writes, BucketWrite{
+				Bucket: bucket, Epoch: e,
+				Slots: [][]byte{[]byte(fmt.Sprintf("e%d-b%d", e, bucket))},
+			})
+		}
+		if err := b.WriteBuckets(writes); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Append([]byte(fmt.Sprintf("log-%d", e))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CommitEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(t, b.Put("alpha", []byte("1")))
+	must(t, b.Put("beta", []byte("2")))
+	must(t, b.Delete("alpha"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDisk(t, dir, 8)
+	defer r.Close()
+	if got := r.CommittedEpoch(); got != 3 {
+		t.Fatalf("recovered committed epoch = %d, want 3", got)
+	}
+	for bucket := 0; bucket < 4; bucket++ {
+		got, err := r.ReadSlot(bucket, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("e3-b%d", bucket)
+		if string(got) != want {
+			t.Fatalf("bucket %d = %q, want %q", bucket, got, want)
+		}
+	}
+	recs, err := r.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[2]) != "log-3" {
+		t.Fatalf("recovered log = %q", recs)
+	}
+	if seq, _ := r.LastSeq(); seq != 3 {
+		t.Fatalf("recovered LastSeq = %d", seq)
+	}
+	if _, found, _ := r.Get("alpha"); found {
+		t.Fatal("deleted key resurrected on reopen")
+	}
+	if v, found, _ := r.Get("beta"); !found || string(v) != "2" {
+		t.Fatalf("recovered kv beta = %q, %v", v, found)
+	}
+}
+
+func TestDiskUncommittedVersionsSurviveReopenUntilRollback(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 2)
+	must(t, b.WriteBucket(0, 1, [][]byte{[]byte("e1")}))
+	must(t, b.CommitEpoch(1))
+	must(t, b.WriteBucket(0, 2, [][]byte{[]byte("e2-uncommitted")}))
+	// The uncommitted version is not fsynced, but closing cleanly does not
+	// crash the process; a reopen may or may not see it. Force durability by
+	// committing a *different* epoch? No — instead exercise the documented
+	// recovery path: reopen, then roll back to the committed frontier.
+	must(t, b.Close())
+
+	r := openDisk(t, dir, 2)
+	defer r.Close()
+	if got := r.CommittedEpoch(); got != 1 {
+		t.Fatalf("committed = %d, want 1", got)
+	}
+	must(t, r.RollbackTo(r.CommittedEpoch()))
+	got, err := r.ReadSlot(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "e1" {
+		t.Fatalf("after rollback: %q", got)
+	}
+}
+
+func TestDiskRollbackSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 2)
+	must(t, b.WriteBucket(0, 1, [][]byte{[]byte("e1")}))
+	must(t, b.CommitEpoch(1))
+	must(t, b.WriteBucket(0, 2, [][]byte{[]byte("e2")}))
+	must(t, b.RollbackTo(1))
+	// Epochs may be reused after a rollback (recovery replay does this).
+	must(t, b.WriteBucket(0, 2, [][]byte{[]byte("e2-replayed")}))
+	must(t, b.CommitEpoch(2))
+	must(t, b.Close())
+
+	r := openDisk(t, dir, 2)
+	defer r.Close()
+	if got := r.CommittedEpoch(); got != 2 {
+		t.Fatalf("committed = %d, want 2", got)
+	}
+	got, err := r.ReadSlot(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "e2-replayed" {
+		t.Fatalf("replayed epoch lost: %q", got)
+	}
+}
+
+func TestDiskTornHeapTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 2)
+	must(t, b.WriteBucket(0, 1, [][]byte{[]byte("survives")}))
+	must(t, b.CommitEpoch(1))
+	must(t, b.Close())
+
+	path := filepath.Join(dir, heapFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn record: a plausible length prefix with garbage behind it.
+	if _, err := f.Write([]byte{0, 0, 0, 40, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openDisk(t, dir, 2)
+	defer r.Close()
+	got, err := r.ReadSlot(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survives" {
+		t.Fatalf("state after torn tail: %q", got)
+	}
+	// The tail must be physically gone so new appends extend a valid file.
+	must(t, r.WriteBucket(1, 2, [][]byte{[]byte("after")}))
+	must(t, r.CommitEpoch(2))
+	must(t, r.Close())
+	r2 := openDisk(t, dir, 2)
+	defer r2.Close()
+	if got, _ := r2.ReadSlot(1, 0); string(got) != "after" {
+		t.Fatalf("append after torn-tail repair lost: %q", got)
+	}
+}
+
+func TestDiskStructuralCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 2)
+	must(t, b.WriteBucket(0, 1, [][]byte{[]byte("x")}))
+	must(t, b.CommitEpoch(1))
+	must(t, b.Close())
+
+	// Rewrite the version record's kind byte to garbage and fix up the
+	// checksum: a structurally invalid body under a valid crc is corruption,
+	// not a torn write, and must refuse to open.
+	path := filepath.Join(dir, heapFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := data[fileHeaderSize+recordFrameSize:]
+	// First record is the version record; find its body length.
+	n := int(uint32(data[fileHeaderSize])<<24 | uint32(data[fileHeaderSize+1])<<16 |
+		uint32(data[fileHeaderSize+2])<<8 | uint32(data[fileHeaderSize+3]))
+	body = body[:n]
+	body[0] = 99
+	reframed := encodeRecord(nil, body)
+	copy(data[fileHeaderSize:], reframed)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskBackend(dir, 2); err == nil {
+		t.Fatal("open succeeded on a structurally corrupt heap")
+	}
+}
+
+func TestDiskNumBucketsMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 8)
+	must(t, b.Close())
+	if _, err := OpenDiskBackend(dir, 16); err == nil {
+		t.Fatal("reopen with a different bucket count succeeded")
+	}
+	// Zero adopts the stored geometry.
+	r := openDisk(t, dir, 0)
+	defer r.Close()
+	if n, _ := r.NumBuckets(); n != 8 {
+		t.Fatalf("adopted bucket count = %d", n)
+	}
+}
+
+func TestDiskHeapCompaction(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 4)
+	b.heapCompactMin = 1 << 10
+	payload := bytes.Repeat([]byte("p"), 256)
+	for e := uint64(1); e <= 64; e++ {
+		var writes []BucketWrite
+		for bucket := 0; bucket < 4; bucket++ {
+			writes = append(writes, BucketWrite{Bucket: bucket, Epoch: e, Slots: [][]byte{payload, []byte(fmt.Sprintf("e%d-b%d", e, bucket))}})
+		}
+		must(t, b.WriteBuckets(writes))
+		must(t, b.CommitEpoch(e))
+	}
+	// 64 epochs × 4 buckets × ~280 bytes ≈ 70 KiB of versions, all but the
+	// last 4 dead: compaction must have run.
+	if b.heapSize > 8<<10 {
+		t.Fatalf("heap not compacted: %d bytes", b.heapSize)
+	}
+	for bucket := 0; bucket < 4; bucket++ {
+		got, err := b.ReadSlot(bucket, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("e64-b%d", bucket); string(got) != want {
+			t.Fatalf("bucket %d after compaction = %q, want %q", bucket, got, want)
+		}
+	}
+	must(t, b.Close())
+	r := openDisk(t, dir, 4)
+	defer r.Close()
+	if got := r.CommittedEpoch(); got != 64 {
+		t.Fatalf("committed after compacted reopen = %d", got)
+	}
+	for bucket := 0; bucket < 4; bucket++ {
+		got, err := r.ReadSlot(bucket, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("e64-b%d", bucket); string(got) != want {
+			t.Fatalf("bucket %d after reopen = %q, want %q", bucket, got, want)
+		}
+	}
+}
+
+func TestDiskLogSegmentsRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 1)
+	b.segMaxBytes = 256
+	var seqs []uint64
+	for i := 0; i < 40; i++ {
+		seq, err := b.Append([]byte(fmt.Sprintf("record-%02d-%s", i, bytes.Repeat([]byte("x"), 32))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if seqs[39] != 40 {
+		t.Fatalf("last seq = %d", seqs[39])
+	}
+	if len(b.segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(b.segs))
+	}
+	segsBefore := len(b.segs)
+	must(t, b.Truncate(30))
+	if len(b.segs) >= segsBefore {
+		t.Fatalf("truncate dropped no segments (%d -> %d)", segsBefore, len(b.segs))
+	}
+	recs, err := b.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 || !bytes.HasPrefix(recs[0], []byte("record-29")) {
+		t.Fatalf("after truncate: %d records, first %q", len(recs), recs[0])
+	}
+	must(t, b.Close())
+
+	r := openDisk(t, dir, 1)
+	r.segMaxBytes = 256
+	if seq, _ := r.LastSeq(); seq != 40 {
+		t.Fatalf("reopened LastSeq = %d", seq)
+	}
+	recs, err = r.Scan(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || !bytes.HasPrefix(recs[0], []byte("record-34")) {
+		t.Fatalf("reopened Scan(35): %d records, first %q", len(recs), recs[0])
+	}
+	// Truncating everything keeps the sequence counter across a reopen.
+	must(t, r.Truncate(41))
+	must(t, r.Close())
+	r2 := openDisk(t, dir, 1)
+	defer r2.Close()
+	if seq, _ := r2.LastSeq(); seq != 40 {
+		t.Fatalf("LastSeq after truncate-all reopen = %d", seq)
+	}
+	seq, err := r2.Append([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 41 {
+		t.Fatalf("Append after truncate-all reopen = %d, want 41", seq)
+	}
+}
+
+func TestDiskKVCompaction(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 1)
+	b.kvCompactMin = 1 << 10
+	val := bytes.Repeat([]byte("v"), 128)
+	for i := 0; i < 64; i++ {
+		must(t, b.Put("churn", append([]byte(fmt.Sprintf("%02d-", i)), val...)))
+	}
+	must(t, b.Put("stable", []byte("keep")))
+	if b.kvSize > 4<<10 {
+		t.Fatalf("kv journal not compacted: %d bytes", b.kvSize)
+	}
+	must(t, b.Close())
+	r := openDisk(t, dir, 1)
+	defer r.Close()
+	if v, found, _ := r.Get("churn"); !found || !bytes.HasPrefix(v, []byte("63-")) {
+		t.Fatalf("churn after compaction = %q, %v", v, found)
+	}
+	if v, _, _ := r.Get("stable"); string(v) != "keep" {
+		t.Fatalf("stable after compaction = %q", v)
+	}
+}
+
+func TestDiskReadSlotsCoalescesAndHandlesDuplicates(t *testing.T) {
+	b := openDisk(t, t.TempDir(), 8)
+	defer b.Close()
+	for bucket := 0; bucket < 8; bucket++ {
+		slots := make([][]byte, 4)
+		for s := range slots {
+			slots[s] = []byte(fmt.Sprintf("b%d-s%d", bucket, s))
+		}
+		must(t, b.WriteBucket(bucket, 1, slots))
+	}
+	refs := []SlotRef{
+		{Bucket: 7, Slot: 3}, {Bucket: 0, Slot: 0}, {Bucket: 3, Slot: 2},
+		{Bucket: 0, Slot: 0}, // duplicate ref
+		{Bucket: 7, Slot: 0}, {Bucket: 1, Slot: 1},
+	}
+	got, err := b.ReadSlots(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b7-s3", "b0-s0", "b3-s2", "b0-s0", "b7-s0", "b1-s1"}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("ReadSlots[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiskWedgesAfterIOError(t *testing.T) {
+	dir := t.TempDir()
+	b := openDisk(t, dir, 2)
+	must(t, b.WriteBucket(0, 1, [][]byte{[]byte("x")}))
+	must(t, b.CommitEpoch(1))
+	// Close the heap file behind the backend's back; the next write must
+	// fail and wedge the store (fail-stop beats acking into the void).
+	b.heap.Close()
+	if err := b.CommitEpoch(2); err == nil {
+		t.Fatal("commit succeeded on a closed file")
+	}
+	if err := b.Put("k", []byte("v")); err == nil {
+		t.Fatal("kv write succeeded on a wedged backend")
+	}
+	if _, err := b.ReadSlot(0, 0); err == nil {
+		t.Fatal("read succeeded on a wedged backend")
+	}
+}

@@ -1,0 +1,513 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file holds DiskBackend's recovery log (segmented append-only files
+// with an fsync barrier per append) and the NoPriv baseline's KV namespace
+// (an append-only put/delete journal with an in-memory map).
+
+// ---- KV namespace ----
+
+func (b *DiskBackend) openKV() error {
+	f, err := b.fsys.OpenFile(joinPath(b.dir, kvFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening kv log: %w", err)
+	}
+	b.kvf = f
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	if size < fileHeaderSize {
+		// Same argument as the bucket heap: a sub-header file means creation
+		// never durably completed.
+		if err := f.Truncate(0); err != nil {
+			return err
+		}
+		hdr := encodeFileHeader(kvMagic, 0, 0)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			return fmt.Errorf("storage: initializing kv log: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		b.kvSize = fileHeaderSize
+		return nil
+	}
+	hdr, err := readFileRange(f, 0, fileHeaderSize)
+	if err != nil {
+		return err
+	}
+	if _, _, err := decodeFileHeader(hdr, kvMagic); err != nil {
+		return fmt.Errorf("storage: kv log: %w", err)
+	}
+	sc := newRecordScanner(f, fileHeaderSize, size)
+	off := int64(fileHeaderSize)
+	for off < size {
+		body, total, err := sc.next()
+		if err != nil {
+			if errors.Is(err, errTornRecord) {
+				break
+			}
+			return fmt.Errorf("storage: kv log at offset %d: %w", off, err)
+		}
+		kind, key, value, err := parseKVBody(body)
+		if err != nil {
+			return fmt.Errorf("storage: kv log at offset %d: %w", off, err)
+		}
+		b.applyKVLocked(kind, key, value, int64(total))
+		off += int64(total)
+	}
+	if off < size {
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("storage: truncating torn kv tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	b.kvSize = off
+	return nil
+}
+
+func (b *DiskBackend) applyKVLocked(kind byte, key string, value []byte, recSize int64) {
+	if old, ok := b.kv[key]; ok {
+		b.kvDead += old.recSize
+		b.kvLive -= old.recSize
+	}
+	switch kind {
+	case kvKindPut:
+		b.kv[key] = kvEntry{value: value, recSize: recSize}
+		b.kvLive += recSize
+	case kvKindDel:
+		delete(b.kv, key)
+		b.kvDead += recSize
+	}
+}
+
+// Get implements KVStore.
+func (b *DiskBackend) Get(key string) ([]byte, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, false, err
+	}
+	e, ok := b.kv[key]
+	return e.value, ok, nil
+}
+
+// Put implements KVStore: the entry is durable (fsynced) before the call
+// returns.
+func (b *DiskBackend) Put(key string, value []byte) error {
+	return b.kvAppend(kvKindPut, key, value)
+}
+
+// Delete implements KVStore.
+func (b *DiskBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	if _, ok := b.kv[key]; !ok {
+		return nil // nothing to make durable
+	}
+	return b.kvAppendLocked(kvKindDel, key, nil)
+}
+
+func (b *DiskBackend) kvAppend(kind byte, key string, value []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	return b.kvAppendLocked(kind, key, value)
+}
+
+func (b *DiskBackend) kvAppendLocked(kind byte, key string, value []byte) error {
+	framed := encodeRecord(nil, encodeKVBody(kind, key, value))
+	if _, err := b.kvf.WriteAt(framed, b.kvSize); err != nil {
+		return b.wedge(err)
+	}
+	if err := b.kvf.Sync(); err != nil {
+		return b.wedge(err)
+	}
+	b.kvSize += int64(len(framed))
+	b.applyKVLocked(kind, key, value, int64(len(framed)))
+	b.maybeCompactKVLocked()
+	return nil
+}
+
+// maybeCompactKVLocked rewrites the journal as one put per live key when
+// dead entries dominate. Same crash argument as the heap: the old journal
+// replays to the identical map, so losing the rename is harmless.
+func (b *DiskBackend) maybeCompactKVLocked() {
+	if b.kvDead < b.kvCompactMin || b.kvDead <= b.kvLive {
+		return
+	}
+	tmpName := joinPath(b.dir, kvFileName+tmpSuffix)
+	tf, err := b.fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	abort := func() {
+		tf.Close()
+		_ = b.fsys.Remove(tmpName)
+	}
+	keys := make([]string, 0, len(b.kv))
+	for k := range b.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	off := int64(0)
+	buf := encodeFileHeader(kvMagic, 0, 0)
+	sizes := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		body := encodeKVBody(kvKindPut, k, b.kv[k].value)
+		sizes[k] = int64(recordFrameSize + len(body))
+		buf = encodeRecord(buf, body)
+		if len(buf) >= 1<<20 {
+			if _, err := tf.WriteAt(buf, off); err != nil {
+				abort()
+				return
+			}
+			off += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := tf.WriteAt(buf, off); err != nil {
+			abort()
+			return
+		}
+		off += int64(len(buf))
+	}
+	if err := tf.Sync(); err != nil {
+		abort()
+		return
+	}
+	if err := b.fsys.Rename(tmpName, joinPath(b.dir, kvFileName)); err != nil {
+		abort()
+		return
+	}
+	_ = b.fsys.SyncDir(b.dir)
+	b.kvf.Close()
+	b.kvf = tf
+	b.kvSize = off
+	b.kvLive = 0
+	b.kvDead = 0
+	for k, e := range b.kv {
+		e.recSize = sizes[k]
+		b.kv[k] = e
+		b.kvLive += e.recSize
+	}
+}
+
+// ---- recovery log ----
+
+func segName(base uint64) string {
+	return segPrefix + fmt.Sprintf("%020d", base) + segSuffix
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	base, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// errSegDamaged marks structural damage in a log segment (sub-header file,
+// bad header, corrupt mid-file record): the segment and its successors are
+// an orphaned suffix that recovery drops. Any *other* error — a transient
+// open failure, fd exhaustion, a read error — must fail the open loudly
+// instead: deleting acknowledged log records over an EIO blip is how
+// recovery tools destroy the data they exist to protect.
+var errSegDamaged = errors.New("storage: damaged log segment")
+
+// openLog rebuilds the segment chain with prefix semantics: segments are
+// kept while each one is intact and contiguous with its predecessor; the
+// first structurally broken or gapped segment and everything after it are
+// dropped. With honest fsyncs only the *last* segment can ever be torn (a
+// segment's header is synced before its first record, and a successor is
+// only created after the predecessor filled), so nothing acknowledged is
+// lost; the drop path only fires on damage that already lost data — exactly
+// the point-in-time prefix a write-ahead log must recover to.
+func (b *DiskBackend) openLog(names []string) error {
+	var bases []uint64
+	for _, n := range names {
+		if base, ok := parseSegName(n); ok {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for i, base := range bases {
+		seg, err := b.openSegment(base)
+		if err != nil && !errors.Is(err, errSegDamaged) {
+			return err
+		}
+		gap := err == nil && len(b.segs) > 0 &&
+			b.segs[len(b.segs)-1].base+uint64(len(b.segs[len(b.segs)-1].offs)) != seg.base
+		if err != nil || gap {
+			// Orphaned suffix: remove it so the next open sees a clean chain.
+			if seg != nil {
+				seg.f.Close()
+			}
+			for _, orphan := range bases[i:] {
+				_ = b.fsys.Remove(joinPath(b.dir, segName(orphan)))
+			}
+			break
+		}
+		b.segs = append(b.segs, seg)
+	}
+	if len(b.segs) == 0 {
+		b.lastSeq = b.truncBefore - 1
+	} else {
+		last := b.segs[len(b.segs)-1]
+		b.lastSeq = last.base + uint64(len(last.offs)) - 1
+		if b.lastSeq < b.truncBefore-1 {
+			b.lastSeq = b.truncBefore - 1
+		}
+	}
+	// A crash between the meta update and segment deletion can leave whole
+	// segments below the truncation point; finish the job.
+	b.dropDeadSegmentsLocked()
+	return nil
+}
+
+// openSegment opens one segment, truncating a torn tail at the first invalid
+// record. Structural damage (sub-header file, bad header, corrupt mid-file
+// record) returns an error wrapping errSegDamaged — the caller drops the
+// segment as an orphan; every other failure is a real I/O error and
+// propagates as-is.
+func (b *DiskBackend) openSegment(base uint64) (*segment, error) {
+	name := segName(base)
+	f, err := b.fsys.OpenFile(joinPath(b.dir, name), os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening log segment %s: %w", name, err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{f: f, name: name, base: base}
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		return nil, err
+	}
+	damaged := func(format string, args ...any) (*segment, error) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", errSegDamaged, fmt.Sprintf(format, args...))
+	}
+	if size < fileHeaderSize {
+		return damaged("segment %s truncated below its header", name)
+	}
+	hdr, err := readFileRange(f, 0, fileHeaderSize)
+	if err != nil {
+		return fail(err)
+	}
+	_, storedBase, err := decodeFileHeader(hdr, segMagic)
+	if err != nil {
+		return damaged("segment %s: %v", name, err)
+	}
+	if storedBase != base {
+		return damaged("segment %s header claims base %d", name, storedBase)
+	}
+	sc := newRecordScanner(f, fileHeaderSize, size)
+	off := int64(fileHeaderSize)
+	for off < size {
+		_, total, err := sc.next()
+		if err != nil {
+			if errors.Is(err, errTornRecord) {
+				break
+			}
+			if errors.Is(err, errBadRecord) {
+				return damaged("segment %s at offset %d: %v", name, off, err)
+			}
+			return fail(fmt.Errorf("storage: log segment %s at offset %d: %w", name, off, err))
+		}
+		seg.offs = append(seg.offs, off)
+		seg.lens = append(seg.lens, int32(total))
+		off += int64(total)
+	}
+	if off < size {
+		if err := f.Truncate(off); err != nil {
+			return fail(err)
+		}
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	seg.size = off
+	return seg, nil
+}
+
+// Append implements LogStore: the record is fsynced before the sequence
+// number is returned — the log is the recovery unit, so an acknowledged
+// append must survive any crash.
+func (b *DiskBackend) Append(record []byte) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return 0, err
+	}
+	seg, err := b.activeSegmentLocked()
+	if err != nil {
+		return 0, err
+	}
+	framed := encodeRecord(nil, record)
+	if _, err := seg.f.WriteAt(framed, seg.size); err != nil {
+		return 0, b.wedge(err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return 0, b.wedge(err)
+	}
+	seg.offs = append(seg.offs, seg.size)
+	seg.lens = append(seg.lens, int32(len(framed)))
+	seg.size += int64(len(framed))
+	b.lastSeq++
+	return b.lastSeq, nil
+}
+
+// activeSegmentLocked returns the tail segment, rolling to a fresh file once
+// the current one exceeds segMaxBytes.
+func (b *DiskBackend) activeSegmentLocked() (*segment, error) {
+	if n := len(b.segs); n > 0 && b.segs[n-1].size < b.segMaxBytes {
+		return b.segs[n-1], nil
+	}
+	base := b.lastSeq + 1
+	name := segName(base)
+	f, err := b.fsys.OpenFile(joinPath(b.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, b.wedge(err)
+	}
+	hdr := encodeFileHeader(segMagic, 0, base)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, b.wedge(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, b.wedge(err)
+	}
+	if err := b.fsys.SyncDir(b.dir); err != nil {
+		f.Close()
+		return nil, b.wedge(err)
+	}
+	seg := &segment{f: f, name: name, base: base, size: fileHeaderSize}
+	b.segs = append(b.segs, seg)
+	return seg, nil
+}
+
+// Scan implements LogStore: all records with sequence number >= from, in
+// order. Each overlapping segment is served with one ranged pread.
+func (b *DiskBackend) Scan(from uint64) ([][]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, err
+	}
+	if from < b.truncBefore {
+		from = b.truncBefore
+	}
+	var out [][]byte
+	for _, seg := range b.segs {
+		n := uint64(len(seg.offs))
+		if n == 0 || seg.base+n <= from {
+			continue
+		}
+		start := 0
+		if from > seg.base {
+			start = int(from - seg.base)
+		}
+		lo := seg.offs[start]
+		buf, err := readFileRange(seg.f, lo, int(seg.size-lo))
+		if err != nil {
+			return nil, err
+		}
+		for rest := buf; len(rest) > 0; {
+			body, total, err := decodeRecord(rest)
+			if err != nil {
+				return nil, fmt.Errorf("storage: log segment %s: %w", seg.name, err)
+			}
+			rec := make([]byte, len(body))
+			copy(rec, body)
+			out = append(out, rec)
+			rest = rest[total:]
+		}
+	}
+	return out, nil
+}
+
+// Truncate implements LogStore: the truncation point lands durably in the
+// meta file first, then whole segments below it are deleted. A crash in
+// between just leaves dead segments for the next open to finish removing.
+func (b *DiskBackend) Truncate(before uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	if before > b.lastSeq+1 {
+		before = b.lastSeq + 1
+	}
+	if before <= b.truncBefore {
+		return nil
+	}
+	old := b.truncBefore
+	b.truncBefore = before
+	if err := b.writeMeta(); err != nil {
+		b.truncBefore = old
+		// The rename is atomic — the on-disk meta is either the old or the
+		// new truncation point, both consistent — but we no longer know
+		// which, so the in-memory view may diverge: fail stop.
+		return b.wedge(err)
+	}
+	b.dropDeadSegmentsLocked()
+	return nil
+}
+
+// dropDeadSegmentsLocked removes segments whose every record is below the
+// truncation point. The tail segment survives even when fully dead so the
+// next Append can keep extending it.
+func (b *DiskBackend) dropDeadSegmentsLocked() {
+	for len(b.segs) > 1 {
+		seg := b.segs[0]
+		if seg.base+uint64(len(seg.offs)) > b.truncBefore {
+			break
+		}
+		seg.f.Close()
+		_ = b.fsys.Remove(joinPath(b.dir, seg.name)) // reopen filters it anyway
+		b.segs = b.segs[1:]
+	}
+	if len(b.segs) == 1 {
+		seg := b.segs[0]
+		if seg.base+uint64(len(seg.offs)) <= b.truncBefore {
+			seg.f.Close()
+			_ = b.fsys.Remove(joinPath(b.dir, seg.name))
+			b.segs = nil
+		}
+	}
+}
+
+// LastSeq implements LogStore.
+func (b *DiskBackend) LastSeq() (uint64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return 0, err
+	}
+	return b.lastSeq, nil
+}

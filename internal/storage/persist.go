@@ -5,12 +5,23 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // This file adds whole-store snapshot persistence to MemBackend, so a
 // standalone obladi-storage server can survive restarts (the cloud side is
-// the durable entity in Obladi's model). The format is a single gob stream;
-// SaveTo writes atomically via a temp file + rename.
+// the durable entity in Obladi's model). The format is a single gob stream.
+//
+// Durability contract: SaveTo is crash-atomic and durable on return. The
+// snapshot is written to a temp file which is fsynced *before* the rename
+// (rename-without-fsync is the classic crash-consistency bug: metadata
+// journaling can commit the rename while the data blocks are still in the
+// page cache, leaving a zero-length "snapshot" after power loss), and the
+// parent directory is fsynced *after* the rename so the new name itself
+// survives. A crash at any point leaves either the complete old snapshot or
+// the complete new one. Note the contract covers SaveTo/LoadMemBackend
+// pairs only — MemBackend loses everything between snapshots; DiskBackend
+// is the incremental, always-durable alternative.
 
 // memSnapshot is the serializable image of a MemBackend.
 type memSnapshot struct {
@@ -73,7 +84,11 @@ func (m *MemBackend) SaveTo(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // LoadMemBackend restores a backend saved with SaveTo.

@@ -515,12 +515,16 @@ func (c *Client) fail(err error) {
 func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if c.closed {
+		// Closing the client also tears down the read loop, which records a
+		// connection error; an explicitly closed client must still report
+		// ErrClosed, not whichever teardown error won the race.
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
-		}
 		return nil, err
 	}
 	c.nextID++
