@@ -9,6 +9,7 @@
 //
 //	obladi-storage -listen :7000 -buckets 65536 [-latency server-wan]
 //	obladi-storage -listen :7000 -buckets 65536 -data-dir /var/lib/obladi
+//	obladi-storage -listen :7000 -buckets 65536 -data-dir /var/lib/obladi -shards 2
 //
 // With -data-dir the server runs the durable DiskBackend: an incrementally
 // persisted, crash-atomic store (shadow-paged bucket heap, segmented
@@ -16,14 +17,24 @@
 // committed epoch after a crash or SIGKILL. The legacy -persist flag keeps
 // the whole-store snapshot behaviour for the in-memory backend; the two are
 // mutually exclusive.
+//
+// With -shards N (N > 1, requires -data-dir) the server runs N disk shards
+// under one data dir as a commit group: their recovery-log streams multiplex
+// onto one shared physical log and every durability barrier routes through
+// one fsync scheduler, so a sharded proxy's epoch-boundary flushes coalesce
+// into shared waves instead of paying one fsync per shard. Shard i is served
+// on the base port + i (or on its own ephemeral port when the base port is
+// 0; each shard prints its address).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"obladi/internal/storage"
 )
@@ -35,10 +46,21 @@ func main() {
 	scale := flag.Float64("latency-scale", 1.0, "scale factor applied to the injected latency profile")
 	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown (in-memory backend)")
 	dataDir := flag.String("data-dir", "", "directory for the durable disk backend (incremental, crash-atomic persistence)")
+	shards := flag.Int("shards", 1, "disk shards sharing the data dir as a commit group (requires -data-dir); shard i listens on the base port + i")
 	flag.Parse()
 
 	if *persist != "" && *dataDir != "" {
 		log.Fatal("-persist and -data-dir are mutually exclusive")
+	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1 (got %d)", *shards)
+	}
+	if *shards > 1 {
+		if *dataDir == "" {
+			log.Fatal("-shards needs -data-dir (group commit is a disk-backend deployment)")
+		}
+		serveGroup(*dataDir, *shards, *buckets, *listen, *latency, *scale)
+		return
 	}
 	var backend storage.Backend
 	var mem *storage.MemBackend
@@ -66,17 +88,7 @@ func main() {
 		}
 		backend = mem
 	}
-	switch *latency {
-	case "":
-	case "server":
-		backend = storage.WithLatency(backend, storage.ProfileServer.Scaled(*scale))
-	case "server-wan":
-		backend = storage.WithLatency(backend, storage.ProfileServerWAN.Scaled(*scale))
-	case "dynamo":
-		backend = storage.WithLatency(backend, storage.ProfileDynamo.Scaled(*scale))
-	default:
-		log.Fatalf("unknown latency profile %q", *latency)
-	}
+	backend = wrapLatency(backend, *latency, *scale)
 
 	srv, err := storage.NewServer(backend, *listen)
 	if err != nil {
@@ -96,5 +108,69 @@ func main() {
 			log.Fatalf("saving snapshot: %v", err)
 		}
 		fmt.Printf("obladi-storage: state saved to %s\n", *persist)
+	}
+}
+
+// wrapLatency injects the requested latency profile (empty = none).
+func wrapLatency(b storage.Backend, latency string, scale float64) storage.Backend {
+	switch latency {
+	case "":
+		return b
+	case "server":
+		return storage.WithLatency(b, storage.ProfileServer.Scaled(scale))
+	case "server-wan":
+		return storage.WithLatency(b, storage.ProfileServerWAN.Scaled(scale))
+	case "dynamo":
+		return storage.WithLatency(b, storage.ProfileDynamo.Scaled(scale))
+	default:
+		log.Fatalf("unknown latency profile %q", latency)
+		return nil
+	}
+}
+
+// serveGroup runs the N-shard commit-group deployment: one DiskGroup under
+// dataDir, each shard's shared-log view served by its own TCP server. All
+// client traffic goes through the views — raw shard access would bypass the
+// shared physical log — so cross-shard barriers keep coalescing end to end.
+func serveGroup(dataDir string, shards, buckets int, listen, latency string, scale float64) {
+	g, err := storage.OpenDiskGroup(dataDir, shards, buckets)
+	if err != nil {
+		log.Fatalf("opening %d-shard group in %s: %v", shards, dataDir, err)
+	}
+	defer g.Close()
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		log.Fatalf("parsing -listen %q: %v", listen, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("-listen %q needs a numeric port with -shards (shard i is served on port+i): %v", listen, err)
+	}
+	fmt.Printf("obladi-storage: %d-shard commit group in %s (committed epochs:", shards, dataDir)
+	for _, sh := range g.Shards() {
+		fmt.Printf(" %d", sh.CommittedEpoch())
+	}
+	fmt.Println(")")
+	servers := make([]*storage.Server, 0, shards)
+	for i, be := range g.Backends() {
+		shardPort := 0
+		if port != 0 {
+			shardPort = port + i
+		}
+		srv, err := storage.NewServer(wrapLatency(be, latency, scale), net.JoinHostPort(host, strconv.Itoa(shardPort)))
+		if err != nil {
+			log.Fatalf("starting shard %d server: %v", i, err)
+		}
+		servers = append(servers, srv)
+		fmt.Printf("obladi-storage: shard %d serving %d buckets on %s\n", i, buckets, srv.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("obladi-storage: shutting down")
+	for _, srv := range servers {
+		if err := srv.Close(); err != nil {
+			log.Print(err)
+		}
 	}
 }

@@ -15,8 +15,8 @@ func quickCfg() Config {
 
 func TestNamesAndDescribe(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
-		t.Fatalf("expected 15 experiments (every table and figure, plus shards, pipeline, vector, client and disk), got %d: %v", len(names), names)
+	if len(names) != 16 {
+		t.Fatalf("expected 16 experiments (every table and figure, plus shards, pipeline, vector, client, disk and recovery), got %d: %v", len(names), names)
 	}
 	for _, n := range names {
 		if Describe(n) == "" {
@@ -270,8 +270,10 @@ func TestDiskShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("expected mem/disk x scalar/vectored rows: %+v", rows)
+	// mem/disk x scalar/vectored, plus the three 2-shard group-commit rows
+	// (Mem, Mem+fsync, Disk at Vectored/group).
+	if len(rows) != 7 {
+		t.Fatalf("expected 4 single-shard + 3 group rows: %+v", rows)
 	}
 	vals := map[string]map[string]float64{}
 	for _, r := range rows {
@@ -286,11 +288,48 @@ func TestDiskShape(t *testing.T) {
 			t.Errorf("%s/%s: bad latency percentiles p50=%.2f p99=%.2f", r.Series, r.X, r.P50ms, r.P99ms)
 		}
 	}
+	for _, want := range []struct{ series, x string }{
+		{"Mem", "Scalar"}, {"Mem", "Vectored"}, {"Disk", "Scalar"}, {"Disk", "Vectored"},
+		{"Mem", "Vectored/group"}, {"Mem+fsync", "Vectored/group"}, {"Disk", "Vectored/group"},
+	} {
+		if _, ok := vals[want.series][want.x]; !ok {
+			t.Errorf("missing row %s/%s", want.series, want.x)
+		}
+	}
 	// Durability costs real fsyncs, but the disk backend must stay within
 	// sight of memory on a local filesystem, not collapse.
 	if vals["Disk"]["Vectored"] < vals["Mem"]["Vectored"]/50 {
 		t.Errorf("disk vectored (%.0f txns/s) collapsed vs mem (%.0f txns/s)",
 			vals["Disk"]["Vectored"], vals["Mem"]["Vectored"])
+	}
+	if vals["Disk"]["Vectored/group"] < vals["Mem"]["Vectored/group"]/50 {
+		t.Errorf("disk group (%.0f txns/s) collapsed vs mem group (%.0f txns/s)",
+			vals["Disk"]["Vectored/group"], vals["Mem"]["Vectored/group"])
+	}
+}
+
+func TestRecoveryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Recovery(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 1/2/4-worker replay rows: %+v", rows)
+	}
+	for i, workers := range []string{"1-workers", "2-workers", "4-workers"} {
+		r := rows[i]
+		if r.X != workers || r.Series != "Replay" {
+			t.Fatalf("row %d = %s/%s, want Replay/%s", i, r.Series, r.X, workers)
+		}
+		if r.Value <= 0 {
+			t.Errorf("%s: nonpositive recovery time %f", r.X, r.Value)
+		}
+		if r.P50ms <= 0 || r.P99ms < r.P50ms {
+			t.Errorf("%s: bad latency percentiles p50=%.2f p99=%.2f", r.X, r.P50ms, r.P99ms)
+		}
 	}
 }
 

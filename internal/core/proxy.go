@@ -351,18 +351,52 @@ func (p *Proxy) beginEpochAllLocked() {
 	}
 }
 
+// syncLogsParallel runs one Sync round: every shard without an earlier
+// error flushes its recovery log's deferred appends, concurrently. On a
+// shared physical log the first Sync's fsync covers every shard and the
+// rest return without touching the disk; on independent stores the barriers
+// at least overlap. Errors land in errs[i].
+func (p *Proxy) syncLogsParallel(shs []*shard, errs []error) {
+	var wg sync.WaitGroup
+	for i := range shs {
+		if errs[i] != nil || shs[i].rlog == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = shs[i].rlog.Sync()
+		}(i)
+	}
+	wg.Wait()
+}
+
 // appendCommitAll appends the epoch's commit records, coordinator (shard 0)
-// first: the coordinator's record is the global commit point; the others
-// merely let a shard recover without consulting the coordinator's floor.
+// first: the coordinator's record is the global commit point and pays a
+// real durability barrier. The other shards' records merely let a shard
+// recover without consulting the coordinator's floor — losing one costs a
+// floor lookup, not correctness — so they are appended deferred and ride
+// whatever flush comes next (the storage-epoch commits that follow, or the
+// next epoch's barriers) instead of each paying an fsync.
 func (p *Proxy) appendCommitAll(epoch uint64) error {
-	for _, sh := range p.shards {
-		if err := sh.rlog.AppendCommit(epoch); err != nil {
+	commitHook := func(sh *shard) error {
+		if p.testCommitHook != nil {
+			return p.testCommitHook(sh.id)
+		}
+		return nil
+	}
+	if err := p.shards[0].rlog.AppendCommit(epoch); err != nil {
+		return err
+	}
+	if err := commitHook(p.shards[0]); err != nil {
+		return err
+	}
+	for _, sh := range p.shards[1:] {
+		if err := sh.rlog.AppendCommitDeferred(epoch); err != nil {
 			return err
 		}
-		if p.testCommitHook != nil {
-			if err := p.testCommitHook(sh.id); err != nil {
-				return err
-			}
+		if err := commitHook(sh); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -507,18 +541,31 @@ func (p *Proxy) recover(coordRec *wal.Recovery) error {
 		p.replayedLast += n
 	}
 	p.stats.RecoveryReplayed += p.replayedLast
-	for _, sh := range p.shards {
-		if _, err := sh.rlog.AppendCheckpoint(recoveryEpoch, sh.exec.ORAM()); err != nil {
+	// Checkpoints are per-shard prepares: independent logs, so they append
+	// (and fsync) concurrently. Only the coordinator-first commit records
+	// need cross-shard ordering; the storage CommitEpochs after them are
+	// again independent barriers and run as one parallel round.
+	ckptErrs := make([]error, len(p.shards))
+	var ckptWG sync.WaitGroup
+	for i := range p.shards {
+		ckptWG.Add(1)
+		go func(i int) {
+			defer ckptWG.Done()
+			sh := p.shards[i]
+			_, ckptErrs[i] = sh.rlog.AppendCheckpoint(recoveryEpoch, sh.exec.ORAM())
+		}(i)
+	}
+	ckptWG.Wait()
+	for _, err := range ckptErrs {
+		if err != nil {
 			return err
 		}
 	}
 	if err := p.appendCommitAll(recoveryEpoch); err != nil {
 		return err
 	}
-	for _, sh := range p.shards {
-		if err := sh.store.CommitEpoch(recoveryEpoch); err != nil {
-			return err
-		}
+	if err := p.commitStoresParallel(recoveryEpoch); err != nil {
+		return err
 	}
 	p.epoch = recoveryEpoch + 1
 	p.beginEpochAllLocked()
@@ -736,10 +783,15 @@ func (p *Proxy) StepReadBatch() error {
 
 	// Per shard: plan, write-ahead log, execute. The write-ahead rule (§8:
 	// the read schedule must be durable before its reads are issued) only
-	// orders a shard's own log against its own reads, so the whole pipeline
-	// runs concurrently across shards — N storage backends each serve one
-	// batch, log append included, in the same latency window.
+	// orders a shard's own log against its own reads, so planning and
+	// execution run concurrently across shards. The log appends, though,
+	// are split from their barrier: every shard's schedule record is
+	// appended first (deferred), then one Sync round makes them all durable
+	// before any read issues. On a shared physical log the round is ONE
+	// fsync for all shards — barrier placement, not barrier count, is what
+	// the write-ahead rule fixes.
 	results := make([][]oramexec.ReadResult, len(batches))
+	plans := make([]*oramexec.BatchPlan, len(batches))
 	errs := make([]error, len(batches))
 	var wg sync.WaitGroup
 	for i := range batches {
@@ -751,18 +803,31 @@ func (p *Proxy) StepReadBatch() error {
 			for j, k := range b.keys {
 				ops[j].Key = k
 			}
-			plan, err := b.sh.exec.PlanReadBatch(ops)
-			if err != nil {
-				errs[i] = err
+			plans[i], errs[i] = b.sh.exec.PlanReadBatch(ops)
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range batches {
+		if errs[i] != nil || b.sh.rlog == nil {
+			continue
+		}
+		if err := b.sh.rlog.AppendBatchDeferred(epoch, batchIdx, plans[i].Log()); err != nil {
+			errs[i] = err
+		}
+	}
+	shs := make([]*shard, len(batches))
+	for i, b := range batches {
+		shs[i] = b.sh
+	}
+	p.syncLogsParallel(shs, errs)
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if errs[i] != nil {
 				return
 			}
-			if b.sh.rlog != nil {
-				if err := b.sh.rlog.AppendBatch(epoch, batchIdx, plan.Log()); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-			results[i], errs[i] = b.sh.exec.Execute(plan)
+			results[i], errs[i] = batches[i].sh.exec.Execute(plans[i])
 		}(i)
 	}
 	wg.Wait()
@@ -930,7 +995,12 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 		sealed: make([]*oramexec.SealedEpoch, len(p.shards)),
 		ckpts:  make([]*wal.PendingCheckpoint, len(p.shards)),
 	}
+	// Same staging as StepReadBatch: plan everywhere, append every shard's
+	// write-batch schedule deferred, one Sync round (one fsync on a shared
+	// log), then execute — the write-ahead rule holds per shard, with the
+	// barrier placed once per round instead of once per record.
 	errs := make([]error, len(p.shards))
+	wplans := make([]*oramexec.BatchPlan, len(p.shards))
 	var wg sync.WaitGroup
 	for i := range p.shards {
 		wg.Add(1)
@@ -941,24 +1011,35 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 			for len(ops) < p.cfg.WriteBatchSize {
 				ops = append(ops, oramexec.WriteOp{})
 			}
-			wplan, err := sh.exec.PlanWriteBatch(ops)
-			if err != nil {
-				errs[i] = err
+			wplans[i], errs[i] = sh.exec.PlanWriteBatch(ops)
+		}(i)
+	}
+	wg.Wait()
+	for i, sh := range p.shards {
+		if errs[i] != nil || sh.rlog == nil {
+			continue
+		}
+		if err := sh.rlog.AppendBatchDeferred(epoch, p.cfg.ReadBatches, wplans[i].Log()); err != nil {
+			errs[i] = err
+		}
+	}
+	p.syncLogsParallel(p.shards, errs)
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if errs[i] != nil {
 				return
 			}
-			if sh.rlog != nil {
-				if err := sh.rlog.AppendBatch(epoch, p.cfg.ReadBatches, wplan.Log()); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-			if _, err := sh.exec.Execute(wplan); err != nil {
+			sh := p.shards[i]
+			if _, err := sh.exec.Execute(wplans[i]); err != nil {
 				errs[i] = err
 				return
 			}
 			// Detach the epoch's write-back set. The next epoch's reads
 			// that land on a sealed bucket are served from it locally, so
 			// they stay correct while the flush is still in flight.
+			var err error
 			if job.sealed[i], err = sh.exec.SealEpoch(); err != nil {
 				errs[i] = err
 				return
@@ -1072,14 +1153,21 @@ func (p *Proxy) runCommit(job *boundaryJob) error {
 				// identical to the unpipelined design.
 				sh.exec.ReleaseSealed(job.sealed[i])
 			}
-			if job.ckpts[i] != nil {
-				if _, err := sh.rlog.AppendPrepared(job.ckpts[i]); err != nil {
-					errs[i] = err
-				}
-			}
 		}(i)
 	}
 	wg.Wait()
+	// Prepare: append every shard's checkpoint deferred, then one Sync
+	// round. All prepared records are durable before the commit point is
+	// written — on a shared log they ride one fsync instead of one each.
+	for i, sh := range p.shards {
+		if errs[i] != nil || job.ckpts[i] == nil {
+			continue
+		}
+		if _, err := sh.rlog.AppendPreparedDeferred(job.ckpts[i]); err != nil {
+			errs[i] = err
+		}
+	}
+	p.syncLogsParallel(p.shards, errs)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -1092,8 +1180,26 @@ func (p *Proxy) runCommit(job *boundaryJob) error {
 			return err
 		}
 	}
-	for _, sh := range p.shards {
-		if err := sh.store.CommitEpoch(job.epoch); err != nil {
+	return p.commitStoresParallel(job.epoch)
+}
+
+// commitStoresParallel retires the epoch on every shard's storage
+// concurrently. Each CommitEpoch stands on its own fsync barrier; issuing
+// them together lets backends sharing a commit-group data dir coalesce the
+// whole round into one fsync wave instead of paying one barrier per shard.
+func (p *Proxy) commitStoresParallel(epoch uint64) error {
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.shards[i].store.CommitEpoch(epoch)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -368,6 +369,278 @@ func conformKV(t *testing.T, b Backend) {
 	if err := b.Delete("never-existed"); err != nil {
 		t.Fatalf("Delete of a missing key errored: %v", err)
 	}
+}
+
+// ---- group-commit conformance ----
+
+// RunGroupCommitConformance exercises the Backend contract edges that only
+// appear when several shards share one durability scheduler (a CommitGroup
+// over one data dir, or a LatencyGroup over mem shards). The factory must
+// return n open, empty backends whose durability barriers coalesce, and
+// register cleanup on t. The contract under test: coalescing is invisible —
+// concurrent CommitEpoch calls from every shard succeed and each shard still
+// observes its *own* epoch-order rejection and ErrClosed semantics,
+// unchanged from the single-shard suite.
+func RunGroupCommitConformance(t *testing.T, n int, factory func(t *testing.T, n int) []Backend) {
+	if n < 2 {
+		t.Fatalf("group conformance needs at least 2 shards (got %d)", n)
+	}
+	newShards := func(t *testing.T) []Backend {
+		shards := factory(t, n)
+		if len(shards) != n {
+			t.Fatalf("factory returned %d shards, want %d", len(shards), n)
+		}
+		return shards
+	}
+
+	t.Run("concurrent-commit", func(t *testing.T) {
+		shards := newShards(t)
+		const epochs = 8
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, b := range shards {
+			wg.Add(1)
+			go func(i int, b Backend) {
+				defer wg.Done()
+				for e := uint64(1); e <= epochs; e++ {
+					slots := conformSlots(fmt.Sprintf("s%d-e%d", i, e), 2)
+					if err := b.WriteBucket(0, e, slots); err != nil {
+						errs[i] = err
+						return
+					}
+					if err := b.CommitEpoch(e); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("shard %d: %v", i, err)
+			}
+		}
+		for i, b := range shards {
+			got, err := b.ReadSlot(0, 0)
+			if err != nil {
+				t.Fatalf("shard %d read-back: %v", i, err)
+			}
+			want := fmt.Sprintf("s%d-e%d-slot0", i, epochs)
+			if string(got) != want {
+				t.Fatalf("shard %d newest slot = %q, want %q", i, got, want)
+			}
+		}
+	})
+
+	t.Run("per-shard-epoch-order", func(t *testing.T) {
+		// Every shard races ahead to its own epoch frontier; a stale write on
+		// one shard must be rejected by THAT shard's frontier regardless of
+		// what its groupmates are committing at the same moment.
+		shards := newShards(t)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, b := range shards {
+			wg.Add(1)
+			go func(i int, b Backend) {
+				defer wg.Done()
+				frontier := uint64(i + 2) // distinct per shard
+				if err := b.WriteBucket(1, frontier, conformSlots("hi", 1)); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := b.CommitEpoch(frontier); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := b.WriteBucket(1, frontier-1, conformSlots("stale", 1)); err == nil {
+					errs[i] = fmt.Errorf("shard %d accepted an epoch-%d write after epoch %d", i, frontier-1, frontier)
+					return
+				}
+				// Re-committing at or below the frontier stays idempotent.
+				if err := b.CommitEpoch(frontier - 1); err != nil {
+					errs[i] = err
+				}
+			}(i, b)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("concurrent-append-and-commit", func(t *testing.T) {
+		// Mixed namespaces standing on the same scheduler: each shard's log
+		// sequence must stay dense and private while everyone commits.
+		shards := newShards(t)
+		const records = 16
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, b := range shards {
+			wg.Add(1)
+			go func(i int, b Backend) {
+				defer wg.Done()
+				for r := 1; r <= records; r++ {
+					seq, err := b.Append([]byte(fmt.Sprintf("s%d-r%d", i, r)))
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if seq != uint64(r) {
+						errs[i] = fmt.Errorf("shard %d append %d returned seq %d", i, r, seq)
+						return
+					}
+					if r%4 == 0 {
+						if err := b.Put(fmt.Sprintf("k%d", r), []byte("v")); err != nil {
+							errs[i] = err
+							return
+						}
+						if err := b.CommitEpoch(uint64(r / 4)); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				}
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("shard %d: %v", i, err)
+			}
+		}
+		for i, b := range shards {
+			recs, err := b.Scan(0)
+			if err != nil {
+				t.Fatalf("shard %d scan: %v", i, err)
+			}
+			if len(recs) != records {
+				t.Fatalf("shard %d recovered %d records, want %d", i, len(recs), records)
+			}
+			for r, rec := range recs {
+				if want := fmt.Sprintf("s%d-r%d", i, r+1); string(rec) != want {
+					t.Fatalf("shard %d record %d = %q, want %q", i, r, rec, want)
+				}
+			}
+		}
+	})
+
+	t.Run("closed-shard-isolation", func(t *testing.T) {
+		// Closing one shard must not take the scheduler (or its groupmates)
+		// down with it, and the closed shard must keep reporting ErrClosed.
+		shards := newShards(t)
+		if err := shards[0].Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := shards[0].CommitEpoch(1); !errors.Is(err, ErrClosed) {
+			t.Fatalf("CommitEpoch on closed shard = %v, want ErrClosed", err)
+		}
+		if _, err := shards[0].Append([]byte("r")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Append on closed shard = %v, want ErrClosed", err)
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 1; i < n; i++ {
+			wg.Add(1)
+			go func(i int, b Backend) {
+				defer wg.Done()
+				for e := uint64(1); e <= 4; e++ {
+					if err := b.WriteBucket(0, e, conformSlots("live", 1)); err != nil {
+						errs[i] = err
+						return
+					}
+					if err := b.CommitEpoch(e); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i, shards[i])
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("surviving shard %d: %v", i, err)
+			}
+		}
+	})
+
+	t.Run("deferred-append-sync", func(t *testing.T) {
+		// The deferred-barrier capability (LogBatcher): every shard appends
+		// without syncing, ONE shard's SyncLog closes the round, and each
+		// stream must still read back dense, private, in-order — the
+		// barrier placement the proxy's epoch schedule relies on. Skipped
+		// for factories whose shards don't expose the capability.
+		shards := newShards(t)
+		batchers := make([]LogBatcher, n)
+		for i, b := range shards {
+			lb, ok := b.(LogBatcher)
+			if !ok {
+				t.Skipf("shard type %T lacks LogBatcher", b)
+			}
+			batchers[i] = lb
+		}
+		const rounds = 5
+		for r := 1; r <= rounds; r++ {
+			// Mix synced and deferred appends: odd rounds also exercise the
+			// plain Append path to prove the two interleave correctly.
+			for i, lb := range batchers {
+				seq, err := lb.AppendNoSync([]byte(fmt.Sprintf("s%d-r%d-a", i, r)))
+				if err != nil {
+					t.Fatalf("shard %d round %d AppendNoSync: %v", i, r, err)
+				}
+				if want := uint64((r-1)*2 + 1); seq != want {
+					t.Fatalf("shard %d round %d AppendNoSync seq = %d, want %d", i, r, seq, want)
+				}
+			}
+			// One shard's barrier covers the whole round.
+			if err := batchers[r%n].SyncLog(); err != nil {
+				t.Fatalf("round %d SyncLog: %v", r, err)
+			}
+			for i, b := range shards {
+				seq, err := b.Append([]byte(fmt.Sprintf("s%d-r%d-b", i, r)))
+				if err != nil {
+					t.Fatalf("shard %d round %d Append: %v", i, r, err)
+				}
+				if want := uint64(r * 2); seq != want {
+					t.Fatalf("shard %d round %d Append seq = %d, want %d", i, r, seq, want)
+				}
+			}
+		}
+		// A SyncLog with nothing pending must be a cheap no-op, not an error.
+		for i, lb := range batchers {
+			if err := lb.SyncLog(); err != nil {
+				t.Fatalf("shard %d idle SyncLog: %v", i, err)
+			}
+		}
+		for i, b := range shards {
+			recs, err := b.Scan(0)
+			if err != nil {
+				t.Fatalf("shard %d scan: %v", i, err)
+			}
+			if len(recs) != rounds*2 {
+				t.Fatalf("shard %d has %d records, want %d", i, len(recs), rounds*2)
+			}
+			for r := 1; r <= rounds; r++ {
+				wantA := fmt.Sprintf("s%d-r%d-a", i, r)
+				wantB := fmt.Sprintf("s%d-r%d-b", i, r)
+				if got := string(recs[(r-1)*2]); got != wantA {
+					t.Fatalf("shard %d record %d = %q, want %q", i, (r-1)*2, got, wantA)
+				}
+				if got := string(recs[(r-1)*2+1]); got != wantB {
+					t.Fatalf("shard %d record %d = %q, want %q", i, (r-1)*2+1, got, wantB)
+				}
+			}
+			last, err := b.LastSeq()
+			if err != nil {
+				t.Fatalf("shard %d LastSeq: %v", i, err)
+			}
+			if last != uint64(rounds*2) {
+				t.Fatalf("shard %d LastSeq = %d, want %d", i, last, rounds*2)
+			}
+		}
+	})
 }
 
 func conformClosed(t *testing.T, b Backend, opts ConformanceOptions) {

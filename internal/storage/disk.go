@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -33,24 +34,61 @@ import (
 // All I/O goes through the vfs abstraction so tests can interpose fault
 // injection.
 type DiskBackend struct {
-	mu     sync.RWMutex
-	fsys   vfs
-	dir    string
+	fsys vfs
+	dir  string
+
+	// closed/ioErr have their own tiny mutex so every path — heap, log, KV —
+	// shares one wedge without sharing a data lock.
+	stMu   sync.Mutex
 	closed bool
 	ioErr  error // sticky: a failed write may leave memory ahead of disk
 
-	numBuckets int
+	numBuckets int // immutable after open
 
-	// Bucket heap.
+	// group, when set, is the shared fsync scheduler: CommitEpoch,
+	// RollbackTo, Append and Put append unsynced and stand on a group
+	// barrier instead of issuing their own fsync, so barriers from shards
+	// sharing a data dir coalesce into one flush wave.
+	group *CommitGroup
+
+	// recoveryWorkers bounds the worker pool that replays log segments (and
+	// opens the heap/KV/log files concurrently) at open; 1 means serial.
+	recoveryWorkers int
+
+	// commitMu serializes the heap's durability barriers — CommitEpoch,
+	// RollbackTo and the compaction swap — against each other, so the heap
+	// file handle is stable across a barrier even though mu is released
+	// while the fsync is in flight.
+	commitMu sync.Mutex
+
+	// Bucket heap (guarded by mu).
+	mu             sync.RWMutex
 	heap           vfile
 	heapSize       int64
+	heapReserved   int64           // preallocated frontier (>= heapSize when reserved ahead)
 	index          [][]diskVersion // per bucket: version stack, oldest first
 	committed      uint64
 	heapLive       int64 // bytes of records still referenced by the index
 	heapDead       int64 // bytes of superseded/rolled-back/control records
 	heapCompactMin int64 // compact only past this much dead data
 
-	// KV namespace.
+	// Background heap compactor (nil channels when off: tests drive
+	// CompactNow explicitly for determinism).
+	compactKick chan struct{}
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+
+	// presync, when on, schedules a best-effort background fsync of the
+	// heap after bucket appends, so the epoch's write-back bytes are
+	// already clean when CommitEpoch's barrier fsyncs. Purely a latency
+	// optimization: the barrier's own fsync is still what acks stand on,
+	// and a presync failure simply resurfaces there. presyncing (guarded
+	// by mu) keeps at most one in flight.
+	presync    bool
+	presyncing bool
+
+	// KV namespace (guarded by kvMu).
+	kvMu         sync.RWMutex
 	kvf          vfile
 	kvSize       int64
 	kv           map[string]kvEntry
@@ -58,11 +96,27 @@ type DiskBackend struct {
 	kvDead       int64
 	kvCompactMin int64
 
-	// Recovery log.
+	// Recovery log (guarded by logMu, so log appends — and their fsyncs —
+	// no longer serialize behind heap writes).
+	logMu       sync.RWMutex
 	segs        []*segment
 	lastSeq     uint64
 	truncBefore uint64 // sequence numbers below this are logically gone
 	segMaxBytes int64
+
+	// Deferred log appends awaiting a SyncLog barrier, oldest first. Almost
+	// always one entry; a second appears only when unsynced appends straddle
+	// a segment rotation (rotation does not flush the outgoing tail).
+	pendMu  sync.Mutex
+	pendLog []fileTicket
+}
+
+// fileTicket records a deferred append's durability obligation: a flush of f
+// covering ticket. One entry per file — later appends to the same file just
+// advance the ticket, since a barrier on the newest ticket covers them all.
+type fileTicket struct {
+	f      vfile
+	ticket uint64
 }
 
 // diskVersion locates one shadow-paged bucket version inside the heap file.
@@ -71,6 +125,13 @@ type diskVersion struct {
 	dataOff  int64 // file offset of the first slot's length prefix
 	recSize  int64 // framed record size, for garbage accounting
 	slotLens []uint32
+	// cached mirrors this version's slot bytes in memory. The cache is
+	// write-through only: WriteBuckets installs the bytes it just encoded,
+	// recovery replay leaves it nil (those reads fall back to preads). Live
+	// versions therefore keep about one store's worth of bytes resident —
+	// the warm-page-cache case made explicit and deterministic — and the
+	// read path skips the syscall entirely when the mirror is present.
+	cached [][]byte
 }
 
 type kvEntry struct {
@@ -107,26 +168,75 @@ const (
 	readCoalesceGap = 4096
 )
 
+// DiskOptions tunes OpenDiskBackendOpts beyond the defaults.
+type DiskOptions struct {
+	// Group routes every durability barrier through a shared fsync
+	// scheduler (nil = each barrier fsyncs inline).
+	Group *CommitGroup
+	// RecoveryWorkers bounds the pool that replays and crc-verifies log
+	// segments (and opens the heap/KV/log files concurrently) at open.
+	// 0 picks a default from GOMAXPROCS; 1 forces serial recovery.
+	RecoveryWorkers int
+	// SegMaxBytes overrides the log segment roll-over size (0 = default).
+	// Exposed for recovery benchmarks that need many segments.
+	SegMaxBytes int64
+}
+
 // OpenDiskBackend opens (or creates) a durable backend rooted at dir.
 // numBuckets fixes the tree size at creation; reopening an existing store
 // with a different non-zero numBuckets fails loudly (0 adopts the stored
 // size).
 func OpenDiskBackend(dir string, numBuckets int) (*DiskBackend, error) {
-	return openDiskBackend(osFS{}, dir, numBuckets)
+	return OpenDiskBackendOpts(dir, numBuckets, DiskOptions{})
+}
+
+// OpenDiskBackendOpts is OpenDiskBackend with options.
+func OpenDiskBackendOpts(dir string, numBuckets int, opts DiskOptions) (*DiskBackend, error) {
+	return openDiskBackendOpts(osFS{}, dir, numBuckets, diskOpts{
+		group:       opts.Group,
+		workers:     opts.RecoveryWorkers,
+		segMaxBytes: opts.SegMaxBytes,
+		autoCompact: true,
+		presync:     false,
+	})
+}
+
+// diskOpts is the internal option set; crash-harness opens leave
+// autoCompact and presync off (and workers at 1) so the swept op sequence
+// stays deterministic, driving CompactNow explicitly instead.
+type diskOpts struct {
+	group       *CommitGroup
+	workers     int
+	segMaxBytes int64
+	autoCompact bool
+	presync     bool
 }
 
 func openDiskBackend(fsys vfs, dir string, numBuckets int) (*DiskBackend, error) {
+	return openDiskBackendOpts(fsys, dir, numBuckets, diskOpts{workers: 1})
+}
+
+func openDiskBackendOpts(fsys vfs, dir string, numBuckets int, opts diskOpts) (*DiskBackend, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating data dir: %w", err)
 	}
 	b := &DiskBackend{
-		fsys:           fsys,
-		dir:            dir,
-		kv:             make(map[string]kvEntry),
-		heapCompactMin: defaultHeapCompactMin,
-		kvCompactMin:   defaultKVCompactMin,
-		segMaxBytes:    defaultSegMaxBytes,
-		truncBefore:    1,
+		fsys:            fsys,
+		dir:             dir,
+		group:           opts.group,
+		recoveryWorkers: opts.workers,
+		presync:         opts.presync,
+		kv:              make(map[string]kvEntry),
+		heapCompactMin:  defaultHeapCompactMin,
+		kvCompactMin:    defaultKVCompactMin,
+		segMaxBytes:     defaultSegMaxBytes,
+		truncBefore:     1,
+	}
+	if opts.segMaxBytes > 0 {
+		b.segMaxBytes = opts.segMaxBytes
+	}
+	if b.recoveryWorkers <= 0 {
+		b.recoveryWorkers = defaultRecoveryWorkers()
 	}
 	names, err := fsys.List(dir)
 	if err != nil {
@@ -142,14 +252,41 @@ func openDiskBackend(fsys vfs, dir string, numBuckets int) (*DiskBackend, error)
 	if err := b.openMeta(numBuckets); err != nil {
 		return nil, err
 	}
-	if err := b.openHeap(); err != nil {
-		return nil, err
-	}
-	if err := b.openKV(); err != nil {
-		return nil, err
-	}
-	if err := b.openLog(names); err != nil {
-		return nil, err
+	// The heap, KV journal and log touch disjoint files and disjoint state:
+	// with a worker budget they open (replay + crc verify) concurrently,
+	// pFSCK-style. Serial order is preserved at workers == 1 so the crash
+	// harness's op sequence stays deterministic.
+	if b.recoveryWorkers > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, 3)
+		opens := []func() error{
+			b.openHeap,
+			b.openKV,
+			func() error { return b.openLog(names) },
+		}
+		for i, fn := range opens {
+			wg.Add(1)
+			go func(i int, fn func() error) {
+				defer wg.Done()
+				errs[i] = fn()
+			}(i, fn)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := b.openHeap(); err != nil {
+			return nil, err
+		}
+		if err := b.openKV(); err != nil {
+			return nil, err
+		}
+		if err := b.openLog(names); err != nil {
+			return nil, err
+		}
 	}
 	// Creating buckets.heap / kv.log fsyncs their contents, but on ext4 a
 	// new file's *directory entry* is only durable after a directory fsync;
@@ -158,7 +295,26 @@ func openDiskBackend(fsys vfs, dir string, numBuckets int) (*DiskBackend, error)
 	if err := fsys.SyncDir(dir); err != nil {
 		return nil, err
 	}
+	if opts.autoCompact {
+		b.compactKick = make(chan struct{}, 1)
+		b.compactStop = make(chan struct{})
+		b.compactWG.Add(1)
+		go b.compactLoop()
+	}
 	return b, nil
+}
+
+// defaultRecoveryWorkers sizes the replay pool: parallel crc verification
+// saturates quickly, so a small pool captures most of the win.
+func defaultRecoveryWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ---- meta ----
@@ -266,6 +422,7 @@ func (b *DiskBackend) openHeap() error {
 			return err
 		}
 		b.heapSize = fileHeaderSize
+		b.heapReserved = fileHeaderSize
 		return nil
 	}
 	hdr, err := readFileRange(f, 0, fileHeaderSize)
@@ -294,6 +451,7 @@ func (b *DiskBackend) openHeap() error {
 		}
 	}
 	b.heapSize = end
+	b.heapReserved = end
 	return nil
 }
 
@@ -404,6 +562,8 @@ func (b *DiskBackend) applyRollbackLocked(epoch uint64) {
 // ---- common guards ----
 
 func (b *DiskBackend) checkUsable() error {
+	b.stMu.Lock()
+	defer b.stMu.Unlock()
 	if b.closed {
 		return ErrClosed
 	}
@@ -415,14 +575,70 @@ func (b *DiskBackend) checkUsable() error {
 // never saw. Fail-stop is the honest behaviour; reopening replays the file
 // back to a consistent state.
 func (b *DiskBackend) wedge(err error) error {
+	b.stMu.Lock()
+	defer b.stMu.Unlock()
 	if b.ioErr == nil {
 		b.ioErr = fmt.Errorf("storage: disk backend disabled by I/O error: %w", err)
 	}
 	return err
 }
 
+// stamp tickets bytes the caller just wrote to f, so the matching
+// barrierTicket can ride an fsync already in flight when it arrives (0
+// without a group: the inline fsync needs no ticket).
+func (b *DiskBackend) stamp(f vfile) uint64 {
+	if b.group != nil {
+		return b.group.Wrote(f)
+	}
+	return 0
+}
+
+// barrierTicket makes the bytes stamped by ticket durable: through the
+// shared scheduler when the backend belongs to a commit group, with an
+// inline fsync otherwise. The caller's ack stands on this call returning
+// nil.
+func (b *DiskBackend) barrierTicket(f vfile, ticket uint64) error {
+	if b.group != nil {
+		return b.group.BarrierTicket(f, ticket)
+	}
+	return f.Sync()
+}
+
+// forgetFile releases a retired file's scheduler state (rolled-over
+// segments, compacted-away heaps and journals). Call after f is closed.
+func (b *DiskBackend) forgetFile(f vfile) {
+	if b.group != nil {
+		b.group.Forget(f)
+	}
+	// Drop any deferred-barrier obligation on the retired file: its records
+	// were only ever retired because they are logically gone (truncation,
+	// compaction), so there is nothing left to make durable — and a later
+	// SyncLog must not fsync a closed handle.
+	b.pendMu.Lock()
+	keep := b.pendLog[:0]
+	for _, p := range b.pendLog {
+		if p.f != f {
+			keep = append(keep, p)
+		}
+	}
+	b.pendLog = keep
+	b.pendMu.Unlock()
+}
+
 // appendHeapLocked appends pre-framed bytes to the heap file (no fsync).
+// heapPreallocChunk is how much backing store the heap reserves ahead of
+// its append frontier, so write-backs land in preallocated blocks and the
+// epoch barriers flush data without allocation-metadata journal commits.
+const heapPreallocChunk = 4 << 20
+
 func (b *DiskBackend) appendHeapLocked(framed []byte) error {
+	if end := b.heapSize + int64(len(framed)); end > b.heapReserved {
+		r := end + heapPreallocChunk
+		preallocate(b.heap, b.heapReserved, r-b.heapReserved)
+		// Advance regardless of fallocate support: on the fallback path the
+		// reservation is notional and writes allocate as they always did.
+		b.heapReserved = r
+	}
 	if _, err := b.heap.WriteAt(framed, b.heapSize); err != nil {
 		return b.wedge(err)
 	}
@@ -472,20 +688,20 @@ func (v *diskVersion) span() (off int64, n int) {
 	return off, n
 }
 
-// resolveSlotLocked maps a SlotRef to its file range.
-func (b *DiskBackend) resolveSlotLocked(bucket, slot int) (off int64, n int, err error) {
+// lookupSlotLocked finds the newest version of bucket and bounds-checks slot
+// against it.
+func (b *DiskBackend) lookupSlotLocked(bucket, slot int) (*diskVersion, error) {
 	v, err := b.newestVersionLocked(bucket)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	if v == nil {
-		return 0, 0, fmt.Errorf("%w: bucket %d never written", ErrNoSuchSlot, bucket)
+		return nil, fmt.Errorf("%w: bucket %d never written", ErrNoSuchSlot, bucket)
 	}
 	if slot < 0 || slot >= len(v.slotLens) {
-		return 0, 0, fmt.Errorf("%w: bucket %d slot %d (have %d)", ErrNoSuchSlot, bucket, slot, len(v.slotLens))
+		return nil, fmt.Errorf("%w: bucket %d slot %d (have %d)", ErrNoSuchSlot, bucket, slot, len(v.slotLens))
 	}
-	off, n = v.slotRange(slot)
-	return off, n, nil
+	return v, nil
 }
 
 // ReadSlot implements BucketStore.
@@ -495,18 +711,24 @@ func (b *DiskBackend) ReadSlot(bucket, slot int) ([]byte, error) {
 	if err := b.checkUsable(); err != nil {
 		return nil, err
 	}
-	off, n, err := b.resolveSlotLocked(bucket, slot)
+	v, err := b.lookupSlotLocked(bucket, slot)
 	if err != nil {
 		return nil, err
 	}
+	if v.cached != nil {
+		return v.cached[slot], nil
+	}
+	off, n := v.slotRange(slot)
 	return readFileRange(b.heap, off, n)
 }
 
 // ReadSlots implements BucketStore: the whole vector resolves under one lock
-// acquisition and is served scatter-gather style — refs are sorted by file
-// offset and adjacent ranges coalesce into shared preads, so a stage's reads
-// cost a handful of syscalls instead of one per slot. The vector fails
-// atomically: every ref is validated before any I/O.
+// acquisition. Refs whose version carries the in-memory mirror are answered
+// from it outright; the remainder (post-recovery versions) are served
+// scatter-gather style — sorted by file offset, adjacent ranges coalescing
+// into shared preads — so a stage's reads cost at most a handful of syscalls
+// and usually none. The vector fails atomically: every ref is validated
+// before any I/O.
 func (b *DiskBackend) ReadSlots(refs []SlotRef) ([][]byte, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -518,16 +740,21 @@ func (b *DiskBackend) ReadSlots(refs []SlotRef) ([][]byte, error) {
 		off    int64
 		n      int
 	}
-	reads := make([]slotRead, len(refs))
+	reads := make([]slotRead, 0, len(refs))
+	out := make([][]byte, len(refs))
 	for i, r := range refs {
-		off, n, err := b.resolveSlotLocked(r.Bucket, r.Slot)
+		v, err := b.lookupSlotLocked(r.Bucket, r.Slot)
 		if err != nil {
 			return nil, err
 		}
-		reads[i] = slotRead{resIdx: i, off: off, n: n}
+		if v.cached != nil {
+			out[i] = v.cached[r.Slot]
+			continue
+		}
+		off, n := v.slotRange(r.Slot)
+		reads = append(reads, slotRead{resIdx: i, off: off, n: n})
 	}
 	sort.Slice(reads, func(i, j int) bool { return reads[i].off < reads[j].off })
-	out := make([][]byte, len(refs))
 	for start := 0; start < len(reads); {
 		end := start
 		runEnd := reads[start].off + int64(reads[start].n)
@@ -570,6 +797,9 @@ func (b *DiskBackend) ReadBucket(bucket int) ([][]byte, error) {
 }
 
 func (b *DiskBackend) readVersionSlotsLocked(v *diskVersion) ([][]byte, error) {
+	if v.cached != nil {
+		return v.cached, nil
+	}
 	off, n := v.span()
 	buf, err := readFileRange(b.heap, off, n)
 	if err != nil {
@@ -608,87 +838,148 @@ func (b *DiskBackend) WriteBucket(bucket int, epoch uint64, slots [][]byte) erro
 // stops at the first failing entry, leaving the validated prefix installed,
 // exactly like MemBackend.
 func (b *DiskBackend) WriteBuckets(writes []BucketWrite) error {
+	// Encode the whole vector before taking the heap lock: a record's frame
+	// (crc included) is independent of its file offset, so the kilobytes of
+	// copy + checksum work need no exclusivity. Only validation, index
+	// installation and the append run under mu — concurrent read batches
+	// overlap the write-back's encoding instead of stalling behind it. If
+	// validation stops mid-vector, the encoded suffix is simply not
+	// appended (records concatenate in vector order).
+	type pendingWrite struct {
+		relOff   int64
+		recSize  int64
+		slotLens []uint32
+	}
+	var buf []byte
+	pend := make([]pendingWrite, len(writes))
+	for i, w := range writes {
+		body := encodeVersionBody(w.Bucket, w.Epoch, w.Slots)
+		pend[i].relOff = int64(len(buf))
+		buf = encodeRecord(buf, body)
+		pend[i].recSize = int64(recordFrameSize + len(body))
+		pend[i].slotLens = make([]uint32, len(w.Slots))
+		for j, s := range w.Slots {
+			pend[i].slotLens[j] = uint32(len(s))
+		}
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err := b.checkUsable(); err != nil {
 		return err
 	}
-	var buf []byte
 	var firstErr error
-	for _, w := range writes {
+	end := int64(len(buf))
+	for i, w := range writes {
 		if err := b.validateWriteLocked(w.Bucket, w.Epoch); err != nil {
 			firstErr = err
+			end = pend[i].relOff
 			break
 		}
-		body := encodeVersionBody(w.Bucket, w.Epoch, w.Slots)
-		recOff := b.heapSize + int64(len(buf))
-		buf = encodeRecord(buf, body)
 		v := diskVersion{
 			epoch:    w.Epoch,
-			dataOff:  recOff + recordFrameSize + heapVersionDataStart,
-			recSize:  int64(recordFrameSize + len(body)),
-			slotLens: make([]uint32, len(w.Slots)),
-		}
-		for i, s := range w.Slots {
-			v.slotLens[i] = uint32(len(s))
+			dataOff:  b.heapSize + pend[i].relOff + recordFrameSize + heapVersionDataStart,
+			recSize:  pend[i].recSize,
+			slotLens: pend[i].slotLens,
+			// Take ownership of the caller's slices, like MemBackend does.
+			cached: w.Slots,
 		}
 		if err := b.installVersionLocked(w.Bucket, v); err != nil {
 			// validateWriteLocked already screened the failure modes.
 			firstErr = err
+			end = pend[i].relOff
 			break
 		}
 	}
-	if len(buf) > 0 {
-		if err := b.appendHeapLocked(buf); err != nil {
+	if end > 0 {
+		if err := b.appendHeapLocked(buf[:end]); err != nil {
 			return err
 		}
+		b.kickPresyncLocked()
 	}
 	return firstErr
 }
 
-// CommitEpoch implements BucketStore. The commit record plus fsync is the
-// barrier that makes every version tagged <= epoch durable: replay only
-// learns a commit from its record, and any record written before it is
-// covered by the same fsync.
+// kickPresyncLocked starts (at most one) background fsync of the heap so
+// the write-back bytes just appended are clean by the time the epoch's
+// commit barrier runs. The error is deliberately dropped: durability is
+// still decided by the barrier's own fsync, which will see the same failure
+// and wedge the backend.
+func (b *DiskBackend) kickPresyncLocked() {
+	if !b.presync || b.presyncing {
+		return
+	}
+	b.presyncing = true
+	f := b.heap
+	go func() {
+		_ = f.Sync()
+		b.mu.Lock()
+		b.presyncing = false
+		b.mu.Unlock()
+	}()
+}
+
+// CommitEpoch implements BucketStore. The commit record plus its covering
+// fsync is the barrier that makes every version tagged <= epoch durable:
+// replay only learns a commit from its record, and any record written before
+// it is covered by the same fsync. The record is appended *unsynced* under
+// the heap lock, which is then released for the barrier itself — reads,
+// bucket writes and other shards' commits proceed while the fsync (or the
+// shared group's coalesced fsync wave) is in flight. commitMu keeps the heap
+// handle stable and the commit/rollback record order equal to the barrier
+// order.
 func (b *DiskBackend) CommitEpoch(epoch uint64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.checkUsable(); err != nil {
-		return err
-	}
-	if epoch > b.committed {
-		framed := encodeRecord(nil, encodeEpochBody(heapKindCommit, epoch))
-		if err := b.appendHeapLocked(framed); err != nil {
-			return err
-		}
-		if err := b.heap.Sync(); err != nil {
-			return b.wedge(err)
-		}
-		b.heapDead += int64(len(framed))
-	}
-	b.applyCommitLocked(epoch)
-	b.maybeCompactHeapLocked()
-	return nil
+	return b.heapBarrierOp(heapKindCommit, epoch)
 }
 
 // RollbackTo implements BucketStore: crash recovery's shadow-paging revert.
 // The rollback record is made durable before the index mutates, so a crash
 // in between replays to a superset the next rollback discards again.
 func (b *DiskBackend) RollbackTo(epoch uint64) error {
+	return b.heapBarrierOp(heapKindRollback, epoch)
+}
+
+// heapBarrierOp appends a commit or rollback record and applies it to the
+// index in one critical section (so the record order always equals the index
+// mutation order replay will reproduce), then stands on the barrier with the
+// heap lock released. Nothing is acknowledged before the barrier returns: a
+// pre-barrier crash loses an unacked record (replay recovers the previous
+// barrier's state), a post-barrier crash preserves the acked epoch. The
+// swept crash windows are append-unsynced, pre-fsync and post-fsync-pre-ack.
+// If the barrier fails, the in-memory index is ahead of disk — wedge.
+func (b *DiskBackend) heapBarrierOp(kind byte, epoch uint64) error {
+	b.commitMu.Lock()
+	defer b.commitMu.Unlock()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if err := b.checkUsable(); err != nil {
+		b.mu.Unlock()
 		return err
 	}
-	framed := encodeRecord(nil, encodeEpochBody(heapKindRollback, epoch))
-	if err := b.appendHeapLocked(framed); err != nil {
-		return err
+	// An already-covered commit needs no new record or barrier; rollbacks
+	// always log (the index shrinks, and replay must see that).
+	needBarrier := kind == heapKindRollback || epoch > b.committed
+	heap := b.heap
+	var ticket uint64
+	if needBarrier {
+		framed := encodeRecord(nil, encodeEpochBody(kind, epoch))
+		if err := b.appendHeapLocked(framed); err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		b.heapDead += int64(len(framed))
+		ticket = b.stamp(heap)
 	}
-	if err := b.heap.Sync(); err != nil {
-		return b.wedge(err)
+	if kind == heapKindCommit {
+		b.applyCommitLocked(epoch)
+	} else {
+		b.applyRollbackLocked(epoch)
 	}
-	b.heapDead += int64(len(framed))
-	b.applyRollbackLocked(epoch)
+	b.noteCompactLocked()
+	b.mu.Unlock()
+	if needBarrier {
+		if err := b.barrierTicket(heap, ticket); err != nil {
+			return b.wedge(err)
+		}
+	}
 	return nil
 }
 
@@ -713,20 +1004,86 @@ func (b *DiskBackend) VersionCount(bucket int) int {
 
 // ---- heap compaction ----
 
-// maybeCompactHeapLocked rewrites the heap when dead bytes dominate live
-// ones. Compaction is pure garbage collection: the old file replays to the
-// identical logical state, so a crash anywhere during compaction — before or
-// after the rename — recovers correctly; the temp file is discarded on open.
-func (b *DiskBackend) maybeCompactHeapLocked() {
+// Compaction is incremental and runs OFF the commit path: commits and
+// rollbacks only flip a kick channel; a background goroutine (or an explicit
+// CompactNow in tests and the crash harness) does the rewrite, holding the
+// heap lock only to snapshot the index and to swap files at the end. The
+// bulk copy — every live version record, verbatim — happens without any
+// lock, racing only against appends, which are safe to race: the heap file
+// is append-only, so every offset below the snapshot size is immutable.
+
+// noteCompactLocked kicks the background compactor when dead bytes dominate
+// live ones. No-op when auto-compaction is off (crash-harness opens).
+func (b *DiskBackend) noteCompactLocked() {
+	if b.compactKick == nil {
+		return
+	}
 	if b.heapDead < b.heapCompactMin || b.heapDead <= b.heapLive {
 		return
 	}
-	// A failed compaction (before the rename) leaves the old file intact;
-	// skip and retry at a later commit rather than wedging the store.
-	_ = b.compactHeapLocked()
+	select {
+	case b.compactKick <- struct{}{}:
+	default:
+	}
 }
 
-func (b *DiskBackend) compactHeapLocked() error {
+func (b *DiskBackend) compactLoop() {
+	defer b.compactWG.Done()
+	for {
+		select {
+		case <-b.compactStop:
+			return
+		case <-b.compactKick:
+		}
+		b.mu.RLock()
+		due := b.heapDead >= b.heapCompactMin && b.heapDead > b.heapLive
+		b.mu.RUnlock()
+		if due {
+			// A failed compaction (before the rename) leaves the old file
+			// intact; skip and retry at a later kick rather than wedging.
+			_ = b.CompactNow()
+		}
+	}
+}
+
+// CompactNow rewrites the heap to its live contents synchronously. It is
+// crash-atomic at every step: the new file replays to the identical logical
+// state as the old one, the rename is the switch-over point, and a crashed
+// attempt leaves a stray temp file the next open discards.
+func (b *DiskBackend) CompactNow() error {
+	b.commitMu.Lock()
+	defer b.commitMu.Unlock()
+	return b.compactHeap()
+}
+
+// compactHeap runs with commitMu held (no commit/rollback barrier can be in
+// flight, and the heap handle cannot change under us) but takes the heap
+// lock only at the edges:
+//
+//  1. Snapshot the index and file size under a read lock.
+//  2. Copy every snapshotted live version record verbatim into a temp file,
+//     unlocked: offsets below the snapshot size are stable (append-only
+//     file), so concurrent bucket appends cannot disturb the copy. A
+//     synthetic commit record pins the snapshot's committed frontier.
+//  3. Under the write lock, copy the tail delta — everything appended since
+//     the snapshot, verbatim, commits/rollbacks/rewrites included, so the
+//     new file replays through the exact same logical suffix — then fsync,
+//     rename, and swap the in-memory index to rebased offsets.
+func (b *DiskBackend) compactHeap() error {
+	b.mu.RLock()
+	if err := b.checkUsable(); err != nil {
+		b.mu.RUnlock()
+		return err
+	}
+	heap := b.heap // stable: commitMu is held, and Close waits for it
+	snapSize := b.heapSize
+	snapCommitted := b.committed
+	snapIndex := make([][]diskVersion, len(b.index))
+	for i, vs := range b.index {
+		snapIndex[i] = append([]diskVersion(nil), vs...)
+	}
+	b.mu.RUnlock()
+
 	tmpName := joinPath(b.dir, heapFileName+tmpSuffix)
 	tf, err := b.fsys.OpenFile(tmpName, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -748,36 +1105,51 @@ func (b *DiskBackend) compactHeapLocked() error {
 	if err := write(encodeFileHeader(heapMagic, uint32(b.numBuckets), 0)); err != nil {
 		return abort(err)
 	}
-	newIndex := make([][]diskVersion, b.numBuckets)
-	var newLive int64
-	for bucket, vs := range b.index {
+	// Phase 2: verbatim copy of every snapshotted record, remembering where
+	// each landed. Only records fully below the snapshot size qualify (a
+	// record at or past it is part of the tail delta and is copied there).
+	remap := make(map[int64]int64)
+	for bucket, vs := range snapIndex {
 		for i := range vs {
-			slots, err := b.readVersionSlotsLocked(&vs[i])
+			v := &vs[i]
+			recOff := v.dataOff - recordFrameSize - heapVersionDataStart
+			if recOff >= snapSize {
+				continue
+			}
+			rec, err := readFileRange(heap, recOff, int(v.recSize))
 			if err != nil {
+				return abort(fmt.Errorf("storage: compacting bucket %d: %w", bucket, err))
+			}
+			remap[v.dataOff] = off + recordFrameSize + heapVersionDataStart
+			if err := write(rec); err != nil {
 				return abort(err)
 			}
-			body := encodeVersionBody(bucket, vs[i].epoch, slots)
-			nv := diskVersion{
-				epoch:    vs[i].epoch,
-				dataOff:  off + recordFrameSize + heapVersionDataStart,
-				recSize:  int64(recordFrameSize + len(body)),
-				slotLens: vs[i].slotLens,
-			}
-			if err := write(encodeRecord(nil, body)); err != nil {
-				return abort(err)
-			}
-			newIndex[bucket] = append(newIndex[bucket], nv)
-			newLive += nv.recSize
 		}
 	}
-	var ctrl int64
-	if b.committed > 0 {
-		framed := encodeRecord(nil, encodeEpochBody(heapKindCommit, b.committed))
+	if snapCommitted > 0 {
+		framed := encodeRecord(nil, encodeEpochBody(heapKindCommit, snapCommitted))
 		if err := write(framed); err != nil {
 			return abort(err)
 		}
-		ctrl = int64(len(framed))
 	}
+
+	// Phase 3: under the write lock, append the tail delta and swap.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return abort(err)
+	}
+	tailStart := off
+	if b.heapSize > snapSize {
+		tail, err := readFileRange(heap, snapSize, int(b.heapSize-snapSize))
+		if err != nil {
+			return abort(err)
+		}
+		if err := write(tail); err != nil {
+			return abort(err)
+		}
+	}
+	shift := tailStart - snapSize
 	if err := tf.Sync(); err != nil {
 		return abort(err)
 	}
@@ -788,12 +1160,31 @@ func (b *DiskBackend) compactHeapLocked() error {
 	// rename is lost in a crash, the old heap file replays to the same
 	// logical state (compaction removed only dead bytes).
 	_ = b.fsys.SyncDir(b.dir)
+	var newLive int64
+	for bucket, vs := range b.index {
+		for i := range vs {
+			v := &vs[i]
+			if v.dataOff-recordFrameSize-heapVersionDataStart >= snapSize {
+				v.dataOff += shift
+			} else if mapped, ok := remap[v.dataOff]; ok {
+				v.dataOff = mapped
+			} else {
+				// Every pre-snapshot index entry was live at snapshot time
+				// (appends only ever reference fresh offsets), so a miss is
+				// an invariant violation; the new file is already installed,
+				// so serving stale offsets would corrupt reads. Fail stop.
+				return b.wedge(fmt.Errorf("storage: compaction lost bucket %d version at offset %d", bucket, v.dataOff))
+			}
+			newLive += v.recSize
+		}
+	}
 	b.heap.Close()
+	b.forgetFile(b.heap)
 	b.heap = tf
 	b.heapSize = off
-	b.index = newIndex
+	b.heapReserved = off
 	b.heapLive = newLive
-	b.heapDead = ctrl
+	b.heapDead = b.heapSize - fileHeaderSize - newLive
 	return nil
 }
 
@@ -801,14 +1192,31 @@ func (b *DiskBackend) compactHeapLocked() error {
 
 // Close implements Backend. Appended-but-unsynced bucket versions are not
 // flushed: they are uncommitted by definition, and the durability contract
-// only covers acknowledged commits, log appends and KV writes.
+// only covers acknowledged commits, log appends and KV writes. The shared
+// commit group (if any) is NOT closed — it belongs to the directory, not
+// the shard; DiskGroup.Close owns that.
 func (b *DiskBackend) Close() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stMu.Lock()
 	if b.closed {
+		b.stMu.Unlock()
 		return nil
 	}
 	b.closed = true
+	b.stMu.Unlock()
+	// Stop the background compactor before taking the data locks: a running
+	// compaction takes commitMu + mu itself and must finish (or abort) first.
+	if b.compactStop != nil {
+		close(b.compactStop)
+		b.compactWG.Wait()
+	}
+	b.commitMu.Lock()
+	defer b.commitMu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.kvMu.Lock()
+	defer b.kvMu.Unlock()
+	b.logMu.Lock()
+	defer b.logMu.Unlock()
 	var first error
 	keep := func(err error) {
 		if err != nil && first == nil {

@@ -48,6 +48,31 @@ type vfs interface {
 	SyncDir(dir string) error
 }
 
+// preallocator is an optional vfile capability: reserve backing store for
+// [off, off+n) so later in-range appends don't allocate blocks. On ext4
+// every append into unreserved space dirties allocation metadata, and the
+// next fsync pays a journal commit for it — measurably more than flushing
+// the data alone. Reserving a segment (or a heap growth chunk) up front
+// moves that cost off the per-barrier path. Purely a performance lever:
+// reserved-but-unwritten space reads as zeros, which the record framing
+// already rejects as a torn tail (the CRC covers the length prefix), so
+// recovery is unchanged.
+type preallocator interface {
+	Preallocate(off, n int64) error
+}
+
+// preallocate best-effort reserves [off, off+n) of f's backing store. A
+// file or platform without the capability (or a failing fallocate — e.g. an
+// unsupported filesystem) degrades to ordinary allocate-on-write.
+func preallocate(f vfile, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if p, ok := f.(preallocator); ok {
+		_ = p.Preallocate(off, n)
+	}
+}
+
 // osFS is the real file system.
 type osFS struct{}
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // This file holds DiskBackend's recovery log (segmented append-only files
@@ -94,8 +95,8 @@ func (b *DiskBackend) applyKVLocked(kind byte, key string, value []byte, recSize
 
 // Get implements KVStore.
 func (b *DiskBackend) Get(key string) ([]byte, bool, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.kvMu.RLock()
+	defer b.kvMu.RUnlock()
 	if err := b.checkUsable(); err != nil {
 		return nil, false, err
 	}
@@ -103,45 +104,60 @@ func (b *DiskBackend) Get(key string) ([]byte, bool, error) {
 	return e.value, ok, nil
 }
 
-// Put implements KVStore: the entry is durable (fsynced) before the call
-// returns.
+// Put implements KVStore: the entry is durable — covered by an fsync of the
+// journal, inline or via the shared commit group — before the call returns.
 func (b *DiskBackend) Put(key string, value []byte) error {
 	return b.kvAppend(kvKindPut, key, value)
 }
 
 // Delete implements KVStore.
 func (b *DiskBackend) Delete(key string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.checkUsable(); err != nil {
-		return err
-	}
-	if _, ok := b.kv[key]; !ok {
-		return nil // nothing to make durable
-	}
-	return b.kvAppendLocked(kvKindDel, key, nil)
+	return b.kvAppend(kvKindDel, key, nil)
 }
 
 func (b *DiskBackend) kvAppend(kind byte, key string, value []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.kvMu.Lock()
 	if err := b.checkUsable(); err != nil {
+		b.kvMu.Unlock()
 		return err
 	}
-	return b.kvAppendLocked(kind, key, value)
-}
-
-func (b *DiskBackend) kvAppendLocked(kind byte, key string, value []byte) error {
+	if kind == kvKindDel {
+		if _, ok := b.kv[key]; !ok {
+			b.kvMu.Unlock()
+			return nil // nothing to make durable
+		}
+	}
 	framed := encodeRecord(nil, encodeKVBody(kind, key, value))
 	if _, err := b.kvf.WriteAt(framed, b.kvSize); err != nil {
-		return b.wedge(err)
-	}
-	if err := b.kvf.Sync(); err != nil {
+		b.kvMu.Unlock()
 		return b.wedge(err)
 	}
 	b.kvSize += int64(len(framed))
 	b.applyKVLocked(kind, key, value, int64(len(framed)))
+	// Without a group the fsync stays under the lock — KV writers serialize
+	// on one file anyway; with a group the lock drops so barriers from other
+	// shards (and the heap/log) coalesce into one flush wave. Either way the
+	// entry is durable before compaction may fold it into a rewritten
+	// journal, so the compacted file only ever holds acknowledged entries.
+	if b.group == nil {
+		err := b.kvf.Sync()
+		if err != nil {
+			b.kvMu.Unlock()
+			return b.wedge(err)
+		}
+		b.maybeCompactKVLocked()
+		b.kvMu.Unlock()
+		return nil
+	}
+	f := b.kvf
+	ticket := b.stamp(f)
+	b.kvMu.Unlock()
+	if err := b.group.BarrierTicket(f, ticket); err != nil {
+		return b.wedge(err)
+	}
+	b.kvMu.Lock()
 	b.maybeCompactKVLocked()
+	b.kvMu.Unlock()
 	return nil
 }
 
@@ -199,6 +215,7 @@ func (b *DiskBackend) maybeCompactKVLocked() {
 	}
 	_ = b.fsys.SyncDir(b.dir)
 	b.kvf.Close()
+	b.forgetFile(b.kvf)
 	b.kvf = tf
 	b.kvSize = off
 	b.kvLive = 0
@@ -244,6 +261,10 @@ var errSegDamaged = errors.New("storage: damaged log segment")
 // only created after the predecessor filled), so nothing acknowledged is
 // lost; the drop path only fires on damage that already lost data — exactly
 // the point-in-time prefix a write-ahead log must recover to.
+// Segment replay — scanning every record frame and checking its crc32c —
+// dominates recovery time on a long log, and segments are independent
+// files, so the scan fans out across b.recoveryWorkers (pFSCK-style);
+// only the chain-prefix decision below stays sequential.
 func (b *DiskBackend) openLog(names []string) error {
 	var bases []uint64
 	for _, n := range names {
@@ -252,18 +273,51 @@ func (b *DiskBackend) openLog(names []string) error {
 		}
 	}
 	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
-	for i, base := range bases {
-		seg, err := b.openSegment(base)
+	segs := make([]*segment, len(bases))
+	segErrs := make([]error, len(bases))
+	if workers := b.recoveryWorkers; workers > 1 && len(bases) > 1 {
+		if workers > len(bases) {
+			workers = len(bases)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					segs[i], segErrs[i] = b.openSegment(bases[i])
+				}
+			}()
+		}
+		for i := range bases {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i, base := range bases {
+			segs[i], segErrs[i] = b.openSegment(base)
+		}
+	}
+	closeRest := func(from int) {
+		for j := from; j < len(segs); j++ {
+			if segs[j] != nil {
+				segs[j].f.Close()
+			}
+		}
+	}
+	for i := range bases {
+		seg, err := segs[i], segErrs[i]
 		if err != nil && !errors.Is(err, errSegDamaged) {
+			closeRest(i)
 			return err
 		}
 		gap := err == nil && len(b.segs) > 0 &&
 			b.segs[len(b.segs)-1].base+uint64(len(b.segs[len(b.segs)-1].offs)) != seg.base
 		if err != nil || gap {
 			// Orphaned suffix: remove it so the next open sees a clean chain.
-			if seg != nil {
-				seg.f.Close()
-			}
+			closeRest(i)
 			for _, orphan := range bases[i:] {
 				_ = b.fsys.Remove(joinPath(b.dir, segName(orphan)))
 			}
@@ -354,31 +408,95 @@ func (b *DiskBackend) openSegment(base uint64) (*segment, error) {
 	return seg, nil
 }
 
-// Append implements LogStore: the record is fsynced before the sequence
-// number is returned — the log is the recovery unit, so an acknowledged
-// append must survive any crash.
+// Append implements LogStore: the record's covering fsync — issued inline,
+// or by the shared commit group — returns before the sequence number does.
+// The log is the recovery unit, so an acknowledged append must survive any
+// crash. The log lives on its own lock (logMu) and its own files, so log
+// appends and bucket-heap writes inside one epoch boundary overlap instead
+// of serializing on a shared mutex.
 func (b *DiskBackend) Append(record []byte) (uint64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.checkUsable(); err != nil {
-		return 0, err
-	}
-	seg, err := b.activeSegmentLocked()
+	seq, f, ticket, err := b.appendLogUnsynced(record)
 	if err != nil {
 		return 0, err
 	}
-	framed := encodeRecord(nil, record)
-	if _, err := seg.f.WriteAt(framed, seg.size); err != nil {
+	// The lock is already dropped before standing on the barrier, so appends
+	// from other namespaces/shards coalesce into (and parallelize within)
+	// one flush wave. The sequence number is only returned after a flush
+	// covering this record's write ticket lands, so the ack contract holds.
+	if err := b.barrierTicket(f, ticket); err != nil {
 		return 0, b.wedge(err)
 	}
-	if err := seg.f.Sync(); err != nil {
-		return 0, b.wedge(err)
+	return seq, nil
+}
+
+// AppendNoSync implements LogBatcher: the record is written to the active
+// segment but its durability waits for the next SyncLog. Until then the
+// sequence number is provisional — a crash may lose the record (and recovery
+// will trim it with the torn tail), which is exactly why the LogStore ack
+// contract moves to SyncLog's return.
+func (b *DiskBackend) AppendNoSync(record []byte) (uint64, error) {
+	seq, f, ticket, err := b.appendLogUnsynced(record)
+	if err != nil {
+		return 0, err
+	}
+	b.notePending(f, ticket)
+	return seq, nil
+}
+
+// SyncLog implements LogBatcher: every append deferred since the last call
+// becomes durable. Usually one barrier; two only when appends straddled a
+// segment rotation (each file needs its own flush — the outgoing segment's
+// tail is not covered by the new segment's barrier).
+func (b *DiskBackend) SyncLog() error {
+	b.pendMu.Lock()
+	pend := b.pendLog
+	b.pendLog = nil
+	b.pendMu.Unlock()
+	for _, p := range pend {
+		if err := b.barrierTicket(p.f, p.ticket); err != nil {
+			return b.wedge(err)
+		}
+	}
+	return nil
+}
+
+// notePending records a deferred append's barrier obligation.
+func (b *DiskBackend) notePending(f vfile, ticket uint64) {
+	b.pendMu.Lock()
+	if n := len(b.pendLog); n > 0 && b.pendLog[n-1].f == f {
+		if ticket > b.pendLog[n-1].ticket {
+			b.pendLog[n-1].ticket = ticket
+		}
+	} else {
+		b.pendLog = append(b.pendLog, fileTicket{f: f, ticket: ticket})
+	}
+	b.pendMu.Unlock()
+}
+
+// appendLogUnsynced writes one framed record to the active segment and
+// stamps it, leaving durability to the caller's barrierTicket on the
+// returned file. It is the seam the shared group log builds on: several
+// shards' streams append into one physical log here and then stand on the
+// same file's flush wave together.
+func (b *DiskBackend) appendLogUnsynced(record []byte) (uint64, vfile, uint64, error) {
+	b.logMu.Lock()
+	defer b.logMu.Unlock()
+	if err := b.checkUsable(); err != nil {
+		return 0, nil, 0, err
+	}
+	seg, err := b.activeSegmentLocked()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	framed := encodeRecord(nil, record)
+	if _, err := seg.f.WriteAt(framed, seg.size); err != nil {
+		return 0, nil, 0, b.wedge(err)
 	}
 	seg.offs = append(seg.offs, seg.size)
 	seg.lens = append(seg.lens, int32(len(framed)))
 	seg.size += int64(len(framed))
 	b.lastSeq++
-	return b.lastSeq, nil
+	return b.lastSeq, seg.f, b.stamp(seg.f), nil
 }
 
 // activeSegmentLocked returns the tail segment, rolling to a fresh file once
@@ -398,6 +516,10 @@ func (b *DiskBackend) activeSegmentLocked() (*segment, error) {
 		f.Close()
 		return nil, b.wedge(err)
 	}
+	// Reserve the whole segment up front so per-record appends never
+	// allocate blocks — the per-barrier fsync then flushes data, not
+	// allocation metadata. The header sync below also settles this.
+	preallocate(f, 0, b.segMaxBytes)
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return nil, b.wedge(err)
@@ -414,8 +536,8 @@ func (b *DiskBackend) activeSegmentLocked() (*segment, error) {
 // Scan implements LogStore: all records with sequence number >= from, in
 // order. Each overlapping segment is served with one ranged pread.
 func (b *DiskBackend) Scan(from uint64) ([][]byte, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
 	if err := b.checkUsable(); err != nil {
 		return nil, err
 	}
@@ -455,8 +577,8 @@ func (b *DiskBackend) Scan(from uint64) ([][]byte, error) {
 // meta file first, then whole segments below it are deleted. A crash in
 // between just leaves dead segments for the next open to finish removing.
 func (b *DiskBackend) Truncate(before uint64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.logMu.Lock()
+	defer b.logMu.Unlock()
 	if err := b.checkUsable(); err != nil {
 		return err
 	}
@@ -489,6 +611,7 @@ func (b *DiskBackend) dropDeadSegmentsLocked() {
 			break
 		}
 		seg.f.Close()
+		b.forgetFile(seg.f)
 		_ = b.fsys.Remove(joinPath(b.dir, seg.name)) // reopen filters it anyway
 		b.segs = b.segs[1:]
 	}
@@ -496,6 +619,7 @@ func (b *DiskBackend) dropDeadSegmentsLocked() {
 		seg := b.segs[0]
 		if seg.base+uint64(len(seg.offs)) <= b.truncBefore {
 			seg.f.Close()
+			b.forgetFile(seg.f)
 			_ = b.fsys.Remove(joinPath(b.dir, seg.name))
 			b.segs = nil
 		}
@@ -504,8 +628,8 @@ func (b *DiskBackend) dropDeadSegmentsLocked() {
 
 // LastSeq implements LogStore.
 func (b *DiskBackend) LastSeq() (uint64, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
 	if err := b.checkUsable(); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,375 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file holds the group-commit scheduler: a per-data-dir fsync coalescer
+// shared by every DiskBackend shard rooted under one directory. Shards append
+// their commit records (and log/KV records) unsynced and then stand on a
+// Barrier; the scheduler runs one syncer per file with pending barriers, so
+// every barrier that lands on a file while its fsync is in flight (or within
+// the growth window) rides the next fsync of that file together — and fsyncs
+// of *different* files never wait on one another. The ack contract is
+// unchanged: nothing is acknowledged before its covering barrier lands; what
+// moves is how many acks one fsync covers.
+
+// GroupConfig tunes a CommitGroup.
+type GroupConfig struct {
+	// Window is how long a file's syncer waits after the first pending
+	// barrier for more to pile on before fsyncing. Zero still coalesces:
+	// barriers arriving while the file's fsync is in flight batch into its
+	// next round.
+	Window time.Duration
+	// MaxBatch fsyncs immediately once this many barriers are pending on one
+	// file, without waiting out the window (0 = DefaultGroupMaxBatch).
+	MaxBatch int
+}
+
+// DefaultGroupWindow is zero: in-flight coalescing alone captures the
+// amortization (concurrent committers pile onto the fsync already running)
+// without taxing a lone committer's latency. Deployments whose shards reach
+// epoch boundaries in loose lockstep can widen it to trade commit latency
+// for bigger waves.
+const DefaultGroupWindow time.Duration = 0
+
+// DefaultGroupMaxBatch caps how many barriers one fsync round gathers.
+const DefaultGroupMaxBatch = 64
+
+// GroupStats counts a CommitGroup's work. Barriers/Syncs is the
+// amortization factor the scheduler achieved.
+type GroupStats struct {
+	Barriers uint64        // barrier requests served
+	Syncs    uint64        // fsyncs issued
+	Waves    uint64        // fsync rounds (== Syncs: one round syncs one file once)
+	SyncTime time.Duration // cumulative time spent inside fsync calls
+}
+
+type groupReq struct {
+	ticket uint64
+	done   chan error
+}
+
+// fileSync is the per-file barrier queue; its syncer goroutine lives exactly
+// as long as the file has pending barriers. The entry itself persists until
+// Forget — the ticket counters must outlive idle gaps, or a ticket stamped
+// before a retire could never be matched again.
+type fileSync struct {
+	pending []*groupReq
+	written uint64        // write tickets issued for this file (see Wrote)
+	acked   uint64        // highest ticket covered by a *successful* fsync
+	syncing bool          // a runFile goroutine is serving this file
+	arrived chan struct{} // capacity 1: "pending grew" edge signal
+}
+
+// CommitGroup is the shared fsync scheduler. Each file with pending barriers
+// gets a syncer goroutine; Close drains every accepted barrier before
+// returning.
+type CommitGroup struct {
+	mu     sync.Mutex
+	files  map[vfile]*fileSync
+	closed bool
+	stats  GroupStats
+
+	wg       sync.WaitGroup
+	window   time.Duration
+	maxBatch int
+}
+
+// NewCommitGroup starts a scheduler with the given config.
+func NewCommitGroup(cfg GroupConfig) *CommitGroup {
+	g := &CommitGroup{
+		files:    make(map[vfile]*fileSync),
+		window:   cfg.Window,
+		maxBatch: cfg.MaxBatch,
+	}
+	if g.maxBatch <= 0 {
+		g.maxBatch = DefaultGroupMaxBatch
+	}
+	return g
+}
+
+// Wrote records that the caller just finished writing bytes to f and returns
+// a ticket for them. A later BarrierTicket with that ticket is satisfied by
+// any fsync of f *issued* after Wrote returned — including one already in
+// flight when the barrier arrives, which is the classic group-commit ride:
+// the flush was issued after the bytes landed, so it covers them.
+func (g *CommitGroup) Wrote(f vfile) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fs := g.fileLocked(f)
+	fs.written++
+	return fs.written
+}
+
+// fileLocked returns (creating if needed) f's queue. A queue created here
+// with no pending barriers has no syncer yet; Barrier spawns one on demand.
+func (g *CommitGroup) fileLocked(f vfile) *fileSync {
+	fs := g.files[f]
+	if fs == nil {
+		fs = &fileSync{arrived: make(chan struct{}, 1)}
+		g.files[f] = fs
+	}
+	return fs
+}
+
+// Barrier blocks until an fsync of f issued at or after this call returns,
+// and reports that fsync's error. It is the durability point every group-
+// routed ack stands on.
+func (g *CommitGroup) Barrier(f vfile) error {
+	return g.BarrierTicket(f, g.Wrote(f))
+}
+
+// BarrierTicket is Barrier for bytes stamped by an earlier Wrote: it blocks
+// until an fsync of f issued after that ticket returns. Callers that stamp
+// right after their write ride fsyncs a plain Barrier would have to wait
+// out — and return immediately when a successful fsync already covered the
+// ticket. Each ticket backs at most one BarrierTicket call.
+func (g *CommitGroup) BarrierTicket(f vfile, ticket uint64) error {
+	req := &groupReq{ticket: ticket, done: make(chan error, 1)}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return fmt.Errorf("storage: commit group: %w", ErrClosed)
+	}
+	fs := g.fileLocked(f)
+	if ticket <= fs.acked {
+		g.stats.Barriers++
+		g.mu.Unlock()
+		return nil
+	}
+	fs.pending = append(fs.pending, req)
+	if !fs.syncing {
+		fs.syncing = true
+		g.wg.Add(1)
+		go g.runFile(f, fs)
+	} else {
+		select {
+		case fs.arrived <- struct{}{}:
+		default:
+		}
+	}
+	g.mu.Unlock()
+	return <-req.done
+}
+
+// Forget drops f's queue entry. Call only once f is closed and nothing can
+// stamp or barrier it again (segment dropped, compacted file swapped out);
+// without it a long-lived group accumulates an entry per retired file.
+func (g *CommitGroup) Forget(f vfile) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fs := g.files[f]; fs != nil && !fs.syncing && len(fs.pending) == 0 {
+		delete(g.files, f)
+	}
+}
+
+// Stats snapshots the scheduler's counters.
+func (g *CommitGroup) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Close rejects new barriers, waits for every barrier already accepted to be
+// served, and stops the syncers. Backends using the group must be closed
+// first (or be prepared to see ErrClosed from in-flight barriers).
+func (g *CommitGroup) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.wg.Wait()
+	return nil
+}
+
+// runFile serves one file's barriers: snapshot the write-ticket frontier,
+// fsync once, answer every pending barrier whose ticket that fsync covers —
+// including barriers that arrived while it was in flight, as long as their
+// bytes were written before it was issued — then repeat until nothing is
+// pending and retire. Clearing syncing under the same lock as the emptiness
+// check keeps the invariant exact: a barrier either queues behind this
+// goroutine or spawns the next one.
+func (g *CommitGroup) runFile(f vfile, fs *fileSync) {
+	defer g.wg.Done()
+	for {
+		if g.window > 0 {
+			g.grow(fs)
+		}
+		g.mu.Lock()
+		if len(fs.pending) == 0 {
+			fs.syncing = false
+			g.mu.Unlock()
+			return
+		}
+		syncTicket := fs.written
+		g.mu.Unlock()
+		start := time.Now()
+		err := f.Sync()
+		elapsed := time.Since(start)
+		g.mu.Lock()
+		var ack []*groupReq
+		keep := fs.pending[:0]
+		for _, r := range fs.pending {
+			// Every request pending when the frontier was snapshotted has
+			// ticket <= syncTicket (tickets are stamped before queueing,
+			// under the same lock); only mid-flight arrivals can exceed it.
+			if r.ticket <= syncTicket {
+				ack = append(ack, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		fs.pending = keep
+		if err == nil && syncTicket > fs.acked {
+			fs.acked = syncTicket
+		}
+		g.stats.Barriers += uint64(len(ack))
+		g.stats.Syncs++
+		g.stats.Waves++
+		g.stats.SyncTime += elapsed
+		g.mu.Unlock()
+		for _, r := range ack {
+			r.done <- err
+		}
+	}
+}
+
+// grow waits out the window (or the batch gate) so near-simultaneous
+// barriers on one file share its next fsync.
+func (g *CommitGroup) grow(fs *fileSync) {
+	timer := time.NewTimer(g.window)
+	defer timer.Stop()
+	for {
+		g.mu.Lock()
+		n := len(fs.pending)
+		g.mu.Unlock()
+		if n == 0 || n >= g.maxBatch {
+			return
+		}
+		select {
+		case <-timer.C:
+			return
+		case <-fs.arrived:
+		}
+	}
+}
+
+// ---- DiskGroup: N shards sharing one directory and one scheduler ----
+
+// DiskGroup is the deployment unit for group commit: n DiskBackend shards
+// rooted in subdirectories of one data dir, all routing their durability
+// barriers through one CommitGroup so commits arriving together across
+// shards share a single fsync wave — and all multiplexing their recovery-log
+// streams into shard 0's physical log (see SharedLog), so cross-shard log
+// barriers land on one file and actually coalesce instead of merely running
+// in parallel.
+type DiskGroup struct {
+	group  *CommitGroup
+	shards []*DiskBackend
+	shared *SharedLog
+	views  []*GroupShard
+}
+
+// GroupShard is one shard of a DiskGroup as the proxy consumes it: the
+// shard's own DiskBackend for buckets and KV, with the recovery-log face
+// rerouted onto the group's shared physical log.
+type GroupShard struct {
+	*DiskBackend
+	logView *LogView
+}
+
+func (s *GroupShard) Append(record []byte) (uint64, error) { return s.logView.Append(record) }
+func (s *GroupShard) Scan(from uint64) ([][]byte, error)   { return s.logView.Scan(from) }
+func (s *GroupShard) Truncate(before uint64) error         { return s.logView.Truncate(before) }
+func (s *GroupShard) LastSeq() (uint64, error)             { return s.logView.LastSeq() }
+
+// The deferred-barrier capability routes through the shared log too — this
+// is where it earns its keep: shards append back to back and the first
+// SyncLog's lone fsync covers the whole round.
+func (s *GroupShard) AppendNoSync(record []byte) (uint64, error) {
+	return s.logView.AppendNoSync(record)
+}
+func (s *GroupShard) SyncLog() error { return s.logView.SyncLog() }
+
+// OpenDiskGroup opens (or creates) shards backends under dir/shard-<i>,
+// each provisioned with numBuckets buckets, sharing a scheduler with the
+// default window.
+func OpenDiskGroup(dir string, shards, numBuckets int) (*DiskGroup, error) {
+	return OpenDiskGroupOpts(dir, shards, numBuckets, DiskOptions{})
+}
+
+// OpenDiskGroupOpts is OpenDiskGroup with per-shard options. A nil
+// opts.Group gets a fresh scheduler owned (and closed) by the group.
+func OpenDiskGroupOpts(dir string, shards, numBuckets int, opts DiskOptions) (*DiskGroup, error) {
+	return openDiskGroupOpts(osFS{}, dir, shards, numBuckets, diskOpts{
+		group:       opts.Group,
+		workers:     opts.RecoveryWorkers,
+		segMaxBytes: opts.SegMaxBytes,
+		autoCompact: true,
+	})
+}
+
+// openDiskGroupOpts is the vfs-injectable group constructor (the crash sweep
+// opens groups on its fault-modeling filesystem through it).
+func openDiskGroupOpts(fsys vfs, dir string, shards, numBuckets int, opts diskOpts) (*DiskGroup, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("storage: disk group needs a positive shard count (got %d)", shards)
+	}
+	if opts.group == nil {
+		opts.group = NewCommitGroup(GroupConfig{Window: DefaultGroupWindow})
+	}
+	g := &DiskGroup{group: opts.group}
+	for i := 0; i < shards; i++ {
+		b, err := openDiskBackendOpts(fsys, joinPath(dir, fmt.Sprintf("shard-%03d", i)), numBuckets, opts)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("storage: opening disk group shard %d: %w", i, err)
+		}
+		g.shards = append(g.shards, b)
+	}
+	shared, err := NewSharedLog(g.shards[0], shards)
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("storage: opening disk group shared log: %w", err)
+	}
+	g.shared = shared
+	for i, b := range g.shards {
+		g.views = append(g.views, &GroupShard{DiskBackend: b, logView: shared.View(i)})
+	}
+	return g, nil
+}
+
+// Shards returns the group's backends in shard order. Log methods on these
+// raw backends bypass the shared log; use Backends for the proxy-facing
+// shape.
+func (g *DiskGroup) Shards() []*DiskBackend { return g.shards }
+
+// Backends returns the shards as Backend values (the shape core.NewSharded
+// and the bench harness consume), each with its log stream routed through
+// the group's shared physical log.
+func (g *DiskGroup) Backends() []Backend {
+	out := make([]Backend, len(g.views))
+	for i, v := range g.views {
+		out[i] = v
+	}
+	return out
+}
+
+// Group returns the shared scheduler (stats live there).
+func (g *DiskGroup) Group() *CommitGroup { return g.group }
+
+// Close closes every shard, then the scheduler.
+func (g *DiskGroup) Close() error {
+	var first error
+	for _, b := range g.shards {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := g.group.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// SharedLog multiplexes several shards' recovery-log streams onto ONE
+// physical segmented log (the owner backend's). This is what makes group
+// commit actually coalesce across shards: with per-shard log files, two
+// shards' epoch-boundary appends land on different files and their fsyncs
+// can never merge — the scheduler only amortizes barriers on the same file.
+// With every stream in one file, a read round's two schedule appends, the
+// prepare round's two checkpoints, and a commit record plus whatever else is
+// in flight all stand on one flush wave.
+//
+// Sharing one file also strengthens the sharded commit protocol for free:
+// the coordinator's commit-record fsync covers every other shard's prepared
+// record (they sit earlier in the same file), so the global commit point's
+// single flush is exactly the durability the protocol's recovery floor
+// assumes.
+//
+// Stream records are the owner's physical records with a 4-byte stream-id
+// prefix. Each stream presents the LogStore contract with its own dense
+// sequence numbers. Sequence numbers restart from the surviving record
+// count at reopen; that is sound because the WAL layer persists no sequence
+// numbers across restarts — every recovery derives state from a fresh
+// Scan(0), and checkpoints identify epochs, not sequences.
+//
+// A torn physical tail truncates a suffix of the physical log, which is a
+// suffix of every stream in append order — each stream recovers to a prefix,
+// exactly the write-ahead contract, and the cross-shard recovery floor logic
+// raises lagging shards afterwards.
+type SharedLog struct {
+	owner *DiskBackend
+
+	mu      sync.Mutex
+	streams []logStream
+}
+
+type logStream struct {
+	phys  []uint64 // physical seq of each live record; logical seq = floor+i
+	floor uint64   // logical seq of phys[0] (1 when nothing truncated)
+	last  uint64   // last logical seq handed out
+}
+
+const sharedLogHdrSize = 4
+
+// NewSharedLog builds the multiplexer over owner's physical log, which must
+// only ever be written through the returned views (raw appends would be
+// unparseable stream records). Existing physical records are demuxed to
+// rebuild each stream's state — including after a crash, where the owner's
+// own open already handled torn tails and damaged segments.
+func NewSharedLog(owner *DiskBackend, streams int) (*SharedLog, error) {
+	if streams <= 0 {
+		return nil, fmt.Errorf("storage: shared log needs a positive stream count (got %d)", streams)
+	}
+	s := &SharedLog{owner: owner, streams: make([]logStream, streams)}
+	for i := range s.streams {
+		s.streams[i].floor = 1
+	}
+	recs, err := owner.Scan(0)
+	if err != nil {
+		return nil, err
+	}
+	last, err := owner.LastSeq()
+	if err != nil {
+		return nil, err
+	}
+	base := last - uint64(len(recs)) + 1
+	for i, rec := range recs {
+		id, _, err := splitSharedRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("storage: shared log physical record %d: %w", base+uint64(i), err)
+		}
+		if int(id) >= streams {
+			return nil, fmt.Errorf("storage: shared log record for stream %d but only %d streams opened", id, streams)
+		}
+		st := &s.streams[id]
+		st.phys = append(st.phys, base+uint64(i))
+		st.last++
+	}
+	return s, nil
+}
+
+func wrapSharedRecord(id uint32, rec []byte) []byte {
+	out := make([]byte, sharedLogHdrSize+len(rec))
+	binary.BigEndian.PutUint32(out, id)
+	copy(out[sharedLogHdrSize:], rec)
+	return out
+}
+
+func splitSharedRecord(rec []byte) (uint32, []byte, error) {
+	if len(rec) < sharedLogHdrSize {
+		return 0, nil, fmt.Errorf("record shorter than its stream header (%d bytes)", len(rec))
+	}
+	return binary.BigEndian.Uint32(rec), rec[sharedLogHdrSize:], nil
+}
+
+// View returns stream i's LogStore face.
+func (s *SharedLog) View(i int) *LogView {
+	if i < 0 || i >= len(s.streams) {
+		panic(fmt.Sprintf("storage: shared log stream %d of %d", i, len(s.streams)))
+	}
+	return &LogView{log: s, id: uint32(i)}
+}
+
+// LogView is one stream's LogStore over the shared physical log.
+type LogView struct {
+	log *SharedLog
+	id  uint32
+}
+
+// Append writes the record into the shared physical log and blocks on a
+// flush wave of that log's active segment. The mapping update and the
+// physical append stay under one lock (stream order == physical order, the
+// invariant torn-tail recovery leans on), but the barrier runs outside it —
+// that is the whole point: every stream's barrier lands on the same file and
+// coalesces.
+func (v *LogView) Append(record []byte) (uint64, error) {
+	s := v.log
+	s.mu.Lock()
+	physSeq, f, ticket, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	st := &s.streams[v.id]
+	st.phys = append(st.phys, physSeq)
+	st.last++
+	seq := st.last
+	s.mu.Unlock()
+	if err := s.owner.barrierTicket(f, ticket); err != nil {
+		return 0, s.owner.wedge(err)
+	}
+	return seq, nil
+}
+
+// AppendNoSync implements LogBatcher: the record lands in the shared
+// physical log but its durability waits for a SyncLog — from ANY view.
+// This is the cross-shard barrier-placement primitive: N shards append
+// their records back to back, then the first SyncLog's single fsync makes
+// all of them durable and the remaining N-1 calls return without touching
+// the disk.
+func (v *LogView) AppendNoSync(record []byte) (uint64, error) {
+	s := v.log
+	s.mu.Lock()
+	physSeq, f, ticket, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	st := &s.streams[v.id]
+	st.phys = append(st.phys, physSeq)
+	st.last++
+	seq := st.last
+	s.mu.Unlock()
+	// The pending-barrier ledger is the owner's: it is per physical log
+	// (which is exactly the coalescing domain) and it already forgets
+	// obligations on retired segment files.
+	s.owner.notePending(f, ticket)
+	return seq, nil
+}
+
+// SyncLog implements LogBatcher: every deferred append across ALL streams
+// becomes durable — they share one physical file, so one barrier covers
+// them and the other views' SyncLog calls become no-ops. Usually one fsync;
+// one per file only when deferred appends straddled a segment rotation.
+func (v *LogView) SyncLog() error {
+	return v.log.owner.SyncLog()
+}
+
+// Scan returns this stream's records with sequence >= from, in order,
+// demuxed from one physical scan.
+func (v *LogView) Scan(from uint64) ([][]byte, error) {
+	s := v.log
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Checked here and not only by the owner's Scan: the empty-stream early
+	// return below must still report a closed store.
+	if err := s.owner.checkUsable(); err != nil {
+		return nil, err
+	}
+	st := &s.streams[v.id]
+	if from < st.floor {
+		from = st.floor
+	}
+	if from > st.last {
+		return nil, nil
+	}
+	firstPhys := st.phys[from-st.floor]
+	recs, err := s.owner.Scan(firstPhys)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, st.last-from+1)
+	for _, rec := range recs {
+		id, body, err := splitSharedRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		if id == v.id {
+			out = append(out, body)
+		}
+	}
+	return out, nil
+}
+
+// Truncate logically drops this stream's records below before, then
+// truncates the physical log to the floor no remaining stream record sits
+// under. One stream truncating never strands another: the physical floor is
+// the minimum over every stream's first retained record.
+func (v *LogView) Truncate(before uint64) error {
+	s := v.log
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Same reasoning as Scan: the no-op path must still see ErrClosed.
+	if err := s.owner.checkUsable(); err != nil {
+		return err
+	}
+	st := &s.streams[v.id]
+	if before > st.last+1 {
+		before = st.last + 1
+	}
+	if before <= st.floor {
+		return nil
+	}
+	st.phys = st.phys[before-st.floor:]
+	st.floor = before
+	physFloor, err := s.owner.LastSeq()
+	if err != nil {
+		return err
+	}
+	physFloor++ // nothing retained: everything below the next append may go
+	for i := range s.streams {
+		if p := s.streams[i].phys; len(p) > 0 && p[0] < physFloor {
+			physFloor = p[0]
+		}
+	}
+	return s.owner.Truncate(physFloor)
+}
+
+// LastSeq reports the stream's last assigned sequence number.
+func (v *LogView) LastSeq() (uint64, error) {
+	s := v.log
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.owner.checkUsable(); err != nil {
+		return 0, err
+	}
+	return s.streams[v.id].last, nil
+}

@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"path"
+	"strings"
+	"testing"
+)
+
+// Unit tests for the shared-log multiplexer: stream isolation, reopen demux,
+// truncation floors, deferred barriers, and torn-tail recovery. They run on
+// the crashFS vfs so durability (what a power loss keeps) is modeled exactly.
+
+func openSharedOwner(t *testing.T, fsys vfs, dir string, streams int) (*DiskBackend, *SharedLog) {
+	t.Helper()
+	owner, err := openDiskBackendOpts(fsys, dir, 8, diskOpts{workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharedLog(owner, streams)
+	if err != nil {
+		owner.Close()
+		t.Fatal(err)
+	}
+	return owner, s
+}
+
+func scanStrings(t *testing.T, v *LogView, from uint64) []string {
+	t.Helper()
+	recs, err := v.Scan(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func wantStrings(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSharedLogStreamIsolation(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 3)
+	defer owner.Close()
+
+	// Interleave appends across streams; each stream must see only its own
+	// records, densely numbered from 1.
+	views := []*LogView{s.View(0), s.View(1), s.View(2)}
+	for round := 1; round <= 4; round++ {
+		for i, v := range views {
+			seq, err := v.Append([]byte(fmt.Sprintf("s%d-r%d", i, round)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != uint64(round) {
+				t.Fatalf("stream %d round %d seq = %d, want %d", i, round, seq, round)
+			}
+		}
+	}
+	for i, v := range views {
+		wantStrings(t, scanStrings(t, v, 0),
+			fmt.Sprintf("s%d-r1", i), fmt.Sprintf("s%d-r2", i),
+			fmt.Sprintf("s%d-r3", i), fmt.Sprintf("s%d-r4", i))
+		wantStrings(t, scanStrings(t, v, 3), fmt.Sprintf("s%d-r3", i), fmt.Sprintf("s%d-r4", i))
+		last, err := v.LastSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != 4 {
+			t.Fatalf("stream %d LastSeq = %d, want 4", i, last)
+		}
+	}
+}
+
+func TestSharedLogReopenRebuildsStreams(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 2)
+	if _, err := s.View(0).Append([]byte("a0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.View(1).Append([]byte("b0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.View(0).Append([]byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	owner, s = openSharedOwner(t, fsys, "data", 2)
+	defer owner.Close()
+	wantStrings(t, scanStrings(t, s.View(0), 0), "a0", "a1")
+	wantStrings(t, scanStrings(t, s.View(1), 0), "b0")
+	// Sequence numbers restart dense from the surviving count (the WAL layer
+	// persists none, so renumbering is invisible to every consumer).
+	seq, err := s.View(1).Append([]byte("b1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("stream 1 post-reopen seq = %d, want 2", seq)
+	}
+	wantStrings(t, scanStrings(t, s.View(1), 0), "b0", "b1")
+}
+
+func TestSharedLogTruncateIsolatesStreams(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 2)
+	defer owner.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.View(0).Append([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.View(1).Append([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream 0 drops its first two records; stream 1 must be untouched even
+	// though its records interleave physically with the dropped ones.
+	if err := s.View(0).Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	wantStrings(t, scanStrings(t, s.View(0), 0), "a2")
+	wantStrings(t, scanStrings(t, s.View(1), 0), "b0", "b1", "b2")
+	last, err := s.View(0).LastSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 3 {
+		t.Fatalf("stream 0 LastSeq after truncate = %d, want 3", last)
+	}
+	// Truncating the already-truncated prefix (or beyond the tail) is a
+	// bounded no-op, not an error.
+	if err := s.View(0).Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.View(1).Truncate(99); err != nil {
+		t.Fatal(err)
+	}
+	wantStrings(t, scanStrings(t, s.View(1), 0))
+	wantStrings(t, scanStrings(t, s.View(0), 0), "a2")
+}
+
+// One SyncLog from ANY view must make every stream's deferred appends
+// durable (they share a physical file); deferred appends never synced must
+// vanish at a crash without tearing the surviving prefix.
+func TestSharedLogDeferredBarrier(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 2)
+	defer owner.Close()
+	if _, err := s.View(0).Append([]byte("a-durable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.View(0).AppendNoSync([]byte("a-deferred")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.View(1).AppendNoSync([]byte("b-deferred")); err != nil {
+		t.Fatal(err)
+	}
+	// Before any SyncLog: a crash now must keep only the synced record.
+	crash := fsys.snapshot()
+	rOwner, rs := openSharedOwner(t, crash, "data", 2)
+	wantStrings(t, scanStrings(t, rs.View(0), 0), "a-durable")
+	wantStrings(t, scanStrings(t, rs.View(1), 0))
+	rOwner.Close()
+
+	// Stream 1's barrier covers stream 0's deferred record too.
+	if err := s.View(1).SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	crash = fsys.snapshot()
+	rOwner, rs = openSharedOwner(t, crash, "data", 2)
+	wantStrings(t, scanStrings(t, rs.View(0), 0), "a-durable", "a-deferred")
+	wantStrings(t, scanStrings(t, rs.View(1), 0), "b-deferred")
+	rOwner.Close()
+}
+
+// A torn physical tail (power loss mid-write) must truncate to a prefix of
+// EACH stream: the physical suffix that is lost is a suffix of every stream
+// in append order.
+func TestSharedLogTornTailRecoversStreamPrefixes(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 2)
+	order := []struct {
+		stream int
+		rec    string
+	}{{0, "a0"}, {1, "b0"}, {0, "a1"}, {1, "b1"}}
+	for _, op := range order {
+		if _, err := s.View(op.stream).Append([]byte(op.rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := owner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the newest segment: chop a few bytes off its tail, leaving the
+	// final physical record (stream 1's "b1") half-written.
+	fsys.mu.Lock()
+	var segNode *crashNode
+	var segPath string
+	for name, n := range fsys.nodes {
+		if strings.HasPrefix(path.Base(name), segPrefix) && name > segPath {
+			segPath, segNode = name, n
+		}
+	}
+	if segNode == nil {
+		fsys.mu.Unlock()
+		t.Fatal("no log segment found")
+	}
+	if len(segNode.data) < 3 {
+		fsys.mu.Unlock()
+		t.Fatalf("segment %s too short to tear (%d bytes)", segPath, len(segNode.data))
+	}
+	segNode.data = segNode.data[:len(segNode.data)-3]
+	segNode.durable = segNode.durable[:len(segNode.durable)-3]
+	fsys.mu.Unlock()
+
+	owner, s = openSharedOwner(t, fsys, "data", 2)
+	defer owner.Close()
+	wantStrings(t, scanStrings(t, s.View(0), 0), "a0", "a1")
+	wantStrings(t, scanStrings(t, s.View(1), 0), "b0")
+	// The log stays appendable after truncating the torn record.
+	seq, err := s.View(1).Append([]byte("b1-retry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("stream 1 retry seq = %d, want 2", seq)
+	}
+}
+
+// A physical log written in the old per-shard raw format (or by raw Append
+// on the owner, bypassing the views) must fail loudly at open — silently
+// misparsing stream ids would corrupt recovery.
+func TestSharedLogRejectsUnwrappedRecords(t *testing.T) {
+	t.Run("short-record", func(t *testing.T) {
+		fsys := newCrashFS(nil)
+		owner, err := openDiskBackendOpts(fsys, "data", 8, diskOpts{workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer owner.Close()
+		if _, err := owner.Append([]byte("x")); err != nil { // 1 byte < stream header
+			t.Fatal(err)
+		}
+		if _, err := NewSharedLog(owner, 2); err == nil {
+			t.Fatal("NewSharedLog accepted a record shorter than its stream header")
+		}
+	})
+	t.Run("stream-out-of-range", func(t *testing.T) {
+		fsys := newCrashFS(nil)
+		owner, err := openDiskBackendOpts(fsys, "data", 8, diskOpts{workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer owner.Close()
+		// An old-format raw record: its first 4 bytes decode to a stream id
+		// far beyond the opened stream count.
+		if _, err := owner.Append([]byte("epoch=7 commit")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewSharedLog(owner, 2); err == nil {
+			t.Fatal("NewSharedLog accepted a record for an out-of-range stream")
+		}
+	})
+}
+
+// The shared log's physical floor tracks the minimum across streams: one
+// stream truncating everything must not strand another stream's records,
+// and the truncated state must survive reopen.
+func TestSharedLogTruncateThenReopen(t *testing.T) {
+	fsys := newCrashFS(nil)
+	owner, s := openSharedOwner(t, fsys, "data", 2)
+	for i := 0; i < 4; i++ {
+		if _, err := s.View(0).Append([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.View(1).Append([]byte("b0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.View(0).Truncate(5); err != nil { // drop all of stream 0
+		t.Fatal(err)
+	}
+	if err := owner.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	owner, s = openSharedOwner(t, fsys, "data", 2)
+	defer owner.Close()
+	wantStrings(t, scanStrings(t, s.View(0), 0))
+	wantStrings(t, scanStrings(t, s.View(1), 0), "b0")
+	recs, err := s.View(1).Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0], []byte("b0")) {
+		t.Fatalf("stream 1 after reopen = %q", recs)
+	}
+}

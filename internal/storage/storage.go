@@ -121,6 +121,22 @@ type Backend interface {
 	Close() error
 }
 
+// LogBatcher is an optional LogStore capability that splits an append from
+// its durability barrier: AppendNoSync writes the record without waiting for
+// a flush, and a later SyncLog makes every deferred append durable at once.
+// The point is barrier placement — a caller appending several records (or
+// several shards appending into one shared physical log) can stand them all
+// on ONE flush instead of paying one per record. A record's sequence number
+// is assigned at append time, but the LogStore ack contract (an acknowledged
+// record survives any crash) transfers to SyncLog's return.
+//
+// Stores without this capability simply keep Append's inline durability;
+// callers probe with a type assertion and fall back.
+type LogBatcher interface {
+	AppendNoSync(record []byte) (seq uint64, err error)
+	SyncLog() error
+}
+
 func checkBucket(bucket, n int) error {
 	if bucket < 0 || bucket >= n {
 		return fmt.Errorf("%w: %d (have %d)", ErrNoSuchBucket, bucket, n)

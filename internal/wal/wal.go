@@ -151,8 +151,45 @@ func (l *Log) AppendBatch(epoch uint64, batch int, entries []oramexec.LogEntry) 
 	if err != nil {
 		return err
 	}
-	_, err = l.store.Append(rec)
+	_, err = l.appendStore(rec, true)
 	return err
+}
+
+// AppendBatchDeferred logs a batch's read schedule without waiting for its
+// durability barrier: the record rides the next Sync. The write-ahead rule
+// is then the CALLER's to restore — Sync must return before the batch's
+// reads are issued. The split lets several shards' schedule records (and,
+// on a shared physical log, several records per shard) stand on one flush
+// instead of one fsync per record.
+func (l *Log) AppendBatchDeferred(epoch uint64, batch int, entries []oramexec.LogEntry) error {
+	rec, err := l.seal(kindBatch, batchRecord{Epoch: epoch, Batch: batch, Entries: entries})
+	if err != nil {
+		return err
+	}
+	_, err = l.appendStore(rec, false)
+	return err
+}
+
+// Sync makes every deferred append durable. A no-op when the store lacks
+// the LogBatcher capability — its Appends were durable inline.
+func (l *Log) Sync() error {
+	if lb, ok := l.store.(storage.LogBatcher); ok {
+		return lb.SyncLog()
+	}
+	return nil
+}
+
+// appendStore appends a sealed record: durably, or — when sync is false and
+// the store supports deferred barriers — riding a later Sync. Stores
+// without the capability always append durably, so every caller of the
+// deferred variants degrades to the stricter behavior.
+func (l *Log) appendStore(rec []byte, sync bool) (uint64, error) {
+	if !sync {
+		if lb, ok := l.store.(storage.LogBatcher); ok {
+			return lb.AppendNoSync(rec)
+		}
+	}
+	return l.store.Append(rec)
 }
 
 // PendingCheckpoint is an epoch-end metadata snapshot whose log append has
@@ -192,11 +229,23 @@ func (l *Log) PrepareCheckpoint(epoch uint64, oram *ringoram.ORAM) (*PendingChec
 // AppendPrepared seals and durably appends a prepared checkpoint. Returns
 // whether it was a full checkpoint.
 func (l *Log) AppendPrepared(cp *PendingCheckpoint) (bool, error) {
+	return l.appendPrepared(cp, true)
+}
+
+// AppendPreparedDeferred appends a prepared checkpoint without its barrier;
+// the caller must Sync before treating the epoch as prepared (in the
+// coordinator-commit protocol: before the coordinator's commit record may
+// be written).
+func (l *Log) AppendPreparedDeferred(cp *PendingCheckpoint) (bool, error) {
+	return l.appendPrepared(cp, false)
+}
+
+func (l *Log) appendPrepared(cp *PendingCheckpoint, sync bool) (bool, error) {
 	rec, err := l.seal(kindCheckpoint, checkpointRecord{Epoch: cp.epoch, Shard: l.cfg.Shard, ShardCount: l.cfg.Shards, State: *cp.state})
 	if err != nil {
 		return false, err
 	}
-	if _, err := l.store.Append(rec); err != nil {
+	if _, err := l.appendStore(rec, sync); err != nil {
 		return false, err
 	}
 	return cp.state.Full, nil
@@ -264,7 +313,23 @@ func (l *Log) AppendCommit(epoch uint64) error {
 	if err != nil {
 		return err
 	}
-	_, err = l.store.Append(rec)
+	_, err = l.appendStore(rec, true)
+	return err
+}
+
+// AppendCommitDeferred appends a commit record without waiting for its
+// barrier. Only sound for records whose durability is OPTIONAL — in the
+// coordinator-commit protocol, the non-coordinator shards' commit records
+// are a recovery fast path (a shard that lost one recovers by consulting
+// the coordinator's committed floor), so they may ride whatever flush comes
+// next instead of each paying an fsync. The coordinator's own commit record
+// is the global commit point and must use AppendCommit.
+func (l *Log) AppendCommitDeferred(epoch uint64) error {
+	rec, err := l.seal(kindCommit, commitRecord{Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	_, err = l.appendStore(rec, false)
 	return err
 }
 
