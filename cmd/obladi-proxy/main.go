@@ -39,6 +39,7 @@ import (
 
 	"obladi"
 	"obladi/internal/clientproto"
+	"obladi/internal/pprofserve"
 )
 
 func main() {
@@ -52,7 +53,14 @@ func main() {
 	readBatches := flag.Int("read-batches", 4, "read batches per epoch (R)")
 	readBatch := flag.Int("read-batch-size", 32, "read batch size (bread)")
 	writeBatch := flag.Int("write-batch-size", 32, "write batch size (bwrite)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables profiling)")
 	flag.Parse()
+
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		log.Fatalf("pprof listen: %v", err)
+	} else if addr != "" {
+		fmt.Printf("obladi-proxy: pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	opt := obladi.Options{
 		MaxKeys:        *keys,

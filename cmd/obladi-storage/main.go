@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"strconv"
 
+	"obladi/internal/pprofserve"
 	"obladi/internal/storage"
 )
 
@@ -47,8 +48,14 @@ func main() {
 	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown (in-memory backend)")
 	dataDir := flag.String("data-dir", "", "directory for the durable disk backend (incremental, crash-atomic persistence)")
 	shards := flag.Int("shards", 1, "disk shards sharing the data dir as a commit group (requires -data-dir); shard i listens on the base port + i")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables profiling)")
 	flag.Parse()
 
+	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
+		log.Fatalf("pprof listen: %v", err)
+	} else if addr != "" {
+		fmt.Printf("obladi-storage: pprof on http://%s/debug/pprof/\n", addr)
+	}
 	if *persist != "" && *dataDir != "" {
 		log.Fatal("-persist and -data-dir are mutually exclusive")
 	}

@@ -109,6 +109,7 @@ var experiments = []struct {
 	{"client", "client plane: line vs multiplexed wire protocol at fixed connection counts (beyond the paper)", ClientPlane},
 	{"disk", "durable disk backend vs in-memory store, scalar vs vectored I/O, plus 2-shard group commit (beyond the paper)", Disk},
 	{"recovery", "crash-recovery time: serial vs parallel segment replay at 1/2/4 workers (beyond the paper)", Recovery},
+	{"hotpath", "proxy CPU hot path: executor slot pipeline and single-shard mem throughput, with allocs/slot (beyond the paper)", HotPath},
 }
 
 // Names lists all experiment ids.

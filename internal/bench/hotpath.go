@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"obladi/internal/core"
+	"obladi/internal/cryptoutil"
+	"obladi/internal/oramexec"
+	"obladi/internal/ringoram"
+	"obladi/internal/storage"
+)
+
+// HotPath measures the proxy's CPU-bound batch hot path (no storage latency,
+// no durability): the ORAM executor's slot pipeline — plan, fetch, decrypt,
+// re-encrypt, write back — and the end-to-end single-shard proxy on a raw
+// in-memory backend. Unlike the latency-profile experiments, every number
+// here is pure proxy CPU: crypto construction, allocation churn and batch
+// bookkeeping. Three series:
+//
+//	exec    physical slots/s through a steady-state executor read round
+//	allocs  heap allocations per physical slot on the same read path
+//	e2e     committed txns/s through the full proxy (MVTSO + batching)
+//
+// The committed BENCH_hotpath.json holds two runs of this experiment — the
+// pre-refactor CTR+HMAC baseline and the pooled AES-GCM hot path — merged
+// with a "pre: "/"post: " series prefix.
+func HotPath(cfg Config) ([]Row, error) {
+	cfg.setDefaults()
+	rows, err := hotPathExec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e2e, err := hotPathE2E(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, e2e...), nil
+}
+
+// hotPathParams is the shared geometry: crypto-relevant value size, canonical
+// Ring ORAM schedule constants.
+func hotPathParams(seed uint64, numKeys int) ringoram.Params {
+	return ringoram.Params{
+		NumBlocks: numKeys, Z: 16, S: 24, A: 16,
+		KeySize: 24, ValueSize: 512, Seed: seed,
+	}
+}
+
+// execHarness is a steady-state executor over a raw mem backend, preloaded
+// with numKeys keys. It is reused by BenchmarkHotPath and the allocation
+// regression gate so CI measures exactly what the committed JSON reports.
+type execHarness struct {
+	exec    *oramexec.Executor
+	backend storage.Backend
+	keys    []string
+	cursor  int
+	epoch   uint64
+	readOps []oramexec.ReadOp
+	padOps  []oramexec.WriteOp
+}
+
+const (
+	hotReadBatches    = 4
+	hotReadBatchSlots = 16
+)
+
+func newExecHarness(seed uint64, numKeys int) (*execHarness, error) {
+	p := hotPathParams(seed, numKeys)
+	backend := storage.NewMemBackend(p.Geometry().NumBuckets)
+	key := cryptoutil.KeyFromSeed([]byte("hotpath"))
+	oram, err := oramexec.InitORAM(backend, key, p)
+	if err != nil {
+		return nil, err
+	}
+	h := &execHarness{
+		exec:    oramexec.New(oram, backend, oramexec.Config{}),
+		backend: backend,
+		keys:    make([]string, numKeys),
+		epoch:   1,
+		readOps: make([]oramexec.ReadOp, hotReadBatchSlots),
+		padOps:  make([]oramexec.WriteOp, hotReadBatchSlots),
+	}
+	for i := range h.keys {
+		h.keys[i] = fmt.Sprintf("hk-%06d", i)
+	}
+	// Preload every key so steady-state reads decode real target slots.
+	value := make([]byte, 256)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	h.exec.BeginEpoch(h.epoch)
+	for start := 0; start < numKeys; start += 32 {
+		end := start + 32
+		if end > numKeys {
+			end = numKeys
+		}
+		ops := make([]oramexec.WriteOp, 0, end-start)
+		for _, k := range h.keys[start:end] {
+			ops = append(ops, oramexec.WriteOp{Key: k, Value: value})
+		}
+		plan, err := h.exec.PlanWriteBatch(ops)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := h.exec.Execute(plan); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.endEpoch(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *execHarness) endEpoch() error {
+	if _, err := h.exec.Flush(); err != nil {
+		return err
+	}
+	if err := h.backend.CommitEpoch(h.epoch); err != nil {
+		return err
+	}
+	h.epoch++
+	h.exec.BeginEpoch(h.epoch)
+	return nil
+}
+
+// runEpoch drives one steady-state epoch: hotReadBatches read batches of
+// existing keys plus a padding-only write batch (keeps the eviction schedule
+// honest), then flush + commit. Scratch slices are reused so the harness
+// itself stays off the measured allocation profile.
+func (h *execHarness) runEpoch() error {
+	for b := 0; b < hotReadBatches; b++ {
+		for i := range h.readOps {
+			h.readOps[i].Key = h.keys[h.cursor]
+			h.cursor = (h.cursor + 1) % len(h.keys)
+		}
+		plan, err := h.exec.PlanReadBatch(h.readOps)
+		if err != nil {
+			return err
+		}
+		if _, err := h.exec.Execute(plan); err != nil {
+			return err
+		}
+	}
+	plan, err := h.exec.PlanWriteBatch(h.padOps)
+	if err != nil {
+		return err
+	}
+	if _, err := h.exec.Execute(plan); err != nil {
+		return err
+	}
+	return h.endEpoch()
+}
+
+// slotsProcessed reports physical batch slots consumed so far (remote +
+// locally served), the denominator of the per-slot metrics.
+func (h *execHarness) slotsProcessed() int64 {
+	s := h.exec.Stats()
+	return s.RemoteReads + s.LocalReads
+}
+
+func (h *execHarness) close() { h.backend.Close() }
+
+func hotPathExec(cfg Config) ([]Row, error) {
+	const numKeys = 2048
+	epochs := 30
+	if cfg.Quick {
+		epochs = 8
+	}
+	h, err := newExecHarness(cfg.Seed, numKeys)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+	// Warm-up: populate buffers, reach the periodic-eviction regime.
+	for i := 0; i < 2; i++ {
+		if err := h.runEpoch(); err != nil {
+			return nil, err
+		}
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	slots0 := h.slotsProcessed()
+	epochTimes := make([]time.Duration, 0, epochs)
+	start := time.Now()
+	for i := 0; i < epochs; i++ {
+		es := time.Now()
+		if err := h.runEpoch(); err != nil {
+			return nil, err
+		}
+		epochTimes = append(epochTimes, time.Since(es))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	slots := h.slotsProcessed() - slots0
+	if slots == 0 {
+		return nil, fmt.Errorf("bench: hotpath exec processed no slots")
+	}
+	allocsPerSlot := float64(m1.Mallocs-m0.Mallocs) / float64(slots)
+	return []Row{
+		{
+			Experiment: "hotpath", Series: "exec", X: "mem-1shard",
+			Value: opsPerSec(int(slots), elapsed), Unit: "slots/s",
+			Shards: 1,
+			P50ms:  percentile(epochTimes, 50),
+			P99ms:  percentile(epochTimes, 99),
+		},
+		{
+			Experiment: "hotpath", Series: "allocs", X: "read-path",
+			Value: allocsPerSlot, Unit: "allocs/slot", Shards: 1,
+		},
+	}, nil
+}
+
+// hotPathE2E drives the full single-shard proxy (MVTSO, fetch queues, batch
+// schedule) on a raw mem backend with durability disabled: committed
+// read-write transactions per second when the only cost is proxy CPU.
+func hotPathE2E(cfg Config) ([]Row, error) {
+	const (
+		numKeys       = 1024
+		txnsPerEpoch  = 12
+		readsPerTxn   = 2
+		readBatchSize = 16
+		writeBatch    = 64
+	)
+	epochs := 20
+	if cfg.Quick {
+		epochs = 6
+	}
+	p := hotPathParams(cfg.Seed, numKeys)
+	backend := storage.NewMemBackend(p.Geometry().NumBuckets)
+	defer backend.Close()
+	proxy, err := core.New(backend, core.Config{
+		Params: p, Key: cryptoutil.KeyFromSeed([]byte("hotpath-e2e")),
+		ReadBatches:       hotReadBatches,
+		ReadBatchSize:     readBatchSize,
+		WriteBatchSize:    writeBatch,
+		Boundary:          core.BoundarySync,
+		DisableDurability: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	keys := make([]string, numKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("he-%06d", i)
+	}
+	value := make([]byte, 256)
+	stepEpoch := func() error {
+		for b := 0; b < hotReadBatches; b++ {
+			if err := proxy.StepReadBatch(); err != nil {
+				return err
+			}
+		}
+		return proxy.EndEpoch()
+	}
+	// Preload all keys (write batches cap writes per epoch).
+	for start := 0; start < numKeys; start += writeBatch {
+		end := start + writeBatch
+		if end > numKeys {
+			end = numKeys
+		}
+		chans := make([]<-chan error, 0, end-start)
+		for _, k := range keys[start:end] {
+			tx := proxy.Begin()
+			if err := tx.Write(k, value); err != nil {
+				tx.Abort()
+				continue
+			}
+			chans = append(chans, tx.CommitAsync())
+		}
+		if err := stepEpoch(); err != nil {
+			return nil, err
+		}
+		for _, ch := range chans {
+			if err := <-ch; err != nil {
+				return nil, fmt.Errorf("bench: hotpath preload commit: %w", err)
+			}
+		}
+	}
+	rng := newRand(cfg.Seed + 7)
+	writeCursor := 0
+	runEpoch := func() ([]*core.Future, []<-chan error, error) {
+		futures := make([]*core.Future, 0, txnsPerEpoch*readsPerTxn)
+		chans := make([]<-chan error, 0, txnsPerEpoch)
+		for i := 0; i < txnsPerEpoch; i++ {
+			tx := proxy.Begin()
+			for r := 0; r < readsPerTxn; r++ {
+				futures = append(futures, tx.ReadAsync(keys[rng.IntN(numKeys)]))
+			}
+			// Distinct write keys within an epoch: no write-write aborts.
+			k := keys[writeCursor]
+			writeCursor = (writeCursor + 1) % numKeys
+			if err := tx.Write(k, value); err != nil {
+				tx.Abort()
+				continue
+			}
+			chans = append(chans, tx.CommitAsync())
+		}
+		if err := stepEpoch(); err != nil {
+			return nil, nil, err
+		}
+		return futures, chans, nil
+	}
+	drain := func(futures []*core.Future, chans []<-chan error) int {
+		for _, f := range futures {
+			f.Value() //nolint:errcheck // padding misses are fine
+		}
+		n := 0
+		for _, ch := range chans {
+			if err := <-ch; err == nil {
+				n++
+			}
+		}
+		return n
+	}
+	// Warm-up epoch.
+	f, c, err := runEpoch()
+	if err != nil {
+		return nil, err
+	}
+	drain(f, c)
+	committed := 0
+	epochTimes := make([]time.Duration, 0, epochs)
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		es := time.Now()
+		f, c, err := runEpoch()
+		if err != nil {
+			return nil, err
+		}
+		committed += drain(f, c)
+		epochTimes = append(epochTimes, time.Since(es))
+	}
+	elapsed := time.Since(start)
+	if committed == 0 {
+		return nil, fmt.Errorf("bench: hotpath e2e committed nothing")
+	}
+	return []Row{{
+		Experiment: "hotpath", Series: "e2e", X: "mem-1shard",
+		Value: opsPerSec(committed, elapsed), Unit: "txns/s",
+		Shards: 1,
+		P50ms:  percentile(epochTimes, 50),
+		P99ms:  percentile(epochTimes, 99),
+	}}, nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkHotPath drives the same steady-state executor harness the hotpath
+// experiment (and the committed BENCH_hotpath.json) measures: one iteration
+// is one epoch — four read batches plus a padding write batch, flush and
+// commit — on a single shard over a raw in-memory backend. Run it with
+// -benchmem to see the whole-epoch allocation profile; the read-path budget
+// is policed separately by TestHotPathReadAllocBudget.
+//
+//	go test ./internal/bench/ -run=NONE -bench=BenchmarkHotPath -benchmem
+func BenchmarkHotPath(b *testing.B) {
+	h, err := newExecHarness(42, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.close()
+	for i := 0; i < 2; i++ {
+		if err := h.runEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	slots0 := h.slotsProcessed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.runEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	slots := h.slotsProcessed() - slots0
+	if b.N > 0 && slots > 0 {
+		b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+	}
+}
+
+// hotPathReadAllocCeiling is the regression gate for the read hot path:
+// steady-state heap allocations per physical batch slot across
+// PlanReadBatch+Execute, maintenance (evictions, reshuffles) included. The
+// pooled pipeline measures ~1.6 on this geometry (value copies out of
+// decoded slots and stash entries account for most of it); the ceiling
+// leaves room for run-to-run noise, not for a per-slot allocation creeping
+// back in (the pre-pooling pipeline measured ~23).
+const hotPathReadAllocCeiling = 2.0
+
+// TestHotPathReadAllocBudget fails if the executor's read path regresses
+// past the allocation budget. Only the read batches are measured: the
+// padding write batch, flush and epoch commit run outside the measured
+// windows, so the gate tracks exactly the per-slot read pipeline (plan,
+// fetch, open, complete) that dominates proxy CPU.
+func TestHotPathReadAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs steady-state epochs")
+	}
+	h, err := newExecHarness(42, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+	// Warm-up: fill the task/arena pools, reach the periodic-eviction regime.
+	for i := 0; i < 3; i++ {
+		if err := h.runEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var mallocs uint64
+	var slots int64
+	var m0, m1 runtime.MemStats
+	const epochs = 12
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < hotReadBatches; b++ {
+			for i := range h.readOps {
+				h.readOps[i].Key = h.keys[h.cursor]
+				h.cursor = (h.cursor + 1) % len(h.keys)
+			}
+			s0 := h.slotsProcessed()
+			runtime.ReadMemStats(&m0)
+			plan, err := h.exec.PlanReadBatch(h.readOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.exec.Execute(plan); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&m1)
+			mallocs += m1.Mallocs - m0.Mallocs
+			slots += h.slotsProcessed() - s0
+		}
+		// Close the epoch off the books: padding writes, flush, commit.
+		plan, err := h.exec.PlanWriteBatch(h.padOps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.exec.Execute(plan); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.endEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slots == 0 {
+		t.Fatal("no slots processed")
+	}
+	perSlot := float64(mallocs) / float64(slots)
+	t.Logf("read path: %.2f allocs/slot over %d slots (%d epochs)", perSlot, slots, epochs)
+	if perSlot > hotPathReadAllocCeiling {
+		t.Fatalf("read path allocates %.2f/slot, over the %.1f budget — a per-slot allocation crept back into the hot pipeline", perSlot, hotPathReadAllocCeiling)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The v2 client protocol is a length-prefixed binary framing that multiplexes
@@ -71,13 +72,33 @@ const muxMaxFrame = 16 << 20
 // frameHeaderLen is the encoded size of kind+session+reqID.
 const frameHeaderLen = 9
 
-// frame is one decoded protocol frame.
+// frame is one decoded protocol frame. A frame read off the wire borrows its
+// payload from a pooled buffer: whoever consumes the frame calls release once
+// every alias of the payload is dead (values that outlive the frame — an
+// engine-retained write value, a future's read result — are copied first).
 type frame struct {
 	kind    frameKind
 	session uint32
 	req     uint32
 	payload []byte
+	buf     *frameBuf
 }
+
+// release returns the frame's pooled buffer. Safe on frames without one
+// (locally built frames, zero frames); idempotent per frame value.
+func (f *frame) release() {
+	if f.buf != nil {
+		frameBufPool.Put(f.buf)
+		f.buf = nil
+		f.payload = nil
+	}
+}
+
+// frameBuf is a pooled frame body, recycled across reads so the steady-state
+// read path performs no per-frame allocation.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
 
 var errShortFrame = errors.New("clientproto: short frame")
 
@@ -97,28 +118,53 @@ func decodeFrame(b []byte) (frame, error) {
 
 // appendFrame appends f's wire encoding (length prefix included) to dst.
 func appendFrame(dst []byte, f frame) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(f.payload)))
-	dst = append(dst, byte(f.kind))
-	dst = binary.BigEndian.AppendUint32(dst, f.session)
-	dst = binary.BigEndian.AppendUint32(dst, f.req)
-	return append(dst, f.payload...)
+	return appendFrame2(dst, f.kind, f.session, f.req, f.payload, nil)
 }
 
-// readMuxFrame reads and decodes one frame.
+// appendFrame2 appends a frame whose payload is the concatenation of two
+// segments, so callers can prepend a status byte to a borrowed value slice
+// without building an intermediate payload.
+func appendFrame2(dst []byte, kind frameKind, session, req uint32, p1, p2 []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeaderLen+len(p1)+len(p2)))
+	dst = append(dst, byte(kind))
+	dst = binary.BigEndian.AppendUint32(dst, session)
+	dst = binary.BigEndian.AppendUint32(dst, req)
+	dst = append(dst, p1...)
+	return append(dst, p2...)
+}
+
+// readMuxFrame reads and decodes one frame into a pooled buffer: the length
+// prefix is peeked out of the bufio window (no scratch copy) and the body
+// lands in a recycled frameBuf the returned frame aliases. The caller owns
+// the frame and must release it.
 func readMuxFrame(r *bufio.Reader) (frame, error) {
-	var lenbuf [4]byte
-	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+	prefix, err := r.Peek(4)
+	if err != nil {
 		return frame{}, err
 	}
-	n := binary.BigEndian.Uint32(lenbuf[:])
+	n := binary.BigEndian.Uint32(prefix)
 	if n > muxMaxFrame {
 		return frame{}, fmt.Errorf("clientproto: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if _, err := r.Discard(4); err != nil {
 		return frame{}, err
 	}
-	return decodeFrame(body)
+	buf := frameBufPool.Get().(*frameBuf)
+	if cap(buf.b) < int(n) {
+		buf.b = make([]byte, n)
+	}
+	buf.b = buf.b[:n]
+	if _, err := io.ReadFull(r, buf.b); err != nil {
+		frameBufPool.Put(buf)
+		return frame{}, err
+	}
+	f, err := decodeFrame(buf.b)
+	if err != nil {
+		frameBufPool.Put(buf)
+		return frame{}, err
+	}
+	f.buf = buf
+	return f, nil
 }
 
 // encodeWritePayload builds a frameWrite payload: klen(u32) | key | value.

@@ -31,8 +31,12 @@ type muxSession struct {
 	ops chan frame
 }
 
-// replyFunc sends one reply frame; it is safe for concurrent use.
-type replyFunc func(kind frameKind, session, req uint32, payload []byte)
+// replyFunc sends one reply frame; it is safe for concurrent use. The
+// payload is the concatenation of p1 and p2 (either may be nil): read
+// replies pass the status byte and the borrowed value slice separately so no
+// intermediate payload is built. Payloads are fully copied into the write
+// buffer before replyFunc returns.
+type replyFunc func(kind frameKind, session, req uint32, p1, p2 []byte)
 
 // serveMux serves the v2 protocol on one connection (magic already
 // consumed). ctx is cancelled when the connection dies, aborting every open
@@ -41,11 +45,14 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var wmu sync.Mutex
 	w := bufio.NewWriter(conn)
-	reply := func(kind frameKind, session, req uint32, payload []byte) {
+	// wbuf is the connection's reply-encode scratch, guarded by wmu: replies
+	// from any session reuse one buffer instead of allocating per frame.
+	var wbuf []byte
+	reply := func(kind frameKind, session, req uint32, p1, p2 []byte) {
 		wmu.Lock()
 		defer wmu.Unlock()
-		buf := appendFrame(nil, frame{kind: kind, session: session, req: req, payload: payload})
-		if _, err := w.Write(buf); err != nil {
+		wbuf = appendFrame2(wbuf[:0], kind, session, req, p1, p2)
+		if _, err := w.Write(wbuf); err != nil {
 			conn.Close()
 			return
 		}
@@ -61,10 +68,13 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 		if err != nil {
 			break
 		}
+		// Routed frames hand their pooled buffer to the session worker,
+		// which releases it after the op; unrouted frames release here.
 		switch f.kind {
 		case frameBegin:
 			if _, open := sessions[f.session]; open {
-				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "session already open"))
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "session already open"), nil)
+				f.release()
 				continue
 			}
 			ms := &muxSession{id: f.session, ops: make(chan frame, muxSessionQueue)}
@@ -78,14 +88,16 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 		case frameRead, frameWrite, frameDelete:
 			ms, open := sessions[f.session]
 			if !open {
-				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"))
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"), nil)
+				f.release()
 				continue
 			}
 			ms.ops <- f
 		case frameCommit, frameAbort:
 			ms, open := sessions[f.session]
 			if !open {
-				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"))
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, "no such session"), nil)
+				f.release()
 				continue
 			}
 			// The session ends with this op: frames for the id arriving
@@ -95,7 +107,8 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 			ms.ops <- f
 			close(ms.ops)
 		default:
-			reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, fmt.Sprintf("unknown frame kind %d", f.kind)))
+			reply(frameErr, f.session, f.req, encodeErrPayload(errCodeGeneric, fmt.Sprintf("unknown frame kind %d", f.kind)), nil)
+			f.release()
 		}
 	}
 	// Connection teardown: cancel session transactions (unblocking batch and
@@ -120,64 +133,76 @@ func (s *Server) runSession(ctx context.Context, ms *muxSession, reply replyFunc
 	for f := range ms.ops {
 		switch f.kind {
 		case frameBegin:
-			reply(frameOK, ms.id, f.req, nil)
+			reply(frameOK, ms.id, f.req, nil, nil)
 		case frameRead:
-			atx, ok := tx.(kvtxn.AsyncTxn)
-			if !ok {
+			// string(f.payload) copies the key out of the pooled buffer in
+			// both branches, so the frame releases at the loop bottom while
+			// the read is still in flight.
+			if atx, ok := tx.(kvtxn.AsyncTxn); ok {
+				fut := atx.ReadAsync(string(f.payload))
+				reads.Add(1)
+				go func(req uint32) {
+					defer reads.Done()
+					v, found, err := fut.Wait(ctx)
+					if !found {
+						v = nil
+					}
+					if err != nil {
+						reply(frameErr, ms.id, req, errReply(err), nil)
+					} else {
+						reply(frameOK, ms.id, req, foundByte(found), v)
+					}
+				}(f.req)
+			} else {
 				// Engines without asynchronous reads (the evaluation
 				// baselines) execute the read inline: a kvtxn.Txn is
 				// single-goroutine, so the worker may not run later ops
 				// concurrently with a pending read. Sessions still
 				// multiplex; only intra-session read pipelining is lost.
 				v, found, err := tx.Read(string(f.payload))
-				if err != nil {
-					reply(frameErr, ms.id, f.req, errReply(err))
-				} else {
-					reply(frameOK, ms.id, f.req, encodeReadOKPayload(v, found))
+				if !found {
+					v = nil
 				}
-				continue
+				if err != nil {
+					reply(frameErr, ms.id, f.req, errReply(err), nil)
+				} else {
+					reply(frameOK, ms.id, f.req, foundByte(found), v)
+				}
 			}
-			fut := atx.ReadAsync(string(f.payload))
-			reads.Add(1)
-			go func(req uint32) {
-				defer reads.Done()
-				v, found, err := fut.Wait(ctx)
-				if err != nil {
-					reply(frameErr, ms.id, req, errReply(err))
-				} else {
-					reply(frameOK, ms.id, req, encodeReadOKPayload(v, found))
-				}
-			}(f.req)
 		case frameWrite:
 			key, value, err := parseWritePayload(f.payload)
 			if err == nil {
-				err = tx.Write(key, value)
+				// The engine retains the value slice past the call (MVTSO
+				// buffers it until the epoch's write batch), but value
+				// aliases the pooled frame: copy before handing it over.
+				err = tx.Write(key, append([]byte(nil), value...))
 			}
 			if err != nil {
-				reply(frameErr, ms.id, f.req, errReply(err))
+				reply(frameErr, ms.id, f.req, errReply(err), nil)
 			} else {
-				reply(frameOK, ms.id, f.req, nil)
+				reply(frameOK, ms.id, f.req, nil, nil)
 			}
 		case frameDelete:
 			if err := tx.Delete(string(f.payload)); err != nil {
-				reply(frameErr, ms.id, f.req, errReply(err))
+				reply(frameErr, ms.id, f.req, errReply(err), nil)
 			} else {
-				reply(frameOK, ms.id, f.req, nil)
+				reply(frameOK, ms.id, f.req, nil, nil)
 			}
 		case frameCommit:
 			reads.Wait()
 			settled = true
 			if err := tx.Commit(); err != nil {
-				reply(frameErr, ms.id, f.req, errReply(err))
+				reply(frameErr, ms.id, f.req, errReply(err), nil)
 			} else {
-				reply(frameOK, ms.id, f.req, nil)
+				reply(frameOK, ms.id, f.req, nil, nil)
 			}
 		case frameAbort:
 			reads.Wait()
 			settled = true
 			tx.Abort()
-			reply(frameOK, ms.id, f.req, nil)
+			reply(frameOK, ms.id, f.req, nil, nil)
 		}
+		f.release()
 	}
 	if !settled {
 		// Connection died with the session open: discard the transaction.
@@ -192,6 +217,22 @@ func beginTxn(db kvtxn.DB, ctx context.Context) kvtxn.Txn {
 		return cdb.BeginCtx(ctx)
 	}
 	return db.Begin()
+}
+
+// Static status-byte segments for read replies (same wire format as
+// encodeReadOKPayload, without building an intermediate payload).
+var (
+	replyFound    = []byte{1}
+	replyNotFound = []byte{0}
+)
+
+// foundByte returns the read reply's status segment. A not-found reply
+// carries no value bytes, matching encodeReadOKPayload.
+func foundByte(found bool) []byte {
+	if found {
+		return replyFound
+	}
+	return replyNotFound
 }
 
 // errReply encodes err as a frameErr payload, classifying retryable aborts

@@ -18,8 +18,9 @@ import (
 type MuxClient struct {
 	conn net.Conn
 
-	wmu sync.Mutex
-	w   *bufio.Writer
+	wmu  sync.Mutex
+	w    *bufio.Writer
+	wbuf []byte // request-encode scratch, guarded by wmu
 
 	mu          sync.Mutex
 	nextSession uint32
@@ -113,9 +114,9 @@ func (c *MuxClient) send(kind frameKind, session, req uint32, payload []byte) (c
 	c.pending[key] = ch
 	c.mu.Unlock()
 
-	buf := appendFrame(nil, frame{kind: kind, session: session, req: req, payload: payload})
 	c.wmu.Lock()
-	_, err := c.w.Write(buf)
+	c.wbuf = appendFrame(c.wbuf[:0], frame{kind: kind, session: session, req: req, payload: payload})
+	_, err := c.w.Write(c.wbuf)
 	if err == nil {
 		err = c.w.Flush()
 	}
@@ -245,6 +246,7 @@ func (f *MuxOpFuture) Wait(ctx context.Context) error {
 			f.err = f.t.c.connLost()
 		} else {
 			f.err = f.t.c.replyError(reply)
+			reply.release()
 		}
 		return f.err
 	case <-ctx.Done():
@@ -289,9 +291,18 @@ func (f *MuxFuture) Wait(ctx context.Context) ([]byte, bool, error) {
 		case !ok:
 			f.err = f.t.c.connLost()
 		case reply.kind == frameOK:
-			f.value, f.found, f.err = parseReadOKPayload(reply.payload)
+			// The parsed value aliases the reply's pooled buffer; copy it
+			// out before the buffer goes back to the pool (the future's
+			// result outlives the frame).
+			var v []byte
+			v, f.found, f.err = parseReadOKPayload(reply.payload)
+			if f.found {
+				f.value = append([]byte(nil), v...)
+			}
+			reply.release()
 		default:
 			f.err = f.t.c.replyError(reply)
+			reply.release()
 		}
 		return f.value, f.found, f.err
 	case <-ctx.Done():
@@ -415,7 +426,9 @@ func (t *MuxTxn) Commit() error {
 			}
 			return t.c.connLost()
 		}
-		if err := t.c.replyError(reply); err != nil {
+		err := t.c.replyError(reply)
+		reply.release()
+		if err != nil {
 			if firstErr != nil {
 				return firstErr
 			}
@@ -447,7 +460,8 @@ func (t *MuxTxn) Abort() {
 	}
 	t.pend = nil
 	select {
-	case <-ch:
+	case reply := <-ch:
+		reply.release()
 	case <-t.ctx.Done():
 	}
 }

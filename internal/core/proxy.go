@@ -793,20 +793,14 @@ func (p *Proxy) StepReadBatch() error {
 	results := make([][]oramexec.ReadResult, len(batches))
 	plans := make([]*oramexec.BatchPlan, len(batches))
 	errs := make([]error, len(batches))
-	var wg sync.WaitGroup
-	for i := range batches {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			b := batches[i]
-			ops := make([]oramexec.ReadOp, p.cfg.ReadBatchSize)
-			for j, k := range b.keys {
-				ops[j].Key = k
-			}
-			plans[i], errs[i] = b.sh.exec.PlanReadBatch(ops)
-		}(i)
-	}
-	wg.Wait()
+	oramexec.RunStages(len(batches), func(i int) {
+		b := batches[i]
+		ops := make([]oramexec.ReadOp, p.cfg.ReadBatchSize)
+		for j, k := range b.keys {
+			ops[j].Key = k
+		}
+		plans[i], errs[i] = b.sh.exec.PlanReadBatch(ops)
+	})
 	for i, b := range batches {
 		if errs[i] != nil || b.sh.rlog == nil {
 			continue
@@ -820,17 +814,12 @@ func (p *Proxy) StepReadBatch() error {
 		shs[i] = b.sh
 	}
 	p.syncLogsParallel(shs, errs)
-	for i := range batches {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if errs[i] != nil {
-				return
-			}
-			results[i], errs[i] = batches[i].sh.exec.Execute(plans[i])
-		}(i)
-	}
-	wg.Wait()
+	oramexec.RunStages(len(batches), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		results[i], errs[i] = batches[i].sh.exec.Execute(plans[i])
+	})
 
 	p.mu.Lock()
 	for i, b := range batches {
@@ -1001,20 +990,14 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 	// barrier placed once per round instead of once per record.
 	errs := make([]error, len(p.shards))
 	wplans := make([]*oramexec.BatchPlan, len(p.shards))
-	var wg sync.WaitGroup
-	for i := range p.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sh := p.shards[i]
-			ops := shardOps[i]
-			for len(ops) < p.cfg.WriteBatchSize {
-				ops = append(ops, oramexec.WriteOp{})
-			}
-			wplans[i], errs[i] = sh.exec.PlanWriteBatch(ops)
-		}(i)
-	}
-	wg.Wait()
+	oramexec.RunStages(len(p.shards), func(i int) {
+		sh := p.shards[i]
+		ops := shardOps[i]
+		for len(ops) < p.cfg.WriteBatchSize {
+			ops = append(ops, oramexec.WriteOp{})
+		}
+		wplans[i], errs[i] = sh.exec.PlanWriteBatch(ops)
+	})
 	for i, sh := range p.shards {
 		if errs[i] != nil || sh.rlog == nil {
 			continue
@@ -1024,32 +1007,27 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 		}
 	}
 	p.syncLogsParallel(p.shards, errs)
-	for i := range p.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if errs[i] != nil {
-				return
-			}
-			sh := p.shards[i]
-			if _, err := sh.exec.Execute(wplans[i]); err != nil {
-				errs[i] = err
-				return
-			}
-			// Detach the epoch's write-back set. The next epoch's reads
-			// that land on a sealed bucket are served from it locally, so
-			// they stay correct while the flush is still in flight.
-			var err error
-			if job.sealed[i], err = sh.exec.SealEpoch(); err != nil {
-				errs[i] = err
-				return
-			}
-			if sh.rlog != nil {
-				job.ckpts[i], errs[i] = sh.rlog.PrepareCheckpoint(epoch, sh.exec.ORAM())
-			}
-		}(i)
-	}
-	wg.Wait()
+	oramexec.RunStages(len(p.shards), func(i int) {
+		if errs[i] != nil {
+			return
+		}
+		sh := p.shards[i]
+		if _, err := sh.exec.Execute(wplans[i]); err != nil {
+			errs[i] = err
+			return
+		}
+		// Detach the epoch's write-back set. The next epoch's reads
+		// that land on a sealed bucket are served from it locally, so
+		// they stay correct while the flush is still in flight.
+		var err error
+		if job.sealed[i], err = sh.exec.SealEpoch(); err != nil {
+			errs[i] = err
+			return
+		}
+		if sh.rlog != nil {
+			job.ckpts[i], errs[i] = sh.rlog.PrepareCheckpoint(epoch, sh.exec.ORAM())
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, p.failBoundary(err)
@@ -1136,26 +1114,20 @@ func (p *Proxy) commitBoundary(job *boundaryJob) error {
 // ordering.
 func (p *Proxy) runCommit(job *boundaryJob) error {
 	errs := make([]error, len(p.shards))
-	var wg sync.WaitGroup
-	for i := range p.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sh := p.shards[i]
-			if _, err := sh.exec.FlushSealed(job.sealed[i]); err != nil {
-				errs[i] = err
-				return
-			}
-			if !p.pipelined() {
-				// A synchronous boundary has no overlap to serve: retire
-				// the sealed set so the next epoch reads storage directly,
-				// keeping the observable trace (and its crash replay)
-				// identical to the unpipelined design.
-				sh.exec.ReleaseSealed(job.sealed[i])
-			}
-		}(i)
-	}
-	wg.Wait()
+	oramexec.RunStages(len(p.shards), func(i int) {
+		sh := p.shards[i]
+		if _, err := sh.exec.FlushSealed(job.sealed[i]); err != nil {
+			errs[i] = err
+			return
+		}
+		if !p.pipelined() {
+			// A synchronous boundary has no overlap to serve: retire
+			// the sealed set so the next epoch reads storage directly,
+			// keeping the observable trace (and its crash replay)
+			// identical to the unpipelined design.
+			sh.exec.ReleaseSealed(job.sealed[i])
+		}
+	})
 	// Prepare: append every shard's checkpoint deferred, then one Sync
 	// round. All prepared records are durable before the commit point is
 	// written — on a shared log they ride one fsync instead of one each.

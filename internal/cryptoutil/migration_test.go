@@ -1,0 +1,187 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCTRSealedFailsUnderGCM proves the migration contract: a frame sealed by
+// the seed's CTR+HMAC construction must fail loudly when opened by the GCM
+// opener — ErrScheme when the leading IV byte doesn't collide with the scheme
+// byte, ErrAuth when it does (1/256 of frames) — and must never decrypt.
+func TestCTRSealedFailsUnderGCM(t *testing.T) {
+	k := KeyFromSeed([]byte("migrate"))
+	ctr := k.CTR()
+	msg := []byte("bucket slot plaintext")
+	binding := Binding(3, 9, 1)
+	sawScheme, sawAuth := false, false
+	for i := 0; i < 2000; i++ {
+		sealed, err := ctr.Seal(msg, binding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := k.Open(sealed, binding)
+		if err == nil {
+			t.Fatalf("iteration %d: CTR frame opened under GCM yielded plaintext %q", i, plain)
+		}
+		switch {
+		case errors.Is(err, ErrScheme):
+			sawScheme = true
+		case errors.Is(err, ErrAuth):
+			sawAuth = true
+		default:
+			t.Fatalf("iteration %d: unexpected error %v (want ErrScheme or ErrAuth)", i, err)
+		}
+	}
+	if !sawScheme {
+		t.Error("no CTR frame failed with ErrScheme")
+	}
+	// With 2000 random IVs the first byte collides with the scheme byte
+	// (probability 1/256 each) except with ~0.04% probability; if this turns
+	// flaky the loop count is too low, not the contract wrong.
+	if !sawAuth {
+		t.Error("no CTR frame with a colliding lead byte failed with ErrAuth")
+	}
+}
+
+// TestGCMSealedFailsUnderCTR is the reverse direction: GCM frames presented
+// to the legacy opener must fail authentication, never decrypt.
+func TestGCMSealedFailsUnderCTR(t *testing.T) {
+	k := KeyFromSeed([]byte("migrate"))
+	ctr := k.CTR()
+	binding := Binding(3, 9, 1)
+	for i := 0; i < 256; i++ {
+		sealed, err := k.Seal([]byte("bucket slot plaintext"), binding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain, err := ctr.Open(sealed, binding); err == nil {
+			t.Fatalf("GCM frame opened under CTR yielded plaintext %q", plain)
+		} else if !errors.Is(err, ErrAuth) {
+			t.Fatalf("unexpected error %v (want ErrAuth)", err)
+		}
+	}
+}
+
+// TestCTRSealerRoundTrip pins the legacy construction itself (same format as
+// the seed: iv|ct|mac, overhead 48) including binding enforcement.
+func TestCTRSealerRoundTrip(t *testing.T) {
+	k := KeyFromSeed([]byte("ctr"))
+	ctr := k.CTR()
+	msg := []byte("legacy payload")
+	sealed, err := ctr.Seal(msg, Binding(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(msg)+CTROverhead {
+		t.Fatalf("sealed %d bytes, want %d", len(sealed), len(msg)+CTROverhead)
+	}
+	got, err := ctr.Open(sealed, Binding(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: got %q want %q", got, msg)
+	}
+	if _, err := ctr.Open(sealed, Binding(1, 2, 4)); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong binding: got %v, want ErrAuth", err)
+	}
+}
+
+// TestSealToOpenToInPlace verifies the appending variants: they extend the
+// destination slice, round-trip, and perform zero allocations when the
+// destination has spare capacity (the hot path's contract).
+func TestSealToOpenToInPlace(t *testing.T) {
+	k := KeyFromSeed([]byte("inplace"))
+	msg := bytes.Repeat([]byte{0xA5}, 300)
+	binding := Binding(7, 7, 7)
+	prefix := []byte("prefix:")
+	sealed, err := k.SealTo(append([]byte(nil), prefix...), msg, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(sealed, prefix) {
+		t.Fatal("SealTo clobbered the destination prefix")
+	}
+	frame := sealed[len(prefix):]
+	if len(frame) != SealedSize(len(msg)) {
+		t.Fatalf("frame of %d bytes, want %d", len(frame), SealedSize(len(msg)))
+	}
+	plain, err := k.OpenTo(append([]byte(nil), prefix...), frame, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain[len(prefix):], msg) {
+		t.Fatal("OpenTo round trip mismatch")
+	}
+
+	sealBuf := make([]byte, 0, SealedSize(len(msg)))
+	openBuf := make([]byte, 0, len(msg))
+	bindBuf := make([]byte, 0, BindingSize)
+	allocs := testing.AllocsPerRun(200, func() {
+		bindBuf = AppendBinding(bindBuf[:0], 7, 7, 7)
+		var err error
+		sealBuf, err = k.SealTo(sealBuf[:0], msg, bindBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		openBuf, err = k.OpenTo(openBuf[:0], sealBuf, bindBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("SealTo+OpenTo with pre-sized buffers: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendBinding pins AppendBinding against the allocating wrapper.
+func TestAppendBinding(t *testing.T) {
+	want := Binding(10, 20, 30)
+	got := AppendBinding([]byte("x"), 10, 20, 30)
+	if !bytes.Equal(got[1:], want) || got[0] != 'x' {
+		t.Fatalf("AppendBinding: got % x want x||% x", got, want)
+	}
+	if len(want) != BindingSize {
+		t.Fatalf("Binding of %d bytes, want %d", len(want), BindingSize)
+	}
+}
+
+// FuzzOpenSealed extends frame-decode fuzzing to the sealed framing: both
+// openers must reject arbitrary frames without panicking, and a valid frame
+// must survive the trip while any scheme-byte flip fails loudly.
+func FuzzOpenSealed(f *testing.F) {
+	k := KeyFromSeed([]byte("fuzz"))
+	ctr := k.CTR()
+	if s, err := k.Seal([]byte("seed frame"), Binding(1, 2, 3)); err == nil {
+		f.Add(s, uint64(1), uint64(2), uint64(3))
+	}
+	if s, err := ctr.Seal([]byte("legacy seed frame"), Binding(1, 2, 3)); err == nil {
+		f.Add(s, uint64(1), uint64(2), uint64(3))
+	}
+	f.Add([]byte{byte(SchemeGCM)}, uint64(0), uint64(0), uint64(0))
+	f.Add([]byte{}, uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, frame []byte, id, epoch, batch uint64) {
+		binding := Binding(id, epoch, batch)
+		if plain, err := k.Open(frame, binding); err == nil {
+			// The fuzzer forging an authentic GCM frame would be a break of
+			// AES-GCM itself; anything it opens must round-trip.
+			resealed, err := k.Seal(plain, binding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := k.Open(resealed, binding); err != nil || !bytes.Equal(got, plain) {
+				t.Fatalf("reseal round trip: %v", err)
+			}
+		}
+		ctr.Open(frame, binding) //nolint:errcheck // must not panic
+		if len(frame) > 0 {
+			mut := append([]byte(nil), frame...)
+			mut[0] ^= 0xFF
+			if _, err := k.Open(mut, binding); err == nil {
+				t.Fatal("scheme-byte flip still opened")
+			}
+		}
+	})
+}

@@ -74,12 +74,28 @@ type Executor struct {
 	// immutable after seal, so FlushSealed reads it without locks.
 	sealed *SealedEpoch
 
+	// refsBuf and destsBuf are issueVector's scatter-gather scratch, reused
+	// across batches. Planning and execution are serialized per executor, so
+	// one set per executor is safe.
+	refsBuf  []storage.SlotRef
+	destsBuf []scatter
+
 	stats statCounters
 }
 
+// scatter routes one vectored slot read back to its task's data slot.
+type scatter struct {
+	t *task
+	i int
+}
+
+// bufferedBucket is one buffered bucket rewrite, holding the ringoram write
+// so its pooled arena can be recycled if a later rewrite of the same bucket
+// supersedes it before the epoch flushes. Once flushed (or sealed and then
+// flushed) the arena's ownership passes to the store and it is never
+// recycled.
 type bufferedBucket struct {
-	ver   uint64
-	slots [][]byte
+	w ringoram.BucketWrite
 }
 
 // SealedEpoch is a finished epoch's detached write-back set: every bucket
@@ -166,7 +182,10 @@ type LogEntry struct {
 	Bucket int
 }
 
-// task is one planned unit with its physical reads.
+// task is one planned unit with its physical reads. Tasks are pooled: a
+// batch that executes successfully returns its tasks (with their local/data
+// backing arrays) for the next batch; error paths abandon the batch and the
+// tasks with it.
 type task struct {
 	access  *ringoram.AccessPlan
 	evict   *ringoram.EvictPlan // eviction or reshuffle
@@ -177,6 +196,38 @@ type task struct {
 	err     error
 	errOnce sync.Once
 	opIdx   int // index into the batch's results (-1 for maintenance)
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// getTask fetches a cleared task slot from the pool.
+func getTask() *task { return taskPool.Get().(*task) }
+
+// putTask resets a finished task and returns it to the pool. The WaitGroup
+// is quiescent (completeTask waited it out) and the backing arrays of local
+// and data ride along for reuse.
+func putTask(t *task) {
+	clear(t.data) // drop slot references so pooled tasks don't pin arenas
+	t.access = nil
+	t.evict = nil
+	t.reads = nil
+	t.local = t.local[:0]
+	t.data = t.data[:0]
+	t.err = nil
+	t.errOnce = sync.Once{}
+	t.opIdx = 0
+	taskPool.Put(t)
+}
+
+// ensureData sizes t.data for the task's reads, reusing pooled capacity.
+func (t *task) ensureData() {
+	n := len(t.reads)
+	if cap(t.data) < n {
+		t.data = make([][]byte, n)
+		return
+	}
+	t.data = t.data[:n]
+	clear(t.data)
 }
 
 // BatchPlan is a planned batch: metadata already mutated, I/O not yet done.
@@ -305,7 +356,9 @@ func (e *Executor) PlanWriteBatch(ops []WriteOp) (*BatchPlan, error) {
 }
 
 func (e *Executor) appendAccess(plan *BatchPlan, ap *ringoram.AccessPlan, opIdx int) {
-	t := &task{access: ap, opIdx: opIdx}
+	t := getTask()
+	t.access = ap
+	t.opIdx = opIdx
 	if !ap.Cached() {
 		t.reads = ap.Reads
 		plan.log = append(plan.log, LogEntry{
@@ -327,7 +380,8 @@ func (e *Executor) planMaintenance(plan *BatchPlan, reshuffle []int) error {
 			return err
 		}
 		e.stats.reshuffles.Add(1)
-		t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
+		t := getTask()
+		t.evict, t.reads, t.opIdx = ep, ep.Reads, -1
 		plan.log = append(plan.log, LogEntry{Kind: LogReshuffle, Bucket: b, Slots: ep.LogSlots()[0]})
 		e.markLocality(t)
 		e.claimBuckets(ep)
@@ -343,7 +397,8 @@ func (e *Executor) planDueEvictions(plan *BatchPlan) error {
 			return err
 		}
 		e.stats.evictions.Add(1)
-		t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
+		t := getTask()
+		t.evict, t.reads, t.opIdx = ep, ep.Reads, -1
 		plan.log = append(plan.log, LogEntry{Kind: LogEvict, BucketSlots: ep.LogSlots()})
 		e.markLocality(t)
 		e.claimBuckets(ep)
@@ -358,7 +413,12 @@ func (e *Executor) planDueEvictions(plan *BatchPlan) error {
 // a bucket in the sealed (previous-epoch) set holds a version that may not
 // have reached storage yet, so it MUST be served locally.
 func (e *Executor) markLocality(t *task) {
-	t.local = make([]bool, len(t.reads))
+	if cap(t.local) < len(t.reads) {
+		t.local = make([]bool, len(t.reads))
+	} else {
+		t.local = t.local[:len(t.reads)]
+		clear(t.local)
+	}
 	for i, r := range t.reads {
 		if _, ok := e.buffered[r.Bucket]; ok {
 			t.local[i] = true
@@ -392,10 +452,24 @@ func (e *Executor) claimBuckets(ep *ringoram.EvictPlan) {
 // path, issued goroutine-per-slot), completions are applied in plan order,
 // and eviction writes are buffered (or written through).
 func (e *Executor) Execute(plan *BatchPlan) ([]ReadResult, error) {
+	var res []ReadResult
+	var err error
 	if e.cfg.WriteThrough {
-		return e.executeStaged(plan)
+		res, err = e.executeStaged(plan)
+	} else {
+		res, err = e.executeStage(plan, plan.tasks)
 	}
-	return e.executeStage(plan, plan.tasks)
+	if err == nil {
+		// The batch is done with its tasks: return them to the pool. Error
+		// paths abandon the batch (a task may still be referenced by an
+		// in-flight goroutine that drain waited out, but re-pooling buys
+		// nothing on a path that tears the executor down).
+		for _, t := range plan.tasks {
+			putTask(t)
+		}
+		plan.tasks = plan.tasks[:0]
+	}
+	return res, err
 }
 
 // executeStaged runs the batch with evictions acting as barriers: each
@@ -446,15 +520,11 @@ func (e *Executor) executeStage(plan *BatchPlan, tasks []*task) ([]ReadResult, e
 // scatter-gather ReadSlots call: the batch crosses the storage boundary as a
 // batch, paying one round trip (and one frame) instead of one per slot.
 func (e *Executor) issueVector(tasks []*task) error {
-	type scatter struct {
-		t *task
-		i int
-	}
-	var refs []storage.SlotRef
-	var dests []scatter
+	refs := e.refsBuf[:0]
+	dests := e.destsBuf[:0]
 	locals := int64(0)
 	for _, t := range tasks {
-		t.data = make([][]byte, len(t.reads))
+		t.ensureData()
 		for i, r := range t.reads {
 			if t.local[i] {
 				locals++
@@ -464,6 +534,10 @@ func (e *Executor) issueVector(tasks []*task) error {
 			dests = append(dests, scatter{t: t, i: i})
 		}
 	}
+	// Keep any growth for the next batch. Stale task pointers past the new
+	// length are harmless: tasks are pooled and the scratch is overwritten
+	// from index zero each batch.
+	e.refsBuf, e.destsBuf = refs, dests
 	e.stats.remoteReads.Add(int64(len(refs)))
 	e.stats.localReads.Add(locals)
 	if len(refs) == 0 {
@@ -486,7 +560,7 @@ func (e *Executor) issueVector(tasks []*task) error {
 // issueRemote schedules all non-local reads of a task as individual calls
 // (scalar path).
 func (e *Executor) issueRemote(t *task, sem chan struct{}) {
-	t.data = make([][]byte, len(t.reads))
+	t.ensureData()
 	for i := range t.reads {
 		if t.local[i] {
 			continue
@@ -541,10 +615,10 @@ func (e *Executor) completeTask(t *task, plan *BatchPlan) error {
 		if b == nil {
 			return fmt.Errorf("oramexec: bucket %d claimed but not buffered at completion", t.reads[i].Bucket)
 		}
-		if s := t.reads[i].Slot; s < 0 || s >= len(b.slots) {
+		if s := t.reads[i].Slot; s < 0 || s >= len(b.w.Slots) {
 			return fmt.Errorf("oramexec: buffered bucket %d has no slot %d", t.reads[i].Bucket, t.reads[i].Slot)
 		}
-		t.data[i] = b.slots[t.reads[i].Slot]
+		t.data[i] = b.w.Slots[t.reads[i].Slot]
 	}
 	switch {
 	case t.access != nil:
@@ -565,7 +639,13 @@ func (e *Executor) completeTask(t *task, plan *BatchPlan) error {
 		switch {
 		case !e.cfg.WriteThrough:
 			for _, w := range writes {
-				e.buffered[w.Bucket] = &bufferedBucket{ver: w.Ver, slots: w.Slots}
+				// A superseded version never reaches storage: its arena goes
+				// back to the pool. Completions apply in plan order, so any
+				// read planned against the old version already resolved.
+				if old := e.buffered[w.Bucket]; old != nil {
+					old.w.Recycle()
+				}
+				e.buffered[w.Bucket] = &bufferedBucket{w: w}
 			}
 		case e.cfg.ScalarIO:
 			for _, w := range writes {
@@ -660,7 +740,9 @@ func (e *Executor) flushBuckets(epoch uint64, buckets map[int]*bufferedBucket) (
 		if buf == nil {
 			return 0, fmt.Errorf("oramexec: bucket %d claimed but never filled (incomplete epoch)", b)
 		}
-		writes = append(writes, storage.BucketWrite{Bucket: b, Epoch: epoch, Slots: buf.slots})
+		// Ownership of the slots (and their backing arena) transfers to the
+		// store with the write; flushed buckets are never recycled.
+		writes = append(writes, storage.BucketWrite{Bucket: b, Epoch: epoch, Slots: buf.w.Slots})
 	}
 	// Canonical bucket order: the write-back SET is already deterministic
 	// (dedup per bucket), and sorting removes map-iteration order from the
@@ -719,6 +801,14 @@ func (e *Executor) flushScalar(writes []storage.BucketWrite) error {
 // abandoning an epoch in tests; a crashed proxy loses the buffers
 // implicitly).
 func (e *Executor) DiscardBuffer() {
+	// Discarded current-epoch buckets never reached storage, so their arenas
+	// recycle. Sealed buckets may already be (or be in the middle of) a
+	// background flush — their ownership is ambiguous, so they just drop.
+	for _, buf := range e.buffered {
+		if buf != nil {
+			buf.w.Recycle()
+		}
+	}
 	e.buffered = make(map[int]*bufferedBucket)
 	e.sealed = nil
 }
@@ -776,7 +866,8 @@ func (e *Executor) ReplayBatch(entries []LogEntry) error {
 			if err != nil {
 				return err
 			}
-			t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
+			t := getTask()
+			t.evict, t.reads, t.opIdx = ep, ep.Reads, -1
 			e.markLocality(t)
 			e.claimBuckets(ep)
 			plan.tasks = append(plan.tasks, t)
@@ -789,7 +880,8 @@ func (e *Executor) ReplayBatch(entries []LogEntry) error {
 			if err != nil {
 				return err
 			}
-			t := &task{evict: ep, reads: ep.Reads, opIdx: -1}
+			t := getTask()
+			t.evict, t.reads, t.opIdx = ep, ep.Reads, -1
 			e.markLocality(t)
 			e.claimBuckets(ep)
 			plan.tasks = append(plan.tasks, t)

@@ -1,0 +1,34 @@
+// Package pprofserve starts the Go runtime's pprof HTTP endpoint for the
+// obladi binaries. Profiling the proxy under load is how the hot-path
+// allocation budget (see DESIGN.md) is policed in practice: the CPU profile
+// shows where seal/open time goes, the heap and allocs profiles show any
+// per-slot allocation creeping back into the batch pipeline.
+package pprofserve
+
+import (
+	"net"
+	"net/http"
+
+	// Blank import installs the /debug/pprof handlers on the default mux.
+	_ "net/http/pprof"
+)
+
+// Start serves the pprof handlers on addr in a background goroutine and
+// returns the bound address. An empty addr disables profiling and returns
+// ("", nil). The listener stays up for the life of the process — these are
+// long-running servers shut down by signal, so there is nothing to tear
+// down gracefully.
+func Start(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// The default mux carries the pprof handlers via the blank import.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,39 @@
+package pprofserve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	addr, err := Start("")
+	if err != nil || addr != "" {
+		t.Fatalf("Start(\"\") = %q, %v; want \"\", nil", addr, err)
+	}
+}
+
+func TestStartServesPprofIndex(t *testing.T) {
+	addr, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("pprof index: empty body")
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("256.256.256.256:99999"); err == nil {
+		t.Fatal("Start on invalid address: want error")
+	}
+}

@@ -23,7 +23,7 @@ const (
 type codec struct {
 	keySize   int
 	valueSize int
-	key       *cryptoutil.Key // nil when encryption is disabled
+	key       cryptoutil.Sealer // nil when encryption is disabled
 }
 
 // plainSize is the fixed plaintext slot size.
@@ -34,7 +34,7 @@ func (c codec) slotSize() int {
 	if c.key == nil {
 		return c.plainSize()
 	}
-	return cryptoutil.SealedSize(c.plainSize())
+	return c.key.SealedSize(c.plainSize())
 }
 
 // block is a decoded real slot.
@@ -44,16 +44,20 @@ type block struct {
 	tombstone bool
 }
 
-// encodeSlot produces the sealed physical representation of a slot.
+// encodeSlotTo serializes a slot into the plain scratch buffer (cap >=
+// plainSize, reused across calls) and appends the sealed frame to dst,
+// returning the extended slice. With pre-sized dst and scratch the only
+// allocation is none: the hot seal path writes straight into bucket arenas.
 // binding authenticates the slot's location and bucket version (Appendix A).
-func (c codec) encodeSlot(kind byte, b block, binding []byte) ([]byte, error) {
+func (c codec) encodeSlotTo(dst []byte, kind byte, b block, binding, plain []byte) ([]byte, error) {
 	if len(b.key) > c.keySize {
 		return nil, fmt.Errorf("ringoram: key of %d bytes exceeds KeySize %d", len(b.key), c.keySize)
 	}
 	if len(b.value) > c.valueSize {
 		return nil, fmt.Errorf("ringoram: value of %d bytes exceeds ValueSize %d", len(b.value), c.valueSize)
 	}
-	plain := make([]byte, c.plainSize())
+	plain = plain[:c.plainSize()]
+	clear(plain)
 	plain[0] = kind
 	binary.BigEndian.PutUint16(plain[1:3], uint16(len(b.key)))
 	copy(plain[3:3+c.keySize], b.key)
@@ -61,9 +65,15 @@ func (c codec) encodeSlot(kind byte, b block, binding []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(plain[off:off+4], uint32(len(b.value)))
 	copy(plain[off+4:], b.value)
 	if c.key == nil {
-		return plain, nil
+		return append(dst, plain...), nil
 	}
-	return c.key.Seal(plain, binding)
+	return c.key.SealTo(dst, plain, binding)
+}
+
+// encodeSlot produces the sealed physical representation of a slot in a fresh
+// buffer (cold paths and tests; the executor hot path uses encodeSlotTo).
+func (c codec) encodeSlot(kind byte, b block, binding []byte) ([]byte, error) {
+	return c.encodeSlotTo(make([]byte, 0, c.slotSize()), kind, b, binding, make([]byte, c.plainSize()))
 }
 
 // encodeDummy produces a filler slot indistinguishable from a real one.
@@ -71,13 +81,15 @@ func (c codec) encodeDummy(binding []byte) ([]byte, error) {
 	return c.encodeSlot(slotDummy, block{}, binding)
 }
 
-// decodeSlot parses a physical slot. It returns the slot kind and, for real
-// or tombstone slots, the decoded block.
-func (c codec) decodeSlot(data, binding []byte) (byte, block, error) {
+// decodeSlotInto parses a physical slot, decrypting into the scratch buffer
+// (cap >= plainSize, reused across calls). It returns the slot kind and, for
+// real or tombstone slots, the decoded block. The returned block's value is
+// freshly copied — it outlives the scratch (stash entries retain it).
+func (c codec) decodeSlotInto(scratch, data, binding []byte) (byte, block, error) {
 	plain := data
 	if c.key != nil {
 		var err error
-		plain, err = c.key.Open(data, binding)
+		plain, err = c.key.OpenTo(scratch[:0], data, binding)
 		if err != nil {
 			return 0, block{}, err
 		}
@@ -108,4 +120,9 @@ func (c codec) decodeSlot(data, binding []byte) (byte, block, error) {
 		tombstone: kind == slotTombstone,
 	}
 	return kind, b, nil
+}
+
+// decodeSlot parses a physical slot with a fresh scratch buffer.
+func (c codec) decodeSlot(data, binding []byte) (byte, block, error) {
+	return c.decodeSlotInto(make([]byte, 0, c.plainSize()), data, binding)
 }

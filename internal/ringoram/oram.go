@@ -79,6 +79,28 @@ type ORAM struct {
 	dirtyKeys    map[string]struct{}
 	dirtyBuckets map[int]struct{}
 	stashPeak    int
+
+	// Hot-path scratch, all guarded by mu (planning, completion and sealing
+	// are serialized per ORAM): codec plaintext buffers for seal and open,
+	// the Appendix A binding encoder, and the seal occupancy index.
+	encPlain  []byte
+	decPlain  []byte
+	bindBuf   []byte
+	occ       []*placement
+	fillerBuf []int
+	// bufPool recycles bucket serialization buffers (one contiguous
+	// ciphertext arena + per-slot headers). Writes that reach storage
+	// transfer ownership of their buffer to the store and never come back;
+	// only superseded or discarded pre-flush versions are recycled.
+	bufPool *sync.Pool
+}
+
+// bucketBuf is a pooled serialization buffer for one bucket: a contiguous
+// ciphertext arena subsliced into per-slot frames.
+type bucketBuf struct {
+	arena []byte
+	slots [][]byte
+	pool  *sync.Pool
 }
 
 // SlotRead is one physical slot the caller must fetch.
@@ -123,11 +145,28 @@ func (p *AccessPlan) LogSlots() []int {
 	return out
 }
 
-// BucketWrite is one serialized bucket the caller must write back.
+// BucketWrite is one serialized bucket the caller must write back. Slots
+// subslice one contiguous pooled arena; see Recycle for the ownership rule.
 type BucketWrite struct {
 	Bucket int
 	Ver    uint64
 	Slots  [][]byte
+
+	buf *bucketBuf
+}
+
+// Recycle returns the write's backing arena to the ORAM's buffer pool. Legal
+// ONLY while the write never reached storage — a version superseded by a
+// later rewrite of the same bucket before the epoch flushed, or a discarded
+// epoch buffer. A write handed to the store transfers ownership of its slots
+// (and therefore its arena) to the store and must never be recycled. Safe to
+// call more than once; Slots must not be used afterwards.
+func (w *BucketWrite) Recycle() {
+	if b := w.buf; b != nil {
+		w.buf = nil
+		w.Slots = nil
+		b.pool.Put(b)
+	}
 }
 
 // placement records a block assigned to a bucket by an eviction write phase.
@@ -210,12 +249,14 @@ func New(store Store, key *cryptoutil.Key, p Params) (*ORAM, error) {
 	var initErr error
 	for b := 0; b < o.geo.NumBuckets; b++ {
 		o.meta[b] = o.freshMeta()
-		slots, err := o.sealBucket(b, o.meta[b], nil)
+		w, err := o.sealBucket(b, o.meta[b], nil)
 		if err != nil {
 			initErr = err
 			break
 		}
-		jobs <- job{bucket: b, slots: slots}
+		// Ownership of the serialization buffer transfers to the store with
+		// the write; never recycled.
+		jobs <- job{bucket: b, slots: w.Slots}
 	}
 	close(jobs)
 	wg.Wait()
@@ -247,10 +288,14 @@ func newClient(key *cryptoutil.Key, p Params) (*ORAM, error) {
 	} else {
 		src = rand.NewPCG(rand.Uint64(), rand.Uint64())
 	}
-	return &ORAM{
+	var sealer cryptoutil.Sealer
+	if key != nil {
+		sealer = key
+	}
+	o := &ORAM{
 		p:            p,
 		geo:          geo,
-		cdc:          codec{keySize: p.KeySize, valueSize: p.ValueSize, key: key},
+		cdc:          codec{keySize: p.KeySize, valueSize: p.ValueSize, key: sealer},
 		rng:          rand.New(src),
 		pos:          make(map[string]int),
 		loc:          make(map[string]location),
@@ -258,7 +303,30 @@ func newClient(key *cryptoutil.Key, p Params) (*ORAM, error) {
 		meta:         make([]bucketMeta, geo.NumBuckets),
 		dirtyKeys:    make(map[string]struct{}),
 		dirtyBuckets: make(map[int]struct{}),
-	}, nil
+	}
+	o.encPlain = make([]byte, o.cdc.plainSize())
+	o.decPlain = make([]byte, 0, o.cdc.plainSize())
+	o.bindBuf = make([]byte, 0, cryptoutil.BindingSize)
+	o.occ = make([]*placement, p.Z)
+	slotSize, slotsPer := o.cdc.slotSize(), geo.SlotsPer
+	pool := &sync.Pool{}
+	pool.New = func() any {
+		return &bucketBuf{
+			arena: make([]byte, slotsPer*slotSize),
+			slots: make([][]byte, slotsPer),
+			pool:  pool,
+		}
+	}
+	o.bufPool = pool
+	return o, nil
+}
+
+// binding encodes the Appendix A (id, epoch, batch=0) freshness triple into
+// the ORAM's scratch buffer; caller holds mu and must use it before the next
+// binding call.
+func (o *ORAM) binding(id, epoch uint64) []byte {
+	o.bindBuf = cryptoutil.AppendBinding(o.bindBuf[:0], id, epoch, 0)
+	return o.bindBuf
 }
 
 func (o *ORAM) freshMeta() bucketMeta {
@@ -336,8 +404,10 @@ func (o *ORAM) randLeaf() int { return o.rng.IntN(o.geo.Leaves) }
 
 // fillerPositions returns the logical positions usable as dummy reads:
 // dummy positions and unoccupied real positions whose slot is still valid.
+// The returned slice is mu-guarded scratch, valid until the next call — it
+// runs once per consumed slot, so it must not allocate in steady state.
 func (o *ORAM) fillerPositions(m *bucketMeta) []int {
-	var out []int
+	out := o.fillerBuf[:0]
 	for pos := 0; pos < o.geo.SlotsPer; pos++ {
 		if pos < o.p.Z && m.addrs[pos] != "" {
 			continue
@@ -346,6 +416,7 @@ func (o *ORAM) fillerPositions(m *bucketMeta) []int {
 			out = append(out, pos)
 		}
 	}
+	o.fillerBuf = out
 	return out
 }
 
@@ -466,6 +537,7 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 		}
 		path := o.geo.path(oldLeaf)
 		plan := &AccessPlan{Key: key, Leaf: oldLeaf, targetIdx: -1}
+		plan.Reads = make([]SlotRead, 0, len(path))
 		for lvl, b := range path {
 			m := &o.meta[b]
 			var forced = -1
@@ -529,6 +601,7 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 func (o *ORAM) dummyPathLocked(leaf int, forcedSlots []int) (*AccessPlan, []int, error) {
 	path := o.geo.path(leaf)
 	plan := &AccessPlan{Leaf: leaf, targetIdx: -1}
+	plan.Reads = make([]SlotRead, 0, len(path))
 	for lvl, b := range path {
 		forced := -1
 		if forcedSlots != nil {
@@ -660,7 +733,7 @@ func (o *ORAM) CompleteAccess(plan *AccessPlan, data [][]byte) (value []byte, fo
 	}
 	if plan.targetIdx >= 0 && plan.targetEntry.pending {
 		r := plan.Reads[plan.targetIdx]
-		kind, blk, derr := o.cdc.decodeSlot(data[plan.targetIdx], cryptoutil.Binding(uint64(r.Bucket), r.Ver, 0))
+		kind, blk, derr := o.cdc.decodeSlotInto(o.decPlain, data[plan.targetIdx], o.binding(uint64(r.Bucket), r.Ver))
 		e := plan.targetEntry
 		switch {
 		case derr != nil || (kind != slotReal && kind != slotTombstone):
@@ -768,17 +841,22 @@ func bucketLevel(b int) int {
 // the read phase (recovery replay).
 func (o *ORAM) planEvictionLocked(buckets []int, targetLeaf int, isEvict bool, forcedSlots [][]int) (*EvictPlan, error) {
 	plan := &EvictPlan{Buckets: append([]int(nil), buckets...), isEvict: isEvict}
+	plan.Reads = make([]SlotRead, 0, len(buckets)*o.p.Z)
+	plan.readsPerBucket = make([][]int, 0, len(buckets))
 
 	// Read phase: every valid occupied real block, padded with fillers to Z
 	// reads per bucket. Blocks move to the stash as pending entries.
 	for bi, b := range buckets {
 		m := &o.meta[b]
-		var idxs []int
+		idxs := make([]int, 0, o.p.Z)
 		var forced []int
 		if forcedSlots != nil {
 			forced = forcedSlots[bi]
 		}
-		forcedUsed := make(map[int]bool, len(forced))
+		var forcedUsed map[int]bool
+		if forced != nil {
+			forcedUsed = make(map[int]bool, len(forced))
+		}
 		// Occupied reals first.
 		for r := 0; r < o.p.Z; r++ {
 			key := m.addrs[r]
@@ -925,7 +1003,7 @@ func (o *ORAM) CompleteEvict(plan *EvictPlan, data [][]byte) ([]BucketWrite, err
 		if r.entry == nil || !r.entry.pending {
 			continue
 		}
-		kind, blk, err := o.cdc.decodeSlot(data[i], cryptoutil.Binding(uint64(r.Bucket), r.Ver, 0))
+		kind, blk, err := o.cdc.decodeSlotInto(o.decPlain, data[i], o.binding(uint64(r.Bucket), r.Ver))
 		if err != nil || (kind != slotReal && kind != slotTombstone) {
 			if !o.p.TolerateCorrupt {
 				if err == nil {
@@ -954,54 +1032,64 @@ func (o *ORAM) CompleteEvict(plan *EvictPlan, data [][]byte) ([]BucketWrite, err
 	writes := make([]BucketWrite, 0, len(plan.writes))
 	for i := range plan.writes {
 		pb := &plan.writes[i]
-		slots, err := o.sealPlannedBucket(pb)
+		w, err := o.sealPlannedBucket(pb)
 		if err != nil {
 			return nil, err
 		}
-		writes = append(writes, BucketWrite{Bucket: pb.bucket, Ver: pb.ver, Slots: slots})
+		writes = append(writes, w)
 	}
 	return writes, nil
 }
 
-// sealPlannedBucket serializes a bucket per a write-phase plan.
-func (o *ORAM) sealPlannedBucket(pb *plannedBucket) ([][]byte, error) {
-	slots := make([][]byte, o.geo.SlotsPer)
-	binding := cryptoutil.Binding(uint64(pb.bucket), pb.ver, 0)
-	occupied := make(map[int]*placement, len(pb.placed))
+// sealPlannedBucket serializes a bucket per a write-phase plan. Every slot is
+// sealed in place into one contiguous pooled arena (two allocations per
+// bucket when the pool is cold, zero when warm) instead of one buffer per
+// slot; the arena travels with the returned BucketWrite.
+func (o *ORAM) sealPlannedBucket(pb *plannedBucket) (BucketWrite, error) {
+	bb := o.bufPool.Get().(*bucketBuf)
+	slotSize := o.cdc.slotSize()
+	binding := o.binding(uint64(pb.bucket), pb.ver)
+	occ := o.occ
+	for i := range occ {
+		occ[i] = nil
+	}
 	for i := range pb.placed {
-		occupied[pb.placed[i].pos] = &pb.placed[i]
+		occ[pb.placed[i].pos] = &pb.placed[i]
 	}
 	for pos := 0; pos < o.geo.SlotsPer; pos++ {
 		phys := pb.perm[pos]
+		dst := bb.arena[phys*slotSize : phys*slotSize : (phys+1)*slotSize]
 		var data []byte
 		var err error
 		switch {
 		case pos >= o.p.Z:
-			data, err = o.cdc.encodeDummy(binding)
-		case occupied[pos] != nil:
-			pl := occupied[pos]
+			data, err = o.cdc.encodeSlotTo(dst, slotDummy, block{}, binding, o.encPlain)
+		case occ[pos] != nil:
+			pl := occ[pos]
 			if pl.entry.pending {
-				return nil, fmt.Errorf("ringoram: serializing bucket %d: block %q still pending (completion order violated)", pb.bucket, pl.key)
+				bb.pool.Put(bb)
+				return BucketWrite{}, fmt.Errorf("ringoram: serializing bucket %d: block %q still pending (completion order violated)", pb.bucket, pl.key)
 			}
 			kind := byte(slotReal)
 			if pl.entry.tombstone {
 				kind = slotTombstone
 			}
-			data, err = o.cdc.encodeSlot(kind, block{key: pl.key, value: pl.entry.value, tombstone: pl.entry.tombstone}, binding)
+			data, err = o.cdc.encodeSlotTo(dst, kind, block{key: pl.key, value: pl.entry.value, tombstone: pl.entry.tombstone}, binding, o.encPlain)
 		default:
-			data, err = o.cdc.encodeSlot(slotEmptyReal, block{}, binding)
+			data, err = o.cdc.encodeSlotTo(dst, slotEmptyReal, block{}, binding, o.encPlain)
 		}
 		if err != nil {
-			return nil, err
+			bb.pool.Put(bb)
+			return BucketWrite{}, err
 		}
-		slots[phys] = data
+		bb.slots[phys] = data
 	}
-	return slots, nil
+	return BucketWrite{Bucket: pb.bucket, Ver: pb.ver, Slots: bb.slots, buf: bb}, nil
 }
 
 // sealBucket serializes a bucket straight from current metadata; used for
 // tree initialization where all real positions are empty.
-func (o *ORAM) sealBucket(bucket int, m bucketMeta, values map[string][]byte) ([][]byte, error) {
+func (o *ORAM) sealBucket(bucket int, m bucketMeta, values map[string][]byte) (BucketWrite, error) {
 	pb := plannedBucket{bucket: bucket, ver: m.writeVer, perm: m.perm}
 	for r, key := range m.addrs {
 		if key == "" {

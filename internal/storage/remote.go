@@ -79,6 +79,20 @@ const serverMaxHandlers = 256
 // ErrRemote wraps an error string returned by the storage server.
 var ErrRemote = errors.New("storage: remote error")
 
+// wireBuf is a pooled wire buffer: request frames read off a connection,
+// response payloads, and encode scratch all recycle through one pool so the
+// steady-state wire path performs no per-frame allocation. A frame decoded
+// from a wireBuf aliases it; whoever consumes the frame releases the buffer
+// once every alias is dead.
+type wireBuf struct{ b []byte }
+
+var wireBufPool = sync.Pool{New: func() any { return new(wireBuf) }}
+
+func getWireBuf() *wireBuf { return wireBufPool.Get().(*wireBuf) }
+
+// putWireBuf recycles buf, keeping whatever backing array it last held.
+func putWireBuf(buf *wireBuf) { wireBufPool.Put(buf) }
+
 // Server serves a Backend over TCP.
 type Server struct {
 	backend Backend
@@ -163,16 +177,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	// back-pressure on the connection's read loop.
 	sem := make(chan struct{}, serverMaxHandlers)
 	for {
-		frame, err := readFrame(r)
+		fb, err := readFrame(r)
 		if err != nil {
 			return
 		}
-		if len(frame) < 9 {
+		if len(fb.b) < 9 {
+			putWireBuf(fb)
 			return
 		}
-		op := wireOp(frame[0])
-		reqID := binary.BigEndian.Uint64(frame[1:9])
-		payload := frame[9:]
+		op := wireOp(fb.b[0])
+		reqID := binary.BigEndian.Uint64(fb.b[1:9])
+		payload := fb.b[9:]
 		handlers.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -180,25 +195,42 @@ func (s *Server) serveConn(conn net.Conn) {
 				<-sem
 				handlers.Done()
 			}()
-			status, resp := s.handle(op, payload)
+			// The response encodes into a pooled scratch; the request frame
+			// releases after handle (which copies anything it retains) and
+			// the response write both finish with its bytes.
+			defer putWireBuf(fb)
+			rb := getWireBuf()
+			status, resp := s.handle(op, payload, rb.b[:0])
 			if len(resp)+9 > maxFrame {
 				// A response the peer's readFrame would reject must become a
 				// clean per-request error, not a connection-killing frame.
 				status, resp = statusErr, []byte(fmt.Sprintf("storage: response of %d bytes exceeds frame limit", len(resp)))
 			}
 			wmu.Lock()
-			defer wmu.Unlock()
-			if err := writeResponse(w, status, reqID, resp); err != nil {
-				conn.Close()
-				return
+			err := writeResponse(w, status, reqID, resp)
+			if err == nil {
+				w.Flush()
 			}
-			w.Flush()
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+			if resp != nil {
+				// Keep whichever backing the handler ended up with (error
+				// strings included — any byte slice is a fine future frame).
+				rb.b = resp[:0]
+			}
+			putWireBuf(rb)
 		}()
 	}
 }
 
-func (s *Server) handle(op wireOp, payload []byte) (byte, []byte) {
-	var enc encoder
+// handle executes one request. The payload may alias a pooled frame: every
+// slice handed to the backend is copied out first (copyBytes/str), so the
+// caller may release the frame as soon as handle returns. The response is
+// encoded into scratch (a pooled buffer's spare capacity) and returned.
+func (s *Server) handle(op wireOp, payload, scratch []byte) (byte, []byte) {
+	enc := encoder{buf: scratch}
 	fail := func(err error) (byte, []byte) {
 		return statusErr, []byte(err.Error())
 	}
@@ -377,20 +409,32 @@ func (s *Server) handle(op wireOp, payload []byte) (byte, []byte) {
 	return statusOK, enc.buf
 }
 
-func readFrame(r *bufio.Reader) ([]byte, error) {
-	var lenbuf [4]byte
-	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+// readFrame reads one frame into a pooled buffer: the length prefix is
+// peeked out of the bufio window (no scratch copy) and the body lands in a
+// recycled wireBuf. The caller owns the returned buffer and must putWireBuf
+// it once done with every slice aliasing it.
+func readFrame(r *bufio.Reader) (*wireBuf, error) {
+	prefix, err := r.Peek(4)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenbuf[:])
+	n := binary.BigEndian.Uint32(prefix)
 	if n > maxFrame {
 		return nil, fmt.Errorf("storage: frame of %d bytes exceeds limit", n)
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r, frame); err != nil {
+	if _, err := r.Discard(4); err != nil {
 		return nil, err
 	}
-	return frame, nil
+	buf := getWireBuf()
+	if cap(buf.b) < int(n) {
+		buf.b = make([]byte, n)
+	}
+	buf.b = buf.b[:n]
+	if _, err := io.ReadFull(r, buf.b); err != nil {
+		putWireBuf(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 func writeResponse(w *bufio.Writer, status byte, reqID uint64, payload []byte) error {
@@ -420,9 +464,22 @@ type Client struct {
 	readErr error
 }
 
+// response is one decoded server reply. Its payload aliases a pooled frame
+// buffer; the consumer calls release after copying out whatever it keeps.
 type response struct {
 	status  byte
 	payload []byte
+	buf     *wireBuf
+}
+
+// release returns the response's pooled buffer. Idempotent per value; safe
+// on zero responses.
+func (r *response) release() {
+	if r.buf != nil {
+		putWireBuf(r.buf)
+		r.buf = nil
+		r.payload = nil
+	}
 }
 
 var _ Backend = (*Client)(nil)
@@ -479,23 +536,26 @@ func DialWithTimeout(addr string, timeout time.Duration) (*Client, error) {
 func (c *Client) readLoop() {
 	r := bufio.NewReaderSize(c.conn, 1<<16)
 	for {
-		frame, err := readFrame(r)
+		fb, err := readFrame(r)
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		if len(frame) < 9 {
+		if len(fb.b) < 9 {
+			putWireBuf(fb)
 			c.fail(fmt.Errorf("storage: short response frame"))
 			return
 		}
-		status := frame[0]
-		reqID := binary.BigEndian.Uint64(frame[1:9])
+		status := fb.b[0]
+		reqID := binary.BigEndian.Uint64(fb.b[1:9])
 		c.mu.Lock()
 		ch := c.pending[reqID]
 		delete(c.pending, reqID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- response{status: status, payload: frame[9:]}
+			ch <- response{status: status, payload: fb.b[9:], buf: fb}
+		} else {
+			putWireBuf(fb)
 		}
 	}
 }
@@ -512,7 +572,11 @@ func (c *Client) fail(err error) {
 	}
 }
 
-func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
+// call sends one request and waits for its reply. The returned response's
+// payload borrows a pooled buffer: the caller parses (copying whatever it
+// keeps) and then releases it. The request payload is fully consumed before
+// call returns, so callers may recycle its backing immediately.
+func (c *Client) call(op wireOp, payload []byte) (response, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -520,12 +584,12 @@ func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 		// connection error; an explicitly closed client must still report
 		// ErrClosed, not whichever teardown error won the race.
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return response{}, ErrClosed
 	}
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return nil, err
+		return response{}, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -538,7 +602,7 @@ func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("storage: request of %d bytes exceeds frame limit", len(payload))
+		return response{}, fmt.Errorf("storage: request of %d bytes exceeds frame limit", len(payload))
 	}
 	var hdr [13]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(9+len(payload)))
@@ -558,7 +622,7 @@ func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("storage: send: %w", err)
+		return response{}, fmt.Errorf("storage: send: %w", err)
 	}
 
 	resp, ok := <-ch
@@ -569,12 +633,14 @@ func (c *Client) call(op wireOp, payload []byte) ([]byte, error) {
 		if err == nil {
 			err = ErrClosed
 		}
-		return nil, fmt.Errorf("storage: connection lost: %w", err)
+		return response{}, fmt.Errorf("storage: connection lost: %w", err)
 	}
 	if resp.status != statusOK {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, string(resp.payload))
+		err := fmt.Errorf("%w: %s", ErrRemote, string(resp.payload))
+		resp.release()
+		return response{}, err
 	}
-	return resp.payload, nil
+	return resp, nil
 }
 
 // Close closes the connection.
@@ -586,16 +652,21 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) ReadSlot(bucket, slot int) ([]byte, error) {
-	var enc encoder
+	rq := getWireBuf()
+	enc := encoder{buf: rq.b[:0]}
 	enc.u32(uint32(bucket))
 	enc.u32(uint32(slot))
 	resp, err := c.call(wireReadSlot, enc.buf)
+	rq.b = enc.buf
+	putWireBuf(rq)
 	if err != nil {
 		return nil, err
 	}
-	d := decoder{buf: resp}
+	d := decoder{buf: resp.payload}
 	data := d.copyBytes()
-	return data, d.err
+	err = d.err
+	resp.release()
+	return data, err
 }
 
 // ReadSlots packs the whole vector into a single request frame: one wire op
@@ -622,26 +693,40 @@ func (c *Client) ReadSlots(refs []SlotRef) ([][]byte, error) {
 }
 
 func (c *Client) readSlotsFrame(refs []SlotRef) ([][]byte, error) {
-	var enc encoder
+	rq := getWireBuf()
+	enc := encoder{buf: rq.b[:0]}
 	enc.u32(uint32(len(refs)))
 	for _, r := range refs {
 		enc.u32(uint32(r.Bucket))
 		enc.u32(uint32(r.Slot))
 	}
 	resp, err := c.call(wireReadSlots, enc.buf)
+	rq.b = enc.buf
+	putWireBuf(rq)
 	if err != nil {
 		return nil, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	n := int(d.u32())
 	if d.err != nil || n != len(refs) {
 		return nil, fmt.Errorf("storage: bad read-slots response (%d results for %d refs)", n, len(refs))
 	}
+	// The whole vector copies out of the pooled frame into one contiguous
+	// arena: two allocations per call instead of one per slot. The arena is
+	// pre-sized, so the handed-out subslices never move.
+	arena := make([]byte, 0, len(resp.payload))
 	data := make([][]byte, n)
 	for i := range data {
-		data[i] = d.copyBytes()
+		b := d.view()
+		if d.err != nil {
+			return nil, d.err
+		}
+		off := len(arena)
+		arena = append(arena, b...)
+		data[i] = arena[off:len(arena):len(arena)]
 	}
-	return data, d.err
+	return data, nil
 }
 
 func (c *Client) ReadBucket(bucket int) ([][]byte, error) {
@@ -651,7 +736,8 @@ func (c *Client) ReadBucket(bucket int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	n := int(d.u32())
 	if d.err != nil || n < 0 || n > 1<<20 {
 		return nil, fmt.Errorf("storage: bad read-bucket response")
@@ -664,14 +750,18 @@ func (c *Client) ReadBucket(bucket int) ([][]byte, error) {
 }
 
 func (c *Client) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
-	var enc encoder
+	rq := getWireBuf()
+	enc := encoder{buf: rq.b[:0]}
 	enc.u32(uint32(bucket))
 	enc.u64(epoch)
 	enc.u32(uint32(len(slots)))
 	for _, s := range slots {
 		enc.bytes(s)
 	}
-	_, err := c.call(wireWriteBucket, enc.buf)
+	resp, err := c.call(wireWriteBucket, enc.buf)
+	rq.b = enc.buf
+	putWireBuf(rq)
+	resp.release()
 	return err
 }
 
@@ -680,29 +770,35 @@ func (c *Client) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
 // would approach the frame limit — the exact size is known client-side.
 // Buckets install in vector order either way.
 func (c *Client) WriteBuckets(writes []BucketWrite) error {
+	rq, ob := getWireBuf(), getWireBuf()
+	defer func() { putWireBuf(rq); putWireBuf(ob) }()
+	// The chunk's element count lives in the payload's first four bytes,
+	// patched at flush time, so the whole request encodes into one pooled
+	// buffer with no per-chunk assembly copy.
+	enc := encoder{buf: append(rq.b[:0], 0, 0, 0, 0)}
 	start := 0
-	var enc encoder
 	flush := func(end int) error {
 		if end == start && len(writes) > 0 {
 			return nil
 		}
-		hdr := encoder{buf: make([]byte, 0, 4)}
-		hdr.u32(uint32(end - start))
-		payload := append(hdr.buf, enc.buf...)
-		_, err := c.call(wireWriteBuckets, payload)
-		enc.buf = enc.buf[:0]
+		binary.BigEndian.PutUint32(enc.buf[:4], uint32(end-start))
+		resp, err := c.call(wireWriteBuckets, enc.buf)
+		resp.release()
+		rq.b = enc.buf
+		enc.buf = enc.buf[:4]
 		start = end
 		return err
 	}
 	for i, w := range writes {
-		var one encoder
+		one := encoder{buf: ob.b[:0]}
 		one.u32(uint32(w.Bucket))
 		one.u64(w.Epoch)
 		one.u32(uint32(len(w.Slots)))
 		for _, s := range w.Slots {
 			one.bytes(s)
 		}
-		if len(enc.buf) > 0 && len(enc.buf)+len(one.buf) > vectorChunkBytes {
+		ob.b = one.buf
+		if len(enc.buf) > 4 && len(enc.buf)+len(one.buf) > vectorChunkBytes {
 			if err := flush(i); err != nil {
 				return err
 			}
@@ -713,16 +809,21 @@ func (c *Client) WriteBuckets(writes []BucketWrite) error {
 }
 
 func (c *Client) CommitEpoch(epoch uint64) error {
-	var enc encoder
+	rq := getWireBuf()
+	enc := encoder{buf: rq.b[:0]}
 	enc.u64(epoch)
-	_, err := c.call(wireCommitEpoch, enc.buf)
+	resp, err := c.call(wireCommitEpoch, enc.buf)
+	rq.b = enc.buf
+	putWireBuf(rq)
+	resp.release()
 	return err
 }
 
 func (c *Client) RollbackTo(epoch uint64) error {
 	var enc encoder
 	enc.u64(epoch)
-	_, err := c.call(wireRollbackTo, enc.buf)
+	resp, err := c.call(wireRollbackTo, enc.buf)
+	resp.release()
 	return err
 }
 
@@ -731,7 +832,8 @@ func (c *Client) NumBuckets() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	n := int(d.u32())
 	return n, d.err
 }
@@ -743,7 +845,8 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	if d.u8() == 0 {
 		return nil, false, d.err
 	}
@@ -755,14 +858,16 @@ func (c *Client) Put(key string, value []byte) error {
 	var enc encoder
 	enc.str(key)
 	enc.bytes(value)
-	_, err := c.call(wireKVPut, enc.buf)
+	resp, err := c.call(wireKVPut, enc.buf)
+	resp.release()
 	return err
 }
 
 func (c *Client) Delete(key string) error {
 	var enc encoder
 	enc.str(key)
-	_, err := c.call(wireKVDelete, enc.buf)
+	resp, err := c.call(wireKVDelete, enc.buf)
+	resp.release()
 	return err
 }
 
@@ -773,7 +878,8 @@ func (c *Client) Append(record []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	seq := d.u64()
 	return seq, d.err
 }
@@ -785,7 +891,8 @@ func (c *Client) Scan(from uint64) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	n := int(d.u32())
 	if d.err != nil || n < 0 {
 		return nil, fmt.Errorf("storage: bad log-scan response")
@@ -800,7 +907,8 @@ func (c *Client) Scan(from uint64) ([][]byte, error) {
 func (c *Client) Truncate(before uint64) error {
 	var enc encoder
 	enc.u64(before)
-	_, err := c.call(wireLogTruncate, enc.buf)
+	resp, err := c.call(wireLogTruncate, enc.buf)
+	resp.release()
 	return err
 }
 
@@ -809,7 +917,8 @@ func (c *Client) LastSeq() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d := decoder{buf: resp}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
 	seq := d.u64()
 	return seq, d.err
 }
@@ -885,6 +994,13 @@ func (d *decoder) copyBytes() []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// view reads a length-prefixed byte field without copying; the result
+// aliases the decoder's buffer (a pooled frame — dead once it releases).
+func (d *decoder) view() []byte {
+	n := int(d.u32())
+	return d.take(n)
 }
 
 func (d *decoder) str() string {
