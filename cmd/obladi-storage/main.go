@@ -25,6 +25,12 @@
 // into shared waves instead of paying one fsync per shard. Shard i is served
 // on the base port + i (or on its own ephemeral port when the base port is
 // 0; each shard prints its address).
+//
+// With -logheap (requires -shards and -data-dir) the group runs the
+// log-structured bucket heap: bucket versions ride the same physical log as
+// the WAL streams, so a cross-shard epoch commit is one deferred record per
+// shard plus a single fsync. The two heap layouts are on-disk incompatible;
+// a dir written by one fails loudly when opened as the other.
 package main
 
 import (
@@ -48,6 +54,7 @@ func main() {
 	persist := flag.String("persist", "", "snapshot file: loaded on start if present, saved on shutdown (in-memory backend)")
 	dataDir := flag.String("data-dir", "", "directory for the durable disk backend (incremental, crash-atomic persistence)")
 	shards := flag.Int("shards", 1, "disk shards sharing the data dir as a commit group (requires -data-dir); shard i listens on the base port + i")
+	logHeap := flag.Bool("logheap", false, "log-structured bucket heap: bucket data rides the shared physical log, one fsync per epoch commit (requires -shards)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables profiling)")
 	flag.Parse()
 
@@ -66,8 +73,11 @@ func main() {
 		if *dataDir == "" {
 			log.Fatal("-shards needs -data-dir (group commit is a disk-backend deployment)")
 		}
-		serveGroup(*dataDir, *shards, *buckets, *listen, *latency, *scale)
+		serveGroup(*dataDir, *shards, *buckets, *listen, *latency, *scale, *logHeap)
 		return
+	}
+	if *logHeap {
+		log.Fatal("-logheap needs -shards > 1 (the unified log is a group deployment)")
 	}
 	var backend storage.Backend
 	var mem *storage.MemBackend
@@ -139,8 +149,8 @@ func wrapLatency(b storage.Backend, latency string, scale float64) storage.Backe
 // dataDir, each shard's shared-log view served by its own TCP server. All
 // client traffic goes through the views — raw shard access would bypass the
 // shared physical log — so cross-shard barriers keep coalescing end to end.
-func serveGroup(dataDir string, shards, buckets int, listen, latency string, scale float64) {
-	g, err := storage.OpenDiskGroup(dataDir, shards, buckets)
+func serveGroup(dataDir string, shards, buckets int, listen, latency string, scale float64, logHeap bool) {
+	g, err := storage.OpenDiskGroupOpts(dataDir, shards, buckets, storage.DiskOptions{LogHeap: logHeap})
 	if err != nil {
 		log.Fatalf("opening %d-shard group in %s: %v", shards, dataDir, err)
 	}
@@ -154,12 +164,15 @@ func serveGroup(dataDir string, shards, buckets int, listen, latency string, sca
 		log.Fatalf("-listen %q needs a numeric port with -shards (shard i is served on port+i): %v", listen, err)
 	}
 	fmt.Printf("obladi-storage: %d-shard commit group in %s (committed epochs:", shards, dataDir)
-	for _, sh := range g.Shards() {
-		fmt.Printf(" %d", sh.CommittedEpoch())
+	views := g.Backends()
+	for _, be := range views {
+		// The view, not the raw shard: in logheap mode the raw shard's heap
+		// epoch is always 0 (bucket data lives in the shared log).
+		fmt.Printf(" %d", be.(interface{ CommittedEpoch() uint64 }).CommittedEpoch())
 	}
 	fmt.Println(")")
 	servers := make([]*storage.Server, 0, shards)
-	for i, be := range g.Backends() {
+	for i, be := range views {
 		shardPort := 0
 		if port != 0 {
 			shardPort = port + i

@@ -270,10 +270,11 @@ func TestDiskShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// mem/disk x scalar/vectored, plus the three 2-shard group-commit rows
-	// (Mem, Mem+fsync, Disk at Vectored/group).
-	if len(rows) != 7 {
-		t.Fatalf("expected 4 single-shard + 3 group rows: %+v", rows)
+	// mem/disk x scalar/vectored, the four 2-shard group-commit rows
+	// (Mem, Mem+fsync, Disk, Disk+logheap at Vectored/group), and the
+	// logheap fsync-wave count.
+	if len(rows) != 9 {
+		t.Fatalf("expected 4 single-shard + 4 group rows + waves row: %+v", rows)
 	}
 	vals := map[string]map[string]float64{}
 	for _, r := range rows {
@@ -284,6 +285,9 @@ func TestDiskShape(t *testing.T) {
 		if r.Value <= 0 {
 			t.Errorf("%s/%s: nonpositive throughput %f", r.Series, r.X, r.Value)
 		}
+		if r.X == "fsync-waves" {
+			continue // a counter, not a latency measurement
+		}
 		if r.P50ms <= 0 || r.P99ms < r.P50ms {
 			t.Errorf("%s/%s: bad latency percentiles p50=%.2f p99=%.2f", r.Series, r.X, r.P50ms, r.P99ms)
 		}
@@ -291,6 +295,7 @@ func TestDiskShape(t *testing.T) {
 	for _, want := range []struct{ series, x string }{
 		{"Mem", "Scalar"}, {"Mem", "Vectored"}, {"Disk", "Scalar"}, {"Disk", "Vectored"},
 		{"Mem", "Vectored/group"}, {"Mem+fsync", "Vectored/group"}, {"Disk", "Vectored/group"},
+		{"Disk+logheap", "Vectored/group"}, {"Disk+logheap", "fsync-waves"},
 	} {
 		if _, ok := vals[want.series][want.x]; !ok {
 			t.Errorf("missing row %s/%s", want.series, want.x)
@@ -316,13 +321,18 @@ func TestRecoveryShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("expected 1/2/4-worker replay rows: %+v", rows)
+	if len(rows) != 6 {
+		t.Fatalf("expected 1/2/4-worker replay rows for both backends: %+v", rows)
 	}
-	for i, workers := range []string{"1-workers", "2-workers", "4-workers"} {
+	for i, workers := range []string{"1-workers", "2-workers", "4-workers",
+		"1-workers", "2-workers", "4-workers"} {
 		r := rows[i]
-		if r.X != workers || r.Series != "Replay" {
-			t.Fatalf("row %d = %s/%s, want Replay/%s", i, r.Series, r.X, workers)
+		series := "Replay"
+		if i >= 3 {
+			series = "Replay+logheap"
+		}
+		if r.X != workers || r.Series != series {
+			t.Fatalf("row %d = %s/%s, want %s/%s", i, r.Series, r.X, series, workers)
 		}
 		if r.Value <= 0 {
 			t.Errorf("%s: nonpositive recovery time %f", r.X, r.Value)

@@ -57,7 +57,102 @@ func Recovery(cfg Config) ([]Row, error) {
 			P99ms:      percentile(times, 99),
 		})
 	}
+	lhRows, err := recoveryLogHeap(cfg, epochs, iters)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, lhRows...), nil
+}
+
+// recoveryLogHeap measures the same cold start for a 2-shard logheap group:
+// the reopen scans mixed WAL+bucket segments, demuxes per-shard streams,
+// loads each shard's index checkpoint and replays only the records above its
+// watermark — the parallel segment scan plus the index rebuild the unified
+// log trades the heap file for.
+func recoveryLogHeap(cfg Config, epochs, iters int) ([]Row, error) {
+	const shards = 2
+	dir, err := os.MkdirTemp("", "obladi-bench-recovery-lh-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := buildLogHeapRecoveryStore(dir, shards, epochs); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, workers := range []int{1, 2, 4} {
+		times := make([]time.Duration, 0, iters)
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			g, err := storage.OpenDiskGroupOpts(dir, shards, 0, storage.DiskOptions{
+				LogHeap: true, RecoveryWorkers: workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d := time.Since(start)
+			if err := g.Close(); err != nil {
+				return nil, err
+			}
+			times = append(times, d)
+			total += d
+		}
+		rows = append(rows, Row{
+			Experiment: "recovery",
+			Series:     "Replay+logheap",
+			X:          fmt.Sprintf("%d-workers", workers),
+			Value:      float64(total) / float64(iters) / float64(time.Millisecond),
+			Unit:       "ms/recovery",
+			Profile:    "Disk+logheap",
+			Shards:     shards,
+			P50ms:      percentile(times, 50),
+			P99ms:      percentile(times, 99),
+		})
+	}
 	return rows, nil
+}
+
+// buildLogHeapRecoveryStore populates a logheap group dir: every shard's
+// bucket versions, WAL records and epoch commits multiplexed into one
+// many-segment physical log, plus per-shard KV entries. The graceful close
+// installs each shard's index checkpoint, so the measured reopen does what a
+// production restart does: load checkpoints, then scan and demux the mixed
+// segments above the watermarks.
+func buildLogHeapRecoveryStore(dir string, shards, epochs int) error {
+	g, err := storage.OpenDiskGroupOpts(dir, shards, 64, storage.DiskOptions{
+		LogHeap: true, SegMaxBytes: 32 << 10,
+	})
+	if err != nil {
+		return err
+	}
+	views := g.Backends()
+	payload := make([]byte, 512)
+	for e := uint64(1); e <= uint64(epochs); e++ {
+		for s, v := range views {
+			var writes []storage.BucketWrite
+			for bucket := 0; bucket < 64; bucket++ {
+				writes = append(writes, storage.BucketWrite{Bucket: bucket, Epoch: e, Slots: [][]byte{payload, payload}})
+			}
+			if err := v.WriteBuckets(writes); err != nil {
+				return err
+			}
+			for r := 0; r < 32; r++ {
+				if _, err := v.Append(payload); err != nil {
+					return err
+				}
+			}
+			if err := v.Put(fmt.Sprintf("ckpt-%d-%d", s, e), payload); err != nil {
+				return err
+			}
+		}
+		for _, v := range views {
+			if err := v.CommitEpoch(e); err != nil {
+				return err
+			}
+		}
+	}
+	return g.Close()
 }
 
 // buildRecoveryStore populates dir with a bucket heap, KV entries and a

@@ -235,6 +235,11 @@ type Proxy struct {
 	cfg    Config
 	shards []*shard
 	ccu    *mvtso.Manager
+	// unified, when non-nil, holds every shard's EpochCommitBatcher face:
+	// the stores retire epochs with records on the SAME physical append
+	// stream as the recovery log, so the boundary commit can collapse to a
+	// single flush wave (see commitUnified). nil selects the inline path.
+	unified []storage.EpochCommitBatcher
 
 	mu       sync.Mutex
 	closed   bool
@@ -321,6 +326,9 @@ func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
 		}
 		p.shards = append(p.shards, sh)
 	}
+	if !cfg.DisableDurability {
+		p.unified = unifiedCommitStores(stores)
+	}
 	if err := p.bootstrap(); err != nil {
 		return nil, err
 	}
@@ -400,6 +408,32 @@ func (p *Proxy) appendCommitAll(epoch uint64) error {
 		}
 	}
 	return nil
+}
+
+// unifiedCommitStores probes for the single-barrier boundary commit: every
+// store must batch epoch commits onto its recovery-log stream
+// (EpochCommitBatcher), and in a sharded proxy all shards must share ONE
+// physical stream — prefix durability, which is what orders a shard's heap
+// commit after the coordinator's WAL commit record without a barrier between
+// them, only exists within one physical log. Anything else returns nil and
+// the boundary keeps the inline commit path, whose explicit barrier order
+// provides the same guarantees at more fsync waves.
+func unifiedCommitStores(stores []storage.Backend) []storage.EpochCommitBatcher {
+	out := make([]storage.EpochCommitBatcher, len(stores))
+	var stream any
+	for i, st := range stores {
+		ecb, ok := st.(storage.EpochCommitBatcher)
+		if !ok {
+			return nil
+		}
+		if i == 0 {
+			stream = ecb.CommitStream()
+		} else if ecb.CommitStream() != stream {
+			return nil
+		}
+		out[i] = ecb
+	}
+	return out
 }
 
 // bootstrap initializes fresh ORAMs or recovers from the durability logs.
@@ -1128,9 +1162,11 @@ func (p *Proxy) runCommit(job *boundaryJob) error {
 			sh.exec.ReleaseSealed(job.sealed[i])
 		}
 	})
-	// Prepare: append every shard's checkpoint deferred, then one Sync
-	// round. All prepared records are durable before the commit point is
-	// written — on a shared log they ride one fsync instead of one each.
+	// Prepare: append every shard's checkpoint deferred. On the inline path
+	// a Sync round follows, making all prepared records durable before the
+	// commit point is written; on the unified path the stream order itself
+	// carries prepare-before-commit and the whole boundary stands on one
+	// final flush.
 	for i, sh := range p.shards {
 		if errs[i] != nil || job.ckpts[i] == nil {
 			continue
@@ -1138,6 +1174,12 @@ func (p *Proxy) runCommit(job *boundaryJob) error {
 		if _, err := sh.rlog.AppendPreparedDeferred(job.ckpts[i]); err != nil {
 			errs[i] = err
 		}
+	}
+	// The test hook's contract is "shard i's commit record is durable, later
+	// shards' not yet appended" — only the inline path has that intermediate
+	// state, so hooked runs keep it.
+	if p.unified != nil && p.shards[0].rlog != nil && p.testCommitHook == nil {
+		return p.commitUnified(job, errs)
 	}
 	p.syncLogsParallel(p.shards, errs)
 	for _, err := range errs {
@@ -1153,6 +1195,44 @@ func (p *Proxy) runCommit(job *boundaryJob) error {
 		}
 	}
 	return p.commitStoresParallel(job.epoch)
+}
+
+// commitUnified retires a sealed boundary with ONE flush wave. In logheap
+// mode the epoch's write-back buckets, every shard's checkpoint, the WAL
+// commit records, and every shard's storage epoch commit are all records on
+// the same physical append stream, so a single fsync makes the entire
+// boundary durable at once. Record order carries the protocol that the
+// inline path enforces with barriers: checkpoints (prepare) precede the
+// coordinator's commit record (the global commit point), which precedes
+// every heap commit (epoch retirement) — and crash recovery keeps a prefix
+// of the stream, so no record can outlive a crash without every record it
+// depends on. A lost suffix therefore always lands BETWEEN protocol steps,
+// never inside an inverted one.
+func (p *Proxy) commitUnified(job *boundaryJob, errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Coordinator first: within one stream, "appended earlier" is all the
+	// ordering the global commit point needs.
+	for _, sh := range p.shards {
+		if err := sh.rlog.AppendCommitDeferred(job.epoch); err != nil {
+			return err
+		}
+	}
+	for i := range p.shards {
+		if err := p.unified[i].CommitEpochNoSync(job.epoch); err != nil {
+			return err
+		}
+	}
+	p.syncLogsParallel(p.shards, errs)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // commitStoresParallel retires the epoch on every shard's storage

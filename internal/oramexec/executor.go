@@ -235,6 +235,10 @@ type BatchPlan struct {
 	tasks   []*task
 	log     []LogEntry
 	results []ReadResult
+	// slotArena backs every LogAccess entry's Slots in this plan: one growing
+	// buffer per batch instead of one slice per access. Reallocation on growth
+	// is safe — handed-out subslices keep the old backing array.
+	slotArena []int
 }
 
 // Log returns the durability-log entries for this batch, in order. The
@@ -361,11 +365,15 @@ func (e *Executor) appendAccess(plan *BatchPlan, ap *ringoram.AccessPlan, opIdx 
 	t.opIdx = opIdx
 	if !ap.Cached() {
 		t.reads = ap.Reads
+		n := len(plan.slotArena)
+		for _, r := range ap.Reads {
+			plan.slotArena = append(plan.slotArena, r.Slot)
+		}
 		plan.log = append(plan.log, LogEntry{
 			Kind:  LogAccess,
 			Key:   ap.Key,
 			Leaf:  ap.Leaf,
-			Slots: ap.LogSlots(),
+			Slots: plan.slotArena[n:len(plan.slotArena):len(plan.slotArena)],
 		})
 	}
 	e.markLocality(t)

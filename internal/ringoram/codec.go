@@ -37,9 +37,14 @@ func (c codec) slotSize() int {
 	return c.key.SealedSize(c.plainSize())
 }
 
-// block is a decoded real slot.
+// block is a slot's logical content. Encoding reads key; decoding fills keyB
+// instead — a view into the decode buffer — because the hot path only ever
+// COMPARES the decoded key against the one it planned for (`string(keyB) ==
+// want` compiles to an allocation-free comparison), and materializing a
+// string per decoded slot was a measurable share of the read path's budget.
 type block struct {
-	key       string
+	key       string // encode input
+	keyB      []byte // decode output; aliases the decode buffer
 	value     []byte
 	tombstone bool
 }
@@ -83,8 +88,12 @@ func (c codec) encodeDummy(binding []byte) ([]byte, error) {
 
 // decodeSlotInto parses a physical slot, decrypting into the scratch buffer
 // (cap >= plainSize, reused across calls). It returns the slot kind and, for
-// real or tombstone slots, the decoded block. The returned block's value is
-// freshly copied — it outlives the scratch (stash entries retain it).
+// real or tombstone slots, the decoded block. The returned block's value
+// ALIASES the decode buffer (the scratch, or data itself when encryption is
+// off) and is only valid until the next decode: a caller that retains it must
+// copy it out first — the ORAM hot path copies into its stash value arena,
+// turning what used to be one heap allocation per decoded slot into a bump
+// of a recycled slab.
 func (c codec) decodeSlotInto(scratch, data, binding []byte) (byte, block, error) {
 	plain := data
 	if c.key != nil {
@@ -115,8 +124,8 @@ func (c codec) decodeSlotInto(scratch, data, binding []byte) (byte, block, error
 		return 0, block{}, fmt.Errorf("ringoram: corrupt value length %d", valLen)
 	}
 	b := block{
-		key:       string(plain[3 : 3+keyLen]),
-		value:     append([]byte(nil), plain[off+4:off+4+valLen]...),
+		keyB:      plain[3 : 3+keyLen],
+		value:     plain[off+4 : off+4+valLen],
 		tombstone: kind == slotTombstone,
 	}
 	return kind, b, nil

@@ -262,7 +262,7 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 		if err != nil || gotKind != kind {
 			return false
 		}
-		return blk.key == string(rawKey) && string(blk.value) == string(value) && blk.tombstone == tomb
+		return string(blk.keyB) == string(rawKey) && string(blk.value) == string(value) && blk.tombstone == tomb
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)

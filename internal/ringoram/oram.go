@@ -56,6 +56,7 @@ type stashEntry struct {
 	leaf      int
 	cacheable bool // safe to serve without a dummy path read (§6.3)
 	pending   bool // value not yet delivered by a completion
+	arenaVal  bool // value is a slab owned by the ORAM's value arena
 }
 
 // ORAM is a Ring ORAM client. Methods are safe for concurrent use, but the
@@ -88,6 +89,12 @@ type ORAM struct {
 	bindBuf   []byte
 	occ       []*placement
 	fillerBuf []int
+	varena    valArena
+	// planPool and entryPool recycle the read path's two per-access objects.
+	// CompleteAccess retires plans; CompleteEvict retires entries once the
+	// seal writes them back into the tree. Both guarded by mu.
+	planPool  []*AccessPlan
+	entryPool []*stashEntry
 	// bufPool recycles bucket serialization buffers (one contiguous
 	// ciphertext arena + per-slot headers). Writes that reach storage
 	// transfer ownership of their buffer to the store and never come back;
@@ -101,6 +108,89 @@ type bucketBuf struct {
 	arena []byte
 	slots [][]byte
 	pool  *sync.Pool
+}
+
+// valArenaChunk sizes the value arena's carve chunks (at least one slab).
+const valArenaChunk = 64 << 10
+
+// valArena owns the stash's decoded values: fixed-capacity slabs carved from
+// large chunks and recycled through a free list when their stash entry is
+// sealed back into the tree, so the steady-state read path allocates nothing
+// per decoded slot. All access is guarded by the ORAM's mu. Slabs never shrink
+// the value-size bound, so a recycled slab fits any future value.
+type valArena struct {
+	slab  int // slab capacity (== ValueSize)
+	chunk []byte
+	free  [][]byte
+}
+
+// take returns an empty slab with cap >= a.slab.
+func (a *valArena) take() []byte {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free = a.free[:n-1]
+		return b[:0]
+	}
+	if len(a.chunk) < a.slab || a.slab == 0 {
+		n := valArenaChunk
+		if n < a.slab {
+			n = a.slab
+		}
+		a.chunk = make([]byte, n)
+	}
+	b := a.chunk[0:0:a.slab]
+	a.chunk = a.chunk[a.slab:]
+	return b
+}
+
+// copyVal clones v into an arena slab.
+func (a *valArena) copyVal(v []byte) []byte { return append(a.take(), v...) }
+
+// release returns a slab for reuse. Only slabs handed out by take/copyVal may
+// be released; entry.arenaVal is the callers' ownership tag.
+func (a *valArena) release(b []byte) { a.free = append(a.free, b) }
+
+// releaseEntryVal recycles an entry's arena slab (if it owns one) before its
+// value is replaced or dropped.
+func (o *ORAM) releaseEntryVal(e *stashEntry) {
+	if e.arenaVal {
+		o.varena.release(e.value)
+		e.arenaVal = false
+	}
+	e.value = nil
+}
+
+// newPlan takes a retired AccessPlan from the pool (keeping its Reads
+// capacity) or allocates a fresh one, zeroed either way. The steady-state
+// read path cycles the same handful of plans instead of allocating one (plus
+// a Reads slice) per access.
+func (o *ORAM) newPlan() *AccessPlan {
+	n := len(o.planPool)
+	if n == 0 {
+		return &AccessPlan{}
+	}
+	p := o.planPool[n-1]
+	o.planPool[n-1] = nil
+	o.planPool = o.planPool[:n-1]
+	*p = AccessPlan{Reads: p.Reads[:0]}
+	return p
+}
+
+// newEntry clones v into a pooled stashEntry. Entries go back to the pool
+// when an eviction seals them into the tree — the one point where nothing
+// (stash, location map, outstanding plans) can still reference them.
+func (o *ORAM) newEntry(v stashEntry) *stashEntry {
+	n := len(o.entryPool)
+	if n == 0 {
+		e := new(stashEntry)
+		*e = v
+		return e
+	}
+	e := o.entryPool[n-1]
+	o.entryPool[n-1] = nil
+	o.entryPool = o.entryPool[:n-1]
+	*e = v
+	return e
 }
 
 // SlotRead is one physical slot the caller must fetch.
@@ -306,6 +396,7 @@ func newClient(key *cryptoutil.Key, p Params) (*ORAM, error) {
 	}
 	o.encPlain = make([]byte, o.cdc.plainSize())
 	o.decPlain = make([]byte, 0, o.cdc.plainSize())
+	o.varena.slab = p.ValueSize
 	o.bindBuf = make([]byte, 0, cryptoutil.BindingSize)
 	o.occ = make([]*placement, p.Z)
 	slotSize, slotsPer := o.cdc.slotSize(), geo.SlotsPer
@@ -509,7 +600,9 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 			o.pos[key] = e.leaf
 			o.dirtyKeys[key] = struct{}{}
 			if e.cacheable && forcedSlots == nil {
-				return &AccessPlan{Key: key, Leaf: -1, cached: true, cachedEntry: e, targetIdx: -1}, nil, nil
+				p := o.newPlan()
+				p.Key, p.Leaf, p.cached, p.cachedEntry, p.targetIdx = key, -1, true, e, -1
+				return p, nil, nil
 			}
 			// Non-cacheable resident block: a dummy path read is mandatory
 			// to keep the observed path distribution uniform (§6.3). After
@@ -536,8 +629,11 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 			return nil, nil, fmt.Errorf("%w: key %q logged leaf %d, position map says %d", ErrReplay, key, forcedLeaf, oldLeaf)
 		}
 		path := o.geo.path(oldLeaf)
-		plan := &AccessPlan{Key: key, Leaf: oldLeaf, targetIdx: -1}
-		plan.Reads = make([]SlotRead, 0, len(path))
+		plan := o.newPlan()
+		plan.Key, plan.Leaf, plan.targetIdx = key, oldLeaf, -1
+		if cap(plan.Reads) < len(path) {
+			plan.Reads = make([]SlotRead, 0, len(path))
+		}
 		for lvl, b := range path {
 			m := &o.meta[b]
 			var forced = -1
@@ -570,7 +666,7 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 			return nil, nil, fmt.Errorf("ringoram: key %q resides in bucket %d, off its path (leaf %d)", key, l.bucket, oldLeaf)
 		}
 		delete(o.loc, key)
-		e := &stashEntry{key: key, leaf: 0, cacheable: true, pending: true}
+		e := o.newEntry(stashEntry{key: key, cacheable: true, pending: true})
 		o.stash[key] = e
 		plan.targetEntry = e
 		newLeaf := o.randLeaf()
@@ -600,8 +696,11 @@ func (o *ORAM) planReadLocked(key string, forcedLeaf int, forcedSlots []int) (*A
 // dummyPathLocked consumes one filler slot per bucket along leaf's path.
 func (o *ORAM) dummyPathLocked(leaf int, forcedSlots []int) (*AccessPlan, []int, error) {
 	path := o.geo.path(leaf)
-	plan := &AccessPlan{Leaf: leaf, targetIdx: -1}
-	plan.Reads = make([]SlotRead, 0, len(path))
+	plan := o.newPlan()
+	plan.Leaf, plan.targetIdx = leaf, -1
+	if cap(plan.Reads) < len(path) {
+		plan.Reads = make([]SlotRead, 0, len(path))
+	}
 	for lvl, b := range path {
 		forced := -1
 		if forcedSlots != nil {
@@ -647,6 +746,7 @@ func (o *ORAM) PlanWrite(key string, value []byte, tombstone bool) (*AccessPlan,
 		}
 		if plan.cached {
 			// Stash hit: update in place, still no I/O.
+			o.releaseEntryVal(plan.cachedEntry)
 			plan.cachedEntry.value = append([]byte(nil), value...)
 			plan.cachedEntry.tombstone = tombstone
 			return nil, nil, nil
@@ -657,7 +757,7 @@ func (o *ORAM) PlanWrite(key string, value []byte, tombstone bool) (*AccessPlan,
 		if plan.targetEntry == nil {
 			// Unknown key: the dummy path read allocated nothing; create
 			// the stash entry now.
-			e := &stashEntry{key: key, leaf: o.randLeaf(), cacheable: true, pending: true}
+			e := o.newEntry(stashEntry{key: key, leaf: o.randLeaf(), cacheable: true, pending: true})
 			o.stash[key] = e
 			o.pos[key] = e.leaf
 			o.dirtyKeys[key] = struct{}{}
@@ -673,6 +773,7 @@ func (o *ORAM) PlanWrite(key string, value []byte, tombstone bool) (*AccessPlan,
 	o.pos[key] = newLeaf
 	o.dirtyKeys[key] = struct{}{}
 	if e, ok := o.stash[key]; ok {
+		o.releaseEntryVal(e)
 		e.value = append([]byte(nil), value...)
 		e.tombstone = tombstone
 		e.leaf = newLeaf
@@ -687,13 +788,13 @@ func (o *ORAM) PlanWrite(key string, value []byte, tombstone bool) (*AccessPlan,
 			o.dirtyBuckets[l.bucket] = struct{}{}
 			delete(o.loc, key)
 		}
-		o.stash[key] = &stashEntry{
+		o.stash[key] = o.newEntry(stashEntry{
 			key:       key,
 			value:     append([]byte(nil), value...),
 			tombstone: tombstone,
 			leaf:      newLeaf,
 			cacheable: true,
-		}
+		})
 	}
 	o.accessCount++
 	if err := o.noteStash(); err != nil {
@@ -728,6 +829,13 @@ func (o *ORAM) CompleteAccess(plan *AccessPlan, data [][]byte) (value []byte, fo
 		return nil, false, errors.New("ringoram: plan completed twice")
 	}
 	plan.completed = true
+	// Completion is the plan's death in every caller: recycle it on success.
+	// Error returns leave it out of the pool so the caller can inspect it.
+	defer func() {
+		if err == nil {
+			o.planPool = append(o.planPool, plan)
+		}
+	}()
 	if !plan.cached && len(data) != len(plan.Reads) {
 		return nil, false, fmt.Errorf("ringoram: %d slots delivered, plan has %d", len(data), len(plan.Reads))
 	}
@@ -743,18 +851,22 @@ func (o *ORAM) CompleteAccess(plan *AccessPlan, data [][]byte) (value []byte, fo
 				}
 				return nil, false, fmt.Errorf("%w: bucket %d slot %d: %v", ErrCorrupt, r.Bucket, r.Slot, derr)
 			}
-			e.value = nil
+			o.releaseEntryVal(e)
 			e.tombstone = true
 			e.pending = false
-		case blk.key != plan.Key:
+		case string(blk.keyB) != plan.Key:
 			if !o.p.TolerateCorrupt {
-				return nil, false, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.key, plan.Key)
+				return nil, false, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.keyB, plan.Key)
 			}
-			e.value = nil
+			o.releaseEntryVal(e)
 			e.tombstone = true
 			e.pending = false
 		default:
-			e.value = blk.value
+			// blk.value aliases the decode scratch: copy it into the stash's
+			// value arena, which owns it until the entry is sealed back.
+			o.releaseEntryVal(e)
+			e.value = o.varena.copyVal(blk.value)
+			e.arenaVal = true
 			e.tombstone = blk.tombstone
 			e.pending = false
 		}
@@ -768,6 +880,7 @@ func (o *ORAM) CompleteAccess(plan *AccessPlan, data [][]byte) (value []byte, fo
 		if entry == nil {
 			return nil, false, errors.New("ringoram: write plan without entry")
 		}
+		o.releaseEntryVal(entry)
 		entry.value = plan.newValue
 		entry.tombstone = plan.newTomb
 		entry.pending = false
@@ -884,7 +997,7 @@ func (o *ORAM) planEvictionLocked(buckets []int, targetLeaf int, isEvict bool, f
 			m.count++
 			m.addrs[r] = ""
 			delete(o.loc, key)
-			e := &stashEntry{key: key, leaf: o.pos[key], pending: true}
+			e := o.newEntry(stashEntry{key: key, leaf: o.pos[key], pending: true})
 			o.stash[key] = e
 			idxs = append(idxs, len(plan.Reads))
 			plan.Reads = append(plan.Reads, SlotRead{Bucket: b, Slot: phys, Ver: m.writeVer, entry: e})
@@ -1011,21 +1124,23 @@ func (o *ORAM) CompleteEvict(plan *EvictPlan, data [][]byte) ([]BucketWrite, err
 				}
 				return nil, fmt.Errorf("%w: bucket %d slot %d: %v", ErrCorrupt, r.Bucket, r.Slot, err)
 			}
-			r.entry.value = nil
+			o.releaseEntryVal(r.entry)
 			r.entry.tombstone = true
 			r.entry.pending = false
 			continue
 		}
-		if blk.key != r.entry.key {
+		if string(blk.keyB) != r.entry.key {
 			if !o.p.TolerateCorrupt {
-				return nil, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.key, r.entry.key)
+				return nil, fmt.Errorf("%w: bucket %d slot %d holds key %q, want %q", ErrCorrupt, r.Bucket, r.Slot, blk.keyB, r.entry.key)
 			}
-			r.entry.value = nil
+			o.releaseEntryVal(r.entry)
 			r.entry.tombstone = true
 			r.entry.pending = false
 			continue
 		}
-		r.entry.value = blk.value
+		o.releaseEntryVal(r.entry)
+		r.entry.value = o.varena.copyVal(blk.value)
+		r.entry.arenaVal = true
 		r.entry.tombstone = blk.tombstone
 		r.entry.pending = false
 	}
@@ -1037,6 +1152,18 @@ func (o *ORAM) CompleteEvict(plan *EvictPlan, data [][]byte) ([]BucketWrite, err
 			return nil, err
 		}
 		writes = append(writes, w)
+	}
+	// The placed entries left the stash when the write phase planned them and
+	// their values are now sealed inside the bucket arenas: recycle the slabs.
+	// Plan-ordered completion means no earlier plan still references them, and
+	// any later access finds the key in the tree, not in these entries.
+	for i := range plan.writes {
+		for _, pl := range plan.writes[i].placed {
+			if pl.entry != nil {
+				o.releaseEntryVal(pl.entry)
+				o.entryPool = append(o.entryPool, pl.entry)
+			}
+		}
 	}
 	return writes, nil
 }

@@ -92,6 +92,41 @@ func TestBackendConformanceDiskGrouped(t *testing.T) {
 	})
 }
 
+// A logheap shard — bucket versions as records on the shared physical log —
+// must be contract-indistinguishable from the bucket-heap-file backends.
+func TestBackendConformanceLogHeap(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		g, err := OpenDiskGroupOpts(t.TempDir(), 1, ConformanceMinBuckets, DiskOptions{LogHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		return g.Backends()[0]
+	})
+}
+
+// The logheap contract must also survive a close/reopen cycle: the reopened
+// store rebuilds its bucket index from the index checkpoint plus a replay of
+// the shared log's bucket-data streams.
+func TestBackendConformanceLogHeapReopened(t *testing.T) {
+	RunBackendConformance(t, func(t *testing.T) Backend {
+		dir := t.TempDir()
+		g, err := OpenDiskGroupOpts(dir, 1, ConformanceMinBuckets, DiskOptions{LogHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+		g, err = OpenDiskGroupOpts(dir, 1, ConformanceMinBuckets, DiskOptions{LogHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		return g.Backends()[0]
+	})
+}
+
 // Group-commit conformance: N disk shards on one data dir sharing one
 // CommitGroup scheduler.
 func TestBackendConformanceGroupDisk(t *testing.T) {
@@ -111,6 +146,21 @@ func TestBackendConformanceGroupDiskZeroWindow(t *testing.T) {
 	RunGroupCommitConformance(t, 3, func(t *testing.T, n int) []Backend {
 		cg := NewCommitGroup(GroupConfig{Window: 0})
 		g, err := OpenDiskGroupOpts(t.TempDir(), n, ConformanceMinBuckets, DiskOptions{Group: cg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		return g.Backends()
+	})
+}
+
+// Logheap group-commit conformance: every shard's bucket versions, epoch
+// commits, and log stream ride ONE physical log. Epoch-order rejection,
+// rollback after a partially installed write vector, and closed-shard
+// isolation must hold exactly as they do with per-shard heap files.
+func TestBackendConformanceGroupLogHeap(t *testing.T) {
+	RunGroupCommitConformance(t, 3, func(t *testing.T, n int) []Backend {
+		g, err := OpenDiskGroupOpts(t.TempDir(), n, ConformanceMinBuckets, DiskOptions{LogHeap: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -103,6 +103,14 @@ type DiskBackend struct {
 	lastSeq     uint64
 	truncBefore uint64 // sequence numbers below this are logically gone
 	segMaxBytes int64
+	// segRetain, when set (logheap mode), is the retention gate: segments
+	// holding any sequence number >= segRetain() survive truncation because
+	// they still carry live bucket versions or un-checkpointed index state.
+	// Called under logMu; must only read atomics.
+	segRetain func() uint64
+	// keepDeadSegs defers open-time dead-segment collection until the
+	// retention gate is installed (logheap mode).
+	keepDeadSegs bool
 
 	// Deferred log appends awaiting a SyncLog barrier, oldest first. Almost
 	// always one entry; a second appears only when unsynced appends straddle
@@ -180,6 +188,12 @@ type DiskOptions struct {
 	// SegMaxBytes overrides the log segment roll-over size (0 = default).
 	// Exposed for recovery benchmarks that need many segments.
 	SegMaxBytes int64
+	// LogHeap selects the log-structured bucket heap for a DiskGroup:
+	// bucket version records ride the shared physical log alongside the
+	// recovery-log streams, so an epoch's heap commit and its log barrier
+	// share a single fsync wave. Only meaningful to OpenDiskGroupOpts; a
+	// data dir is created in one mode and refuses to open in the other.
+	LogHeap bool
 }
 
 // OpenDiskBackend opens (or creates) a durable backend rooted at dir.
@@ -210,6 +224,18 @@ type diskOpts struct {
 	segMaxBytes int64
 	autoCompact bool
 	presync     bool
+	// noHeap skips buckets.heap entirely: the shard's bucket data lives in
+	// the shared physical log (LogHeap) and the per-shard heap file is never
+	// created. Bucket ops on the raw DiskBackend are invalid in this mode —
+	// the owning GroupShard routes them to the LogHeap.
+	noHeap bool
+	// keepSegs defers open-time dead-segment collection until the logheap
+	// retention gate is installed.
+	keepSegs bool
+	// logHeap selects the log-structured bucket heap for group opens (see
+	// DiskOptions.LogHeap); openDiskGroupOpts derives noHeap/keepSegs for
+	// the per-shard opens from it.
+	logHeap bool
 }
 
 func openDiskBackend(fsys vfs, dir string, numBuckets int) (*DiskBackend, error) {
@@ -231,6 +257,7 @@ func openDiskBackendOpts(fsys vfs, dir string, numBuckets int, opts diskOpts) (*
 		kvCompactMin:    defaultKVCompactMin,
 		segMaxBytes:     defaultSegMaxBytes,
 		truncBefore:     1,
+		keepDeadSegs:    opts.keepSegs,
 	}
 	if opts.segMaxBytes > 0 {
 		b.segMaxBytes = opts.segMaxBytes
@@ -256,14 +283,13 @@ func openDiskBackendOpts(fsys vfs, dir string, numBuckets int, opts diskOpts) (*
 	// with a worker budget they open (replay + crc verify) concurrently,
 	// pFSCK-style. Serial order is preserved at workers == 1 so the crash
 	// harness's op sequence stays deterministic.
+	opens := []func() error{b.openKV, func() error { return b.openLog(names) }}
+	if !opts.noHeap {
+		opens = append([]func() error{b.openHeap}, opens...)
+	}
 	if b.recoveryWorkers > 1 {
 		var wg sync.WaitGroup
-		errs := make([]error, 3)
-		opens := []func() error{
-			b.openHeap,
-			b.openKV,
-			func() error { return b.openLog(names) },
-		}
+		errs := make([]error, len(opens))
 		for i, fn := range opens {
 			wg.Add(1)
 			go func(i int, fn func() error) {
@@ -278,14 +304,10 @@ func openDiskBackendOpts(fsys vfs, dir string, numBuckets int, opts diskOpts) (*
 			}
 		}
 	} else {
-		if err := b.openHeap(); err != nil {
-			return nil, err
-		}
-		if err := b.openKV(); err != nil {
-			return nil, err
-		}
-		if err := b.openLog(names); err != nil {
-			return nil, err
+		for _, fn := range opens {
+			if err := fn(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Creating buckets.heap / kv.log fsyncs their contents, but on ext4 a

@@ -216,6 +216,10 @@ const (
 	segMagic  = "OBSEG001"
 	kvMagic   = "OBKV0001"
 	metaMagic = "OBMETA01"
+	// lhixMagic heads a LogHeap index checkpoint: u32 = bucket count,
+	// u64 = physical-log watermark W (every own-stream record with physical
+	// sequence <= W is reflected in the checkpointed index).
+	lhixMagic = "OBLHIX01"
 )
 
 func encodeFileHeader(magic string, a uint32, b uint64) []byte {
@@ -245,6 +249,11 @@ const (
 	heapKindVersion  = 1 // u32 bucket | u64 epoch | u32 nslots | (u32 len | bytes)*
 	heapKindCommit   = 2 // u64 epoch
 	heapKindRollback = 3 // u64 epoch
+	// heapKindGCCopy is a version record re-appended by LogHeap segment GC
+	// (same layout as heapKindVersion). Replay applies it only when the index
+	// still holds an entry for the same bucket+epoch — it relocates data, it
+	// never introduces a version shadow paging didn't already install.
+	heapKindGCCopy = 4
 )
 
 // heapVersionDataStart is the offset, within a version record body, of the
@@ -253,12 +262,18 @@ const heapVersionDataStart = 1 + 4 + 8 + 4
 
 // encodeVersionBody builds a heapKindVersion record body.
 func encodeVersionBody(bucket int, epoch uint64, slots [][]byte) []byte {
+	return encodeVersionBodyKind(heapKindVersion, bucket, epoch, slots)
+}
+
+// encodeVersionBodyKind is encodeVersionBody with an explicit kind, so
+// LogHeap GC can emit heapKindGCCopy records with the same layout.
+func encodeVersionBodyKind(kind byte, bucket int, epoch uint64, slots [][]byte) []byte {
 	n := heapVersionDataStart
 	for _, s := range slots {
 		n += 4 + len(s)
 	}
 	body := make([]byte, 0, n)
-	body = append(body, heapKindVersion)
+	body = append(body, kind)
 	body = binary.BigEndian.AppendUint32(body, uint32(bucket))
 	body = binary.BigEndian.AppendUint64(body, epoch)
 	body = binary.BigEndian.AppendUint32(body, uint32(len(slots)))
@@ -295,12 +310,12 @@ func parseHeapBody(body []byte) (heapRec, error) {
 			return heapRec{}, fmt.Errorf("%w: epoch record of %d bytes", errBadRecord, len(body))
 		}
 		return heapRec{kind: body[0], epoch: binary.BigEndian.Uint64(body[1:9])}, nil
-	case heapKindVersion:
+	case heapKindVersion, heapKindGCCopy:
 		if len(body) < heapVersionDataStart {
 			return heapRec{}, fmt.Errorf("%w: short version record", errBadRecord)
 		}
 		rec := heapRec{
-			kind:   heapKindVersion,
+			kind:   body[0],
 			bucket: int(binary.BigEndian.Uint32(body[1:5])),
 			epoch:  binary.BigEndian.Uint64(body[5:13]),
 		}
@@ -328,6 +343,97 @@ func parseHeapBody(body []byte) (heapRec, error) {
 		return rec, nil
 	default:
 		return heapRec{}, fmt.Errorf("%w: unknown heap record kind %d", errBadRecord, body[0])
+	}
+}
+
+// ---- LogHeap index-checkpoint record bodies ----
+//
+// A LogHeap index checkpoint is an atomically-replaced file (lhixMagic
+// header carrying the bucket count and the watermark W) holding framed
+// records: one state record with the committed epoch frontier, then one
+// version record per live index entry in bucket order, stack order (oldest
+// first). It stores *locations* into the shared physical log, never slot
+// bytes, so replay after the checkpoint is bounded to own-stream records
+// with physical sequence > W.
+
+const (
+	lhixKindState   = 1 // u64 committed epoch
+	lhixKindVersion = 2 // u32 bucket | u64 epoch | u64 segBase | u64 off | u32 recLen | u32 nslots | u32 len*
+)
+
+// lhixVersionDataStart is the offset, within a checkpoint version record
+// body, of the first slot-length entry.
+const lhixVersionDataStart = 1 + 4 + 8 + 8 + 8 + 4 + 4
+
+func encodeLhixVersion(bucket int, epoch, segBase uint64, off int64, recLen int, slotLens []uint32) []byte {
+	body := make([]byte, 0, lhixVersionDataStart+4*len(slotLens))
+	body = append(body, lhixKindVersion)
+	body = binary.BigEndian.AppendUint32(body, uint32(bucket))
+	body = binary.BigEndian.AppendUint64(body, epoch)
+	body = binary.BigEndian.AppendUint64(body, segBase)
+	body = binary.BigEndian.AppendUint64(body, uint64(off))
+	body = binary.BigEndian.AppendUint32(body, uint32(recLen))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(slotLens)))
+	for _, l := range slotLens {
+		body = binary.BigEndian.AppendUint32(body, l)
+	}
+	return body
+}
+
+// lhixRec is a parsed checkpoint record body.
+type lhixRec struct {
+	kind      byte
+	committed uint64 // state records
+	bucket    int    // version records from here down
+	epoch     uint64
+	segBase   uint64
+	off       int64
+	recLen    int
+	slotLens  []uint32
+}
+
+// parseLhixBody decodes a checkpoint record body. Like parseHeapBody, every
+// field is bounds-checked: a structurally invalid body under a valid frame
+// checksum is corruption and must fail loudly, not mis-deserialize.
+func parseLhixBody(body []byte) (lhixRec, error) {
+	if len(body) == 0 {
+		return lhixRec{}, fmt.Errorf("%w: empty index checkpoint record", errBadRecord)
+	}
+	switch body[0] {
+	case lhixKindState:
+		if len(body) != 9 {
+			return lhixRec{}, fmt.Errorf("%w: checkpoint state record of %d bytes", errBadRecord, len(body))
+		}
+		return lhixRec{kind: lhixKindState, committed: binary.BigEndian.Uint64(body[1:9])}, nil
+	case lhixKindVersion:
+		if len(body) < lhixVersionDataStart {
+			return lhixRec{}, fmt.Errorf("%w: short checkpoint version record", errBadRecord)
+		}
+		rec := lhixRec{
+			kind:    lhixKindVersion,
+			bucket:  int(binary.BigEndian.Uint32(body[1:5])),
+			epoch:   binary.BigEndian.Uint64(body[5:13]),
+			segBase: binary.BigEndian.Uint64(body[13:21]),
+			off:     int64(binary.BigEndian.Uint64(body[21:29])),
+			recLen:  int(binary.BigEndian.Uint32(body[29:33])),
+		}
+		if rec.off < 0 || rec.recLen < 0 || rec.recLen > maxRecordSize {
+			return lhixRec{}, fmt.Errorf("%w: checkpoint version location out of range", errBadRecord)
+		}
+		nslots := int(binary.BigEndian.Uint32(body[33:37]))
+		if nslots < 0 || nslots > maxVector {
+			return lhixRec{}, fmt.Errorf("%w: checkpoint version with %d slots", errBadRecord, nslots)
+		}
+		if len(body)-lhixVersionDataStart != 4*nslots {
+			return lhixRec{}, fmt.Errorf("%w: checkpoint slot table size mismatch", errBadRecord)
+		}
+		rec.slotLens = make([]uint32, nslots)
+		for i := 0; i < nslots; i++ {
+			rec.slotLens[i] = binary.BigEndian.Uint32(body[lhixVersionDataStart+4*i:])
+		}
+		return rec, nil
+	default:
+		return lhixRec{}, fmt.Errorf("%w: unknown index checkpoint record kind %d", errBadRecord, body[0])
 	}
 }
 

@@ -335,8 +335,13 @@ func (b *DiskBackend) openLog(names []string) error {
 		}
 	}
 	// A crash between the meta update and segment deletion can leave whole
-	// segments below the truncation point; finish the job.
-	b.dropDeadSegmentsLocked()
+	// segments below the truncation point; finish the job. In logheap mode
+	// the retention gate is only installed after the heap index is rebuilt,
+	// so the open-time pass is deferred until then — dropping a segment here
+	// could delete live bucket versions the WAL no longer needs.
+	if !b.keepDeadSegs {
+		b.dropDeadSegmentsLocked()
+	}
 	return nil
 }
 
@@ -415,7 +420,7 @@ func (b *DiskBackend) openSegment(base uint64) (*segment, error) {
 // appends and bucket-heap writes inside one epoch boundary overlap instead
 // of serializing on a shared mutex.
 func (b *DiskBackend) Append(record []byte) (uint64, error) {
-	seq, f, ticket, err := b.appendLogUnsynced(record)
+	res, err := b.appendLogUnsynced(record)
 	if err != nil {
 		return 0, err
 	}
@@ -423,10 +428,10 @@ func (b *DiskBackend) Append(record []byte) (uint64, error) {
 	// from other namespaces/shards coalesce into (and parallelize within)
 	// one flush wave. The sequence number is only returned after a flush
 	// covering this record's write ticket lands, so the ack contract holds.
-	if err := b.barrierTicket(f, ticket); err != nil {
+	if err := b.barrierTicket(res.f, res.ticket); err != nil {
 		return 0, b.wedge(err)
 	}
-	return seq, nil
+	return res.seq, nil
 }
 
 // AppendNoSync implements LogBatcher: the record is written to the active
@@ -435,12 +440,12 @@ func (b *DiskBackend) Append(record []byte) (uint64, error) {
 // will trim it with the torn tail), which is exactly why the LogStore ack
 // contract moves to SyncLog's return.
 func (b *DiskBackend) AppendNoSync(record []byte) (uint64, error) {
-	seq, f, ticket, err := b.appendLogUnsynced(record)
+	res, err := b.appendLogUnsynced(record)
 	if err != nil {
 		return 0, err
 	}
-	b.notePending(f, ticket)
-	return seq, nil
+	b.notePending(res.f, res.ticket)
+	return res.seq, nil
 }
 
 // SyncLog implements LogBatcher: every append deferred since the last call
@@ -473,30 +478,52 @@ func (b *DiskBackend) notePending(f vfile, ticket uint64) {
 	b.pendMu.Unlock()
 }
 
+// logAppendRes describes where one framed record landed in the physical
+// log: its sequence number, the segment (by base) and byte offset of the
+// frame, the framed length, and the file+ticket the caller stands on (or
+// defers) for durability. The location fields are what lets the logheap
+// index point straight back into the log.
+type logAppendRes struct {
+	seq     uint64
+	segBase uint64
+	off     int64
+	n       int
+	f       vfile
+	ticket  uint64
+}
+
 // appendLogUnsynced writes one framed record to the active segment and
 // stamps it, leaving durability to the caller's barrierTicket on the
 // returned file. It is the seam the shared group log builds on: several
 // shards' streams append into one physical log here and then stand on the
 // same file's flush wave together.
-func (b *DiskBackend) appendLogUnsynced(record []byte) (uint64, vfile, uint64, error) {
+func (b *DiskBackend) appendLogUnsynced(record []byte) (logAppendRes, error) {
 	b.logMu.Lock()
 	defer b.logMu.Unlock()
 	if err := b.checkUsable(); err != nil {
-		return 0, nil, 0, err
+		return logAppendRes{}, err
 	}
 	seg, err := b.activeSegmentLocked()
 	if err != nil {
-		return 0, nil, 0, err
+		return logAppendRes{}, err
 	}
 	framed := encodeRecord(nil, record)
-	if _, err := seg.f.WriteAt(framed, seg.size); err != nil {
-		return 0, nil, 0, b.wedge(err)
+	off := seg.size
+	if _, err := seg.f.WriteAt(framed, off); err != nil {
+		return logAppendRes{}, b.wedge(err)
 	}
-	seg.offs = append(seg.offs, seg.size)
+	seg.offs = append(seg.offs, off)
 	seg.lens = append(seg.lens, int32(len(framed)))
 	seg.size += int64(len(framed))
 	b.lastSeq++
-	return b.lastSeq, seg.f, b.stamp(seg.f), nil
+	return logAppendRes{
+		seq:     b.lastSeq,
+		segBase: seg.base,
+		off:     off,
+		n:       len(framed),
+		f:       seg.f,
+		ticket:  b.stamp(seg.f),
+	}, nil
 }
 
 // activeSegmentLocked returns the tail segment, rolling to a fresh file once
@@ -545,6 +572,32 @@ func (b *DiskBackend) Scan(from uint64) ([][]byte, error) {
 		from = b.truncBefore
 	}
 	var out [][]byte
+	err := b.scanLogLocked(from, func(_, _ uint64, _ int64, rec []byte) error {
+		out = append(out, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanLog streams every retained record with sequence number >= from, in
+// order, passing each record's physical location alongside its body. Unlike
+// Scan it does NOT clamp to the WAL truncation point: in logheap mode the
+// retention gate keeps whole segments below truncBefore alive because they
+// still hold live bucket versions, and index replay must see them. The body
+// slice is only valid for the duration of the callback.
+func (b *DiskBackend) scanLog(from uint64, fn func(seq, segBase uint64, off int64, rec []byte) error) error {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return err
+	}
+	return b.scanLogLocked(from, fn)
+}
+
+func (b *DiskBackend) scanLogLocked(from uint64, fn func(seq, segBase uint64, off int64, rec []byte) error) error {
 	for _, seg := range b.segs {
 		n := uint64(len(seg.offs))
 		if n == 0 || seg.base+n <= from {
@@ -557,20 +610,46 @@ func (b *DiskBackend) Scan(from uint64) ([][]byte, error) {
 		lo := seg.offs[start]
 		buf, err := readFileRange(seg.f, lo, int(seg.size-lo))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		seq := seg.base + uint64(start)
+		off := lo
 		for rest := buf; len(rest) > 0; {
 			body, total, err := decodeRecord(rest)
 			if err != nil {
-				return nil, fmt.Errorf("storage: log segment %s: %w", seg.name, err)
+				return fmt.Errorf("storage: log segment %s: %w", seg.name, err)
 			}
-			rec := make([]byte, len(body))
-			copy(rec, body)
-			out = append(out, rec)
+			if err := fn(seq, seg.base, off, body); err != nil {
+				return err
+			}
+			seq++
+			off += int64(total)
 			rest = rest[total:]
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// readLogRange serves one ranged pread out of a retained segment, addressed
+// by the (segBase, offset) an appendLogUnsynced or scanLog reported. Every
+// retained record's crc32c was verified when its segment was opened (or the
+// bytes were written by this process), so the logheap read path slices the
+// returned frame without re-checking.
+func (b *DiskBackend) readLogRange(segBase uint64, off int64, n int) ([]byte, error) {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	if err := b.checkUsable(); err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(b.segs), func(i int) bool { return b.segs[i].base >= segBase })
+	if i >= len(b.segs) || b.segs[i].base != segBase {
+		return nil, fmt.Errorf("storage: log segment with base %d is gone", segBase)
+	}
+	seg := b.segs[i]
+	if off < int64(fileHeaderSize) || n < 0 || off+int64(n) > seg.size {
+		return nil, fmt.Errorf("storage: read [%d,+%d) outside log segment %s", off, n, seg.name)
+	}
+	return readFileRange(seg.f, off, n)
 }
 
 // Truncate implements LogStore: the truncation point lands durably in the
@@ -601,29 +680,89 @@ func (b *DiskBackend) Truncate(before uint64) error {
 	return nil
 }
 
-// dropDeadSegmentsLocked removes segments whose every record is below the
-// truncation point. The tail segment survives even when fully dead so the
-// next Append can keep extending it.
+// setSegRetain installs the logheap retention gate: a function returning
+// the first physical sequence number that must stay on disk regardless of
+// the WAL truncation point (live bucket versions, and records above the
+// index checkpoint watermark). The gate is called while logMu is held, so
+// it must only read atomics — never take a lock that can itself wait on
+// the log (lock order is heap mu → shared log mu → logMu).
+func (b *DiskBackend) setSegRetain(gate func() uint64) {
+	b.logMu.Lock()
+	b.segRetain = gate
+	b.logMu.Unlock()
+}
+
+// dropDeadSegments re-runs dead-segment collection outside any truncation;
+// the logheap GC pokes it after the retention gate rises.
+func (b *DiskBackend) dropDeadSegments() {
+	b.logMu.Lock()
+	if b.checkUsable() == nil {
+		b.dropDeadSegmentsLocked()
+	}
+	b.logMu.Unlock()
+}
+
+// dropDeadSegmentsLocked removes segments whose every record is below both
+// the truncation point and the logheap retention gate. The tail segment
+// survives even when fully dead so the next Append can keep extending it.
 func (b *DiskBackend) dropDeadSegmentsLocked() {
-	for len(b.segs) > 1 {
-		seg := b.segs[0]
-		if seg.base+uint64(len(seg.offs)) > b.truncBefore {
-			break
+	keep := b.truncBefore
+	if b.segRetain != nil {
+		if g := b.segRetain(); g < keep {
+			keep = g
 		}
+	}
+	drop := func(seg *segment) {
 		seg.f.Close()
 		b.forgetFile(seg.f)
 		_ = b.fsys.Remove(joinPath(b.dir, seg.name)) // reopen filters it anyway
+	}
+	for len(b.segs) > 1 {
+		seg := b.segs[0]
+		if seg.base+uint64(len(seg.offs)) > keep {
+			break
+		}
+		drop(seg)
 		b.segs = b.segs[1:]
 	}
 	if len(b.segs) == 1 {
 		seg := b.segs[0]
-		if seg.base+uint64(len(seg.offs)) <= b.truncBefore {
-			seg.f.Close()
-			b.forgetFile(seg.f)
-			_ = b.fsys.Remove(joinPath(b.dir, seg.name))
+		if seg.base+uint64(len(seg.offs)) <= keep {
+			drop(seg)
 			b.segs = nil
 		}
 	}
+}
+
+// activeSegBase returns the base of the tail segment — the one still taking
+// appends; the logheap GC only considers strictly older segments as
+// victims. Zero when the log holds no segments.
+func (b *DiskBackend) activeSegBase() uint64 {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	if len(b.segs) == 0 {
+		return 0
+	}
+	return b.segs[len(b.segs)-1].base
+}
+
+// gcCandidate reports the oldest retained segment when it is not the active
+// tail; ok=false means there is nothing a copy-forward pass could free.
+func (b *DiskBackend) gcCandidate() (base uint64, ok bool) {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	if len(b.segs) < 2 {
+		return 0, false
+	}
+	return b.segs[0].base, true
+}
+
+// truncFloor returns the WAL truncation point (first retained WAL
+// sequence).
+func (b *DiskBackend) truncFloor() uint64 {
+	b.logMu.RLock()
+	defer b.logMu.RUnlock()
+	return b.truncBefore
 }
 
 // LastSeq implements LogStore.

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -270,28 +272,222 @@ type DiskGroup struct {
 	shards []*DiskBackend
 	shared *SharedLog
 	views  []*GroupShard
+	heaps  []*LogHeap // logheap mode: one per shard, else nil
+
+	// Background logheap maintenance (checkpoint + segment GC); nil
+	// channels when off (crash-harness opens drive Checkpoint /
+	// EvacuateSegment explicitly for determinism).
+	maintainKick chan struct{}
+	maintainStop chan struct{}
+	maintainWG   sync.WaitGroup
 }
 
 // GroupShard is one shard of a DiskGroup as the proxy consumes it: the
 // shard's own DiskBackend for buckets and KV, with the recovery-log face
-// rerouted onto the group's shared physical log.
+// rerouted onto the group's shared physical log — and, in logheap mode,
+// the bucket face rerouted onto the shard's LogHeap.
 type GroupShard struct {
 	*DiskBackend
 	logView *LogView
+	heap    *LogHeap // logheap mode only
+	// closed marks this shard logically closed in logheap mode. The
+	// underlying files belong to the physical log the OTHER shards still
+	// share, so Close cannot close them; the flag keeps the per-shard
+	// ErrClosed contract (every op on a closed shard fails, the siblings
+	// keep working) that DiskBackend.Close provides in per-shard-file mode.
+	closed atomic.Bool
 }
 
-func (s *GroupShard) Append(record []byte) (uint64, error) { return s.logView.Append(record) }
-func (s *GroupShard) Scan(from uint64) ([][]byte, error)   { return s.logView.Scan(from) }
-func (s *GroupShard) Truncate(before uint64) error         { return s.logView.Truncate(before) }
-func (s *GroupShard) LastSeq() (uint64, error)             { return s.logView.LastSeq() }
+// guard is the logheap-mode closed check; per-shard-file mode relies on the
+// embedded backend's own state.
+func (s *GroupShard) guard() error {
+	if s.heap != nil && s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (s *GroupShard) Append(record []byte) (uint64, error) {
+	if err := s.guard(); err != nil {
+		return 0, err
+	}
+	return s.logView.Append(record)
+}
+func (s *GroupShard) Scan(from uint64) ([][]byte, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	return s.logView.Scan(from)
+}
+func (s *GroupShard) Truncate(before uint64) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.logView.Truncate(before)
+}
+func (s *GroupShard) LastSeq() (uint64, error) {
+	if err := s.guard(); err != nil {
+		return 0, err
+	}
+	return s.logView.LastSeq()
+}
 
 // The deferred-barrier capability routes through the shared log too — this
 // is where it earns its keep: shards append back to back and the first
 // SyncLog's lone fsync covers the whole round.
 func (s *GroupShard) AppendNoSync(record []byte) (uint64, error) {
+	if err := s.guard(); err != nil {
+		return 0, err
+	}
 	return s.logView.AppendNoSync(record)
 }
-func (s *GroupShard) SyncLog() error { return s.logView.SyncLog() }
+func (s *GroupShard) SyncLog() error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.logView.SyncLog()
+}
+
+// Bucket ops route to the LogHeap in logheap mode.
+
+func (s *GroupShard) NumBuckets() (int, error) {
+	if err := s.guard(); err != nil {
+		return 0, err
+	}
+	if s.heap != nil {
+		return s.heap.NumBuckets()
+	}
+	return s.DiskBackend.NumBuckets()
+}
+func (s *GroupShard) ReadSlot(bucket, slot int) ([]byte, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	if s.heap != nil {
+		return s.heap.ReadSlot(bucket, slot)
+	}
+	return s.DiskBackend.ReadSlot(bucket, slot)
+}
+func (s *GroupShard) ReadSlots(refs []SlotRef) ([][]byte, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	if s.heap != nil {
+		return s.heap.ReadSlots(refs)
+	}
+	return s.DiskBackend.ReadSlots(refs)
+}
+func (s *GroupShard) ReadBucket(bucket int) ([][]byte, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	if s.heap != nil {
+		return s.heap.ReadBucket(bucket)
+	}
+	return s.DiskBackend.ReadBucket(bucket)
+}
+func (s *GroupShard) WriteBucket(bucket int, epoch uint64, slots [][]byte) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	if s.heap != nil {
+		return s.heap.WriteBucket(bucket, epoch, slots)
+	}
+	return s.DiskBackend.WriteBucket(bucket, epoch, slots)
+}
+func (s *GroupShard) WriteBuckets(writes []BucketWrite) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	if s.heap != nil {
+		return s.heap.WriteBuckets(writes)
+	}
+	return s.DiskBackend.WriteBuckets(writes)
+}
+func (s *GroupShard) CommitEpoch(epoch uint64) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	if s.heap != nil {
+		return s.heap.CommitEpoch(epoch)
+	}
+	return s.DiskBackend.CommitEpoch(epoch)
+}
+func (s *GroupShard) RollbackTo(epoch uint64) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	if s.heap != nil {
+		return s.heap.RollbackTo(epoch)
+	}
+	return s.DiskBackend.RollbackTo(epoch)
+}
+
+// CommittedEpoch / VersionCount mirror the DiskBackend test helpers.
+func (s *GroupShard) CommittedEpoch() uint64 {
+	if s.heap != nil {
+		return s.heap.CommittedEpoch()
+	}
+	return s.DiskBackend.CommittedEpoch()
+}
+func (s *GroupShard) VersionCount(bucket int) int {
+	if s.heap != nil {
+		return s.heap.VersionCount(bucket)
+	}
+	return s.DiskBackend.VersionCount(bucket)
+}
+
+// KV ops stay on the shard's own journal, but honor the logical close.
+func (s *GroupShard) Get(key string) ([]byte, bool, error) {
+	if err := s.guard(); err != nil {
+		return nil, false, err
+	}
+	return s.DiskBackend.Get(key)
+}
+func (s *GroupShard) Put(key string, value []byte) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.DiskBackend.Put(key, value)
+}
+func (s *GroupShard) Delete(key string) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.DiskBackend.Delete(key)
+}
+
+// Close closes the shard. In logheap mode the shard's bucket data and log
+// stream live inside files the sibling shards still share, so only the
+// logical flag flips; the physical files close with the group.
+func (s *GroupShard) Close() error {
+	if s.heap != nil {
+		s.closed.Store(true)
+		return nil
+	}
+	return s.DiskBackend.Close()
+}
+
+// logHeapShard is the Backend face of a logheap-mode shard. It is a
+// distinct type so that only logheap shards expose CommitEpochNoSync: a
+// per-shard-file GroupShard must NOT satisfy EpochCommitBatcher — deferring
+// its commit barrier would let a bucket heap become durably committed ahead
+// of the WAL commit record it depends on, exactly the ordering inversion
+// the unified log exists to make impossible (commit records ride the same
+// stream, so prefix durability orders them for free).
+type logHeapShard struct{ *GroupShard }
+
+// CommitEpochNoSync implements EpochCommitBatcher.
+func (s logHeapShard) CommitEpochNoSync(epoch uint64) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.heap.CommitEpochNoSync(epoch)
+}
+
+// CommitStream implements EpochCommitBatcher: every shard of a logheap group
+// appends into the owner backend's one physical log.
+func (s logHeapShard) CommitStream() any { return s.heap.owner }
 
 // OpenDiskGroup opens (or creates) shards backends under dir/shard-<i>,
 // each provisioned with numBuckets buckets, sharing a scheduler with the
@@ -308,7 +504,48 @@ func OpenDiskGroupOpts(dir string, shards, numBuckets int, opts DiskOptions) (*D
 		workers:     opts.RecoveryWorkers,
 		segMaxBytes: opts.SegMaxBytes,
 		autoCompact: true,
+		logHeap:     opts.LogHeap,
 	})
+}
+
+// logHeapMarker is the group-dir marker distinguishing logheap data dirs
+// from per-shard-file ones. Opening a dir in the wrong mode must fail
+// loudly — a logheap dir's bucket data is invisible to the per-shard-file
+// layout (and vice versa), so proceeding would silently serve an empty
+// store over live data.
+const logHeapMarker = "logheap"
+
+// checkGroupMode enforces the marker, creating it for a fresh logheap dir.
+func checkGroupMode(fsys vfs, dir string, logHeap bool) error {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return fmt.Errorf("storage: listing group dir: %w", err)
+	}
+	hasMarker, hasShard := false, false
+	for _, n := range names {
+		switch {
+		case n == logHeapMarker:
+			hasMarker = true
+		case len(n) >= 6 && n[:6] == "shard-":
+			hasShard = true
+		}
+	}
+	switch {
+	case logHeap && hasMarker, !logHeap && !hasMarker:
+		return nil
+	case logHeap && hasShard:
+		return fmt.Errorf("storage: data dir %s holds a per-shard-file group; refusing to open it in logheap mode", dir)
+	case !logHeap:
+		return fmt.Errorf("storage: data dir %s holds a logheap group; open it with DiskOptions.LogHeap", dir)
+	}
+	f, err := fsys.OpenFile(joinPath(dir, logHeapMarker), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating logheap marker: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // openDiskGroupOpts is the vfs-injectable group constructor (the crash sweep
@@ -317,28 +554,154 @@ func openDiskGroupOpts(fsys vfs, dir string, shards, numBuckets int, opts diskOp
 	if shards <= 0 {
 		return nil, fmt.Errorf("storage: disk group needs a positive shard count (got %d)", shards)
 	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating group dir: %w", err)
+	}
+	if err := checkGroupMode(fsys, dir, opts.logHeap); err != nil {
+		return nil, err
+	}
 	if opts.group == nil {
 		opts.group = NewCommitGroup(GroupConfig{Window: DefaultGroupWindow})
 	}
+	shardOpts := opts
+	if opts.logHeap {
+		// Logheap shards keep no buckets.heap (versions ride the shared
+		// log), and the owner's open-time segment collection waits until the
+		// retention gate knows which old segments still hold live versions.
+		shardOpts.noHeap = true
+		shardOpts.keepSegs = true
+	}
 	g := &DiskGroup{group: opts.group}
+	shardDir := func(i int) string { return joinPath(dir, fmt.Sprintf("shard-%03d", i)) }
 	for i := 0; i < shards; i++ {
-		b, err := openDiskBackendOpts(fsys, joinPath(dir, fmt.Sprintf("shard-%03d", i)), numBuckets, opts)
+		b, err := openDiskBackendOpts(fsys, shardDir(i), numBuckets, shardOpts)
 		if err != nil {
 			g.Close()
 			return nil, fmt.Errorf("storage: opening disk group shard %d: %w", i, err)
 		}
 		g.shards = append(g.shards, b)
 	}
-	shared, err := NewSharedLog(g.shards[0], shards)
-	if err != nil {
-		g.Close()
-		return nil, fmt.Errorf("storage: opening disk group shared log: %w", err)
+	owner := g.shards[0]
+	nb := g.shards[0].numBuckets // openMeta resolved 0 to the stored count
+	var shared *SharedLog
+	if opts.logHeap {
+		for i := 0; i < shards; i++ {
+			lh, err := newLogHeap(owner, fsys, shardDir(i), i, nb)
+			if err != nil {
+				g.Close()
+				return nil, fmt.Errorf("storage: opening disk group shard %d logheap: %w", i, err)
+			}
+			g.heaps = append(g.heaps, lh)
+		}
+		var err error
+		shared, err = newSharedLogOpts(owner, shards, shards, sharedLogReplay{
+			heapFloor: func(i int) uint64 { return g.heaps[i].ckptW },
+			onHeap: func(i int, seq, segBase uint64, off int64, body []byte) error {
+				return g.heaps[i].replayRecord(seq, segBase, off, body)
+			},
+		})
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("storage: opening disk group shared log: %w", err)
+		}
+		for _, lh := range g.heaps {
+			lh.finishOpen()
+		}
+		heaps := g.heaps
+		owner.setSegRetain(func() uint64 {
+			floor := ^uint64(0)
+			for _, lh := range heaps {
+				if f := lh.retainFloor.Load(); f < floor {
+					floor = f
+				}
+			}
+			return floor
+		})
+		// The open-time dead-segment pass the shards deferred: with the gate
+		// installed, anything below both the truncation point and every
+		// heap's retention floor can finally go.
+		owner.dropDeadSegments()
+	} else {
+		var err error
+		shared, err = NewSharedLog(owner, shards)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("storage: opening disk group shared log: %w", err)
+		}
 	}
 	g.shared = shared
 	for i, b := range g.shards {
-		g.views = append(g.views, &GroupShard{DiskBackend: b, logView: shared.View(i)})
+		v := &GroupShard{DiskBackend: b, logView: shared.View(i)}
+		if opts.logHeap {
+			v.heap = g.heaps[i]
+		}
+		g.views = append(g.views, v)
+	}
+	if opts.logHeap && opts.autoCompact {
+		g.maintainKick = make(chan struct{}, 1)
+		g.maintainStop = make(chan struct{})
+		kick := func() {
+			select {
+			case g.maintainKick <- struct{}{}:
+			default:
+			}
+		}
+		for _, lh := range g.heaps {
+			lh.attach(shared, kick)
+		}
+		g.maintainWG.Add(1)
+		go g.maintainLoop()
+	} else if opts.logHeap {
+		for _, lh := range g.heaps {
+			lh.attach(shared, nil)
+		}
 	}
 	return g, nil
+}
+
+// maintainLoop runs logheap maintenance off the commit path: checkpoints
+// heaps whose un-checkpointed backlog is due, then tries to evacuate and
+// drop the oldest segment while the heap gate — not the WAL — is what keeps
+// it alive.
+func (g *DiskGroup) maintainLoop() {
+	defer g.maintainWG.Done()
+	for {
+		select {
+		case <-g.maintainStop:
+			return
+		case <-g.maintainKick:
+		}
+		g.maintainOnce()
+	}
+}
+
+func (g *DiskGroup) maintainOnce() {
+	for _, lh := range g.heaps {
+		lh.mu.RLock()
+		due := lh.dirty >= maintainEvery
+		lh.mu.RUnlock()
+		if due {
+			if err := lh.Checkpoint(); err != nil {
+				return // wedged or closing; the next kick retries
+			}
+		}
+	}
+	owner := g.shards[0]
+	for {
+		base, ok := owner.gcCandidate()
+		if !ok || base >= owner.truncFloor() {
+			return // the WAL still needs the oldest segment; GC frees nothing
+		}
+		for _, lh := range g.heaps {
+			if _, err := lh.EvacuateSegment(base); err != nil {
+				return
+			}
+		}
+		owner.dropDeadSegments()
+		if nb, ok := owner.gcCandidate(); !ok || nb == base {
+			return // nothing came free (WAL floor mid-segment); stop here
+		}
+	}
 }
 
 // Shards returns the group's backends in shard order. Log methods on these
@@ -348,11 +711,16 @@ func (g *DiskGroup) Shards() []*DiskBackend { return g.shards }
 
 // Backends returns the shards as Backend values (the shape core.NewSharded
 // and the bench harness consume), each with its log stream routed through
-// the group's shared physical log.
+// the group's shared physical log. Logheap shards come wrapped in the type
+// that additionally satisfies EpochCommitBatcher.
 func (g *DiskGroup) Backends() []Backend {
 	out := make([]Backend, len(g.views))
 	for i, v := range g.views {
-		out[i] = v
+		if v.heap != nil {
+			out[i] = logHeapShard{v}
+		} else {
+			out[i] = v
+		}
 	}
 	return out
 }
@@ -360,8 +728,18 @@ func (g *DiskGroup) Backends() []Backend {
 // Group returns the shared scheduler (stats live there).
 func (g *DiskGroup) Group() *CommitGroup { return g.group }
 
-// Close closes every shard, then the scheduler.
+// Close closes every shard, then the scheduler. Logheap heaps checkpoint
+// first (best effort — replay would rebuild the same state, a checkpoint
+// just makes the next open cheap), while the owner's files are still open.
 func (g *DiskGroup) Close() error {
+	if g.maintainStop != nil {
+		close(g.maintainStop)
+		g.maintainWG.Wait()
+		g.maintainStop = nil
+	}
+	for _, lh := range g.heaps {
+		_ = lh.Checkpoint()
+	}
 	var first error
 	for _, b := range g.shards {
 		if err := b.Close(); err != nil && first == nil {

@@ -37,6 +37,12 @@ type SharedLog struct {
 
 	mu      sync.Mutex
 	streams []logStream
+	// heapStreams counts bucket-data streams (logheap mode); they occupy
+	// stream ids len(streams)..len(streams)+heapStreams-1. Heap streams have
+	// no logical sequence mapping — the logheap index addresses records by
+	// physical location, its checkpoint watermark bounds replay, and the
+	// segment retention gate (not Truncate) governs their lifetime.
+	heapStreams int
 }
 
 type logStream struct {
@@ -53,35 +59,83 @@ const sharedLogHdrSize = 4
 // rebuild each stream's state — including after a crash, where the owner's
 // own open already handled torn tails and damaged segments.
 func NewSharedLog(owner *DiskBackend, streams int) (*SharedLog, error) {
-	if streams <= 0 {
-		return nil, fmt.Errorf("storage: shared log needs a positive stream count (got %d)", streams)
+	return newSharedLogOpts(owner, streams, 0, sharedLogReplay{})
+}
+
+// sharedLogReplay feeds bucket-data records to the logheap rebuild during
+// the open-time demux scan. heapFloor(i) is heap stream i's checkpoint
+// watermark W: own-stream records with physical sequence <= W are already
+// reflected in the loaded checkpoint and are skipped; onHeap receives every
+// record above it, with its physical location (the body slice is only valid
+// for the duration of the call).
+type sharedLogReplay struct {
+	heapFloor func(i int) uint64
+	onHeap    func(i int, seq, segBase uint64, off int64, body []byte) error
+}
+
+// newSharedLogOpts builds the multiplexer over walStreams WAL streams plus
+// heapStreams bucket-data streams. The demux scan starts at the lowest
+// sequence any consumer still needs — the WAL truncation point, or a heap
+// stream's checkpoint watermark, whichever is lower (the retention gate
+// keeps those segments on disk) — and WAL streams simply skip the
+// logically-truncated records below the truncation point.
+func newSharedLogOpts(owner *DiskBackend, walStreams, heapStreams int, rp sharedLogReplay) (*SharedLog, error) {
+	if walStreams <= 0 {
+		return nil, fmt.Errorf("storage: shared log needs a positive stream count (got %d)", walStreams)
 	}
-	s := &SharedLog{owner: owner, streams: make([]logStream, streams)}
+	s := &SharedLog{owner: owner, streams: make([]logStream, walStreams), heapStreams: heapStreams}
 	for i := range s.streams {
 		s.streams[i].floor = 1
 	}
-	recs, err := owner.Scan(0)
-	if err != nil {
-		return nil, err
+	trunc := owner.truncFloor()
+	from := trunc
+	for i := 0; i < heapStreams; i++ {
+		if w := rp.heapFloor(i) + 1; w < from {
+			from = w
+		}
 	}
-	last, err := owner.LastSeq()
-	if err != nil {
-		return nil, err
-	}
-	base := last - uint64(len(recs)) + 1
-	for i, rec := range recs {
-		id, _, err := splitSharedRecord(rec)
+	total := walStreams + heapStreams
+	err := owner.scanLog(from, func(seq, segBase uint64, off int64, rec []byte) error {
+		id, body, err := splitSharedRecord(rec)
 		if err != nil {
-			return nil, fmt.Errorf("storage: shared log physical record %d: %w", base+uint64(i), err)
+			return fmt.Errorf("storage: shared log physical record %d: %w", seq, err)
 		}
-		if int(id) >= streams {
-			return nil, fmt.Errorf("storage: shared log record for stream %d but only %d streams opened", id, streams)
+		if int(id) >= total {
+			return fmt.Errorf("storage: shared log record for stream %d but only %d streams opened", id, total)
 		}
-		st := &s.streams[id]
-		st.phys = append(st.phys, base+uint64(i))
-		st.last++
+		if int(id) < walStreams {
+			if seq < trunc {
+				return nil // logically truncated; retained only for heap data
+			}
+			st := &s.streams[id]
+			st.phys = append(st.phys, seq)
+			st.last++
+			return nil
+		}
+		h := int(id) - walStreams
+		if seq <= rp.heapFloor(h) {
+			return nil // already covered by the index checkpoint
+		}
+		return rp.onHeap(h, seq, segBase, off, body)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// appendHeapStream appends one bucket-data record to heap stream i without
+// standing on a barrier, returning where it landed; the caller owns
+// durability (notePending now, SyncLog at the commit barrier). Called with
+// the owning LogHeap's mutex held — lock order is heap mu → s.mu → the
+// owner's logMu.
+func (s *SharedLog) appendHeapStream(i int, rec []byte) (logAppendRes, error) {
+	if i < 0 || i >= s.heapStreams {
+		return logAppendRes{}, fmt.Errorf("storage: shared log heap stream %d of %d", i, s.heapStreams)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.owner.appendLogUnsynced(wrapSharedRecord(uint32(len(s.streams)+i), rec))
 }
 
 func wrapSharedRecord(id uint32, rec []byte) []byte {
@@ -121,17 +175,17 @@ type LogView struct {
 func (v *LogView) Append(record []byte) (uint64, error) {
 	s := v.log
 	s.mu.Lock()
-	physSeq, f, ticket, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
+	res, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
 	if err != nil {
 		s.mu.Unlock()
 		return 0, err
 	}
 	st := &s.streams[v.id]
-	st.phys = append(st.phys, physSeq)
+	st.phys = append(st.phys, res.seq)
 	st.last++
 	seq := st.last
 	s.mu.Unlock()
-	if err := s.owner.barrierTicket(f, ticket); err != nil {
+	if err := s.owner.barrierTicket(res.f, res.ticket); err != nil {
 		return 0, s.owner.wedge(err)
 	}
 	return seq, nil
@@ -146,20 +200,20 @@ func (v *LogView) Append(record []byte) (uint64, error) {
 func (v *LogView) AppendNoSync(record []byte) (uint64, error) {
 	s := v.log
 	s.mu.Lock()
-	physSeq, f, ticket, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
+	res, err := s.owner.appendLogUnsynced(wrapSharedRecord(v.id, record))
 	if err != nil {
 		s.mu.Unlock()
 		return 0, err
 	}
 	st := &s.streams[v.id]
-	st.phys = append(st.phys, physSeq)
+	st.phys = append(st.phys, res.seq)
 	st.last++
 	seq := st.last
 	s.mu.Unlock()
 	// The pending-barrier ledger is the owner's: it is per physical log
 	// (which is exactly the coalescing domain) and it already forgets
 	// obligations on retired segment files.
-	s.owner.notePending(f, ticket)
+	s.owner.notePending(res.f, res.ticket)
 	return seq, nil
 }
 

@@ -137,6 +137,30 @@ type LogBatcher interface {
 	SyncLog() error
 }
 
+// EpochCommitBatcher is an optional BucketStore capability for stores whose
+// epoch commit is a log record on the SAME append stream as the recovery
+// log (the log-structured heap): CommitEpochNoSync appends and applies the
+// commit but leaves its durability to the caller's next SyncLog, so N
+// shards' epoch commits and the round's WAL records all stand on ONE fsync
+// wave. Only stores that can guarantee the commit record is ordered AFTER
+// the WAL commit record it depends on (prefix durability in one stream)
+// may implement this — a store with a separate heap file must not, since
+// deferring would let the heap commit become durable first.
+//
+// Callers probe with a type assertion and fall back to CommitEpoch's
+// inline barrier.
+type EpochCommitBatcher interface {
+	CommitEpochNoSync(epoch uint64) error
+	// CommitStream identifies the physical append stream the store's commit
+	// records ride (comparable; same value ⟺ same stream). A sharded caller
+	// must verify every shard reports the SAME stream before deferring the
+	// round's barriers: the prefix durability that orders a shard's heap
+	// commit after the coordinator's WAL commit record only exists within
+	// one physical log. Shards on distinct streams fall back to inline
+	// commits, where explicit barrier order supplies the same guarantee.
+	CommitStream() any
+}
+
 func checkBucket(bucket, n int) error {
 	if bucket < 0 || bucket >= n {
 		return fmt.Errorf("%w: %d (have %d)", ErrNoSuchBucket, bucket, n)
