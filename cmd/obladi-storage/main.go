@@ -41,6 +41,9 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
+	"syscall"
+	"time"
 
 	"obladi/internal/pprofserve"
 	"obladi/internal/storage"
@@ -114,11 +117,21 @@ func main() {
 	fmt.Printf("obladi-storage: serving %d buckets on %s\n", *buckets, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("obladi-storage: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		// Graceful drain: stop accepting and give in-flight proxy requests
+		// (an epoch boundary's flush, a WAL barrier) a grace window to
+		// finish, so a rolling restart doesn't tear a boundary mid-commit.
+		fmt.Println("obladi-storage: SIGTERM, draining")
+		if err := srv.Drain(5 * time.Second); err != nil {
+			log.Print(err)
+		}
+	} else {
+		fmt.Println("obladi-storage: shutting down")
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *persist != "" && mem != nil {
 		if err := mem.SaveTo(*persist); err != nil {
@@ -185,8 +198,23 @@ func serveGroup(dataDir string, shards, buckets int, listen, latency string, sca
 		fmt.Printf("obladi-storage: shard %d serving %d buckets on %s\n", i, buckets, srv.Addr())
 	}
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		fmt.Println("obladi-storage: SIGTERM, draining")
+		var wg sync.WaitGroup
+		for _, srv := range servers {
+			wg.Add(1)
+			go func(srv *storage.Server) {
+				defer wg.Done()
+				if err := srv.Drain(5 * time.Second); err != nil {
+					log.Print(err)
+				}
+			}(srv)
+		}
+		wg.Wait()
+		return
+	}
 	fmt.Println("obladi-storage: shutting down")
 	for _, srv := range servers {
 		if err := srv.Close(); err != nil {

@@ -110,6 +110,7 @@ var experiments = []struct {
 	{"disk", "durable disk backend vs in-memory store, scalar vs vectored I/O, plus 2-shard group commit (beyond the paper)", Disk},
 	{"recovery", "crash-recovery time: serial vs parallel segment replay at 1/2/4 workers (beyond the paper)", Recovery},
 	{"hotpath", "proxy CPU hot path: executor slot pipeline and single-shard mem throughput, with allocs/slot (beyond the paper)", HotPath},
+	{"failover", "hot-standby replication tax (standalone vs replicated vs replica-acked) and measured failover timeline (beyond the paper)", Failover},
 }
 
 // Names lists all experiment ids.

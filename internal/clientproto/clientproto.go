@@ -53,10 +53,19 @@ func NewServer(db kvtxn.DB, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clientproto: listen: %w", err)
 	}
+	return NewServerListener(db, ln), nil
+}
+
+// NewServerListener serves on an already-bound listener. A standby proxy
+// uses this to claim its client port the moment it starts — connections made
+// before promotion wait in the listener's accept queue and are served once
+// the promoted standby starts accepting — so clients' failover address lists
+// stay static and a dial into the failover window costs latency, not errors.
+func NewServerListener(db kvtxn.DB, ln net.Listener) *Server {
 	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.

@@ -1,0 +1,190 @@
+package clientproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"obladi/internal/kvtxn"
+)
+
+// FailoverConfig tunes the failover-aware mux dialer.
+type FailoverConfig struct {
+	// Addrs lists the client endpoints of the primary and its standbys, in
+	// preference order. Required.
+	Addrs []string
+	// DialTimeout bounds one connection attempt. Default 500ms.
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff applied
+	// between full sweeps of the address list. Defaults 25ms / 1s.
+	BackoffMin, BackoffMax time.Duration
+	// MaxWait bounds the total time a Begin will spend redialing before
+	// giving up; it should comfortably exceed the standby's lease timeout
+	// so clients ride out a failover. Default 15s.
+	MaxWait time.Duration
+}
+
+func (c *FailoverConfig) setDefaults() error {
+	if len(c.Addrs) == 0 {
+		return errors.New("clientproto: FailoverConfig.Addrs required")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 15 * time.Second
+	}
+	return nil
+}
+
+// FailoverClient is a MuxClient facade over an address list: it keeps one
+// live connection, and when that connection dies it redials across the list
+// with bounded exponential backoff until a proxy (the old primary restarted,
+// or a promoted standby) accepts. Transactions are session-scoped, so there
+// is no mid-transaction migration: an in-flight transaction on a dead
+// connection fails with a retryable abort (ErrConnLost wrapping
+// kvtxn.ErrAborted) and the caller's retry loop replays it on the next
+// Begin, which transparently lands on the new connection. A commit whose
+// decision was lost fails with ErrCommitUnknown and is deliberately NOT
+// retryable — that is the at-most-once half of the failover contract.
+type FailoverClient struct {
+	cfg FailoverConfig
+
+	mu     sync.Mutex
+	cur    *MuxClient
+	closed bool
+}
+
+// DialMuxFailover connects to the first reachable address and returns the
+// failover client. The initial dial follows the same backoff/MaxWait policy
+// as post-failure redials, so a client started during a failover window
+// simply waits for promotion.
+func DialMuxFailover(cfg FailoverConfig) (*FailoverClient, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	fc := &FailoverClient{cfg: cfg}
+	if _, err := fc.client(); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+// client returns the live connection, redialing if it is lost.
+func (fc *FailoverClient) client() (*MuxClient, error) {
+	backoff := fc.cfg.BackoffMin
+	deadline := time.Now().Add(fc.cfg.MaxWait)
+	var lastErr error
+	for {
+		fc.mu.Lock()
+		if fc.closed {
+			fc.mu.Unlock()
+			return nil, errors.New("clientproto: failover client closed")
+		}
+		if fc.cur != nil && !fc.cur.Lost() {
+			c := fc.cur
+			fc.mu.Unlock()
+			return c, nil
+		}
+		fc.mu.Unlock()
+
+		for _, addr := range fc.cfg.Addrs {
+			c, err := dialMuxTimeout(addr, fc.cfg.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			fc.mu.Lock()
+			if fc.closed {
+				fc.mu.Unlock()
+				c.Close()
+				return nil, errors.New("clientproto: failover client closed")
+			}
+			if fc.cur != nil && !fc.cur.Lost() {
+				// A concurrent Begin won the redial race; use its connection.
+				cur := fc.cur
+				fc.mu.Unlock()
+				c.Close()
+				return cur, nil
+			}
+			fc.cur = c
+			fc.mu.Unlock()
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("clientproto: no proxy reachable within %v (last: %w)", fc.cfg.MaxWait, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > fc.cfg.BackoffMax {
+			backoff = fc.cfg.BackoffMax
+		}
+	}
+}
+
+// Begin opens a transaction on the live connection (redialing first if
+// needed). A dial failure surfaces on the transaction's operations.
+func (fc *FailoverClient) Begin() *MuxTxn { return fc.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin with a context.
+func (fc *FailoverClient) BeginCtx(ctx context.Context) *MuxTxn {
+	c, err := fc.client()
+	if err != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		// A txn whose sends all fail with the dial error: operations and
+		// Commit surface it, and it is not "session settled" — the caller
+		// sees the real reason redialing gave up.
+		return &MuxTxn{ctx: ctx, sendErr: err}
+	}
+	return c.BeginCtx(ctx)
+}
+
+// Lost reports whether the client currently holds no live connection (the
+// next Begin will redial across the address list).
+func (fc *FailoverClient) Lost() bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.cur == nil || fc.cur.Lost()
+}
+
+// Close closes the live connection and stops redialing.
+func (fc *FailoverClient) Close() error {
+	fc.mu.Lock()
+	fc.closed = true
+	c := fc.cur
+	fc.cur = nil
+	fc.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// FailoverDB adapts a FailoverClient to kvtxn.DB so workload suites run
+// unchanged across a failover.
+type FailoverDB struct {
+	C *FailoverClient
+}
+
+var (
+	_ kvtxn.DB    = FailoverDB{}
+	_ kvtxn.CtxDB = FailoverDB{}
+)
+
+// Begin implements kvtxn.DB.
+func (d FailoverDB) Begin() kvtxn.Txn { return d.C.Begin() }
+
+// BeginCtx implements kvtxn.CtxDB.
+func (d FailoverDB) BeginCtx(ctx context.Context) kvtxn.Txn { return d.C.BeginCtx(ctx) }
+
+// Close implements kvtxn.DB.
+func (d FailoverDB) Close() error { return d.C.Close() }

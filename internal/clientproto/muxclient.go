@@ -3,11 +3,30 @@ package clientproto
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"obladi/internal/kvtxn"
+)
+
+var (
+	// ErrConnLost marks an operation that failed because the connection
+	// died before the server acted on it (or before we learned it did).
+	// Pre-commit it also wraps kvtxn.ErrAborted: the transaction's session
+	// died with the connection, nothing of it can commit, and the caller's
+	// retry loop may safely replay it — against a failover peer if one is
+	// configured.
+	ErrConnLost = errors.New("clientproto: connection lost")
+	// ErrCommitUnknown means the COMMIT frame was fully sent but the
+	// connection died before the decision arrived. The server may have
+	// committed; at-most-once acknowledgement demands this NOT be
+	// retryable, so it deliberately does not wrap kvtxn.ErrAborted —
+	// blindly replaying could double-apply the transaction. Callers must
+	// re-read to learn the outcome (or use naturally idempotent writes).
+	ErrCommitUnknown = errors.New("clientproto: commit outcome unknown (connection lost after COMMIT was sent)")
 )
 
 // MuxClient speaks the multiplexed v2 protocol: many concurrent transaction
@@ -30,8 +49,10 @@ type MuxClient struct {
 }
 
 // DialMux connects to a proxy server and opens the v2 protocol.
-func DialMux(addr string) (*MuxClient, error) {
-	conn, err := net.Dial("tcp", addr)
+func DialMux(addr string) (*MuxClient, error) { return dialMuxTimeout(addr, 0) }
+
+func dialMuxTimeout(addr string, timeout time.Duration) (*MuxClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -103,13 +124,15 @@ func (c *MuxClient) send(kind frameKind, session, req uint32, payload []byte) (c
 	ch := make(chan frame, 1)
 	key := uint64(session)<<32 | uint64(req)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
-		err := c.readErr
+	if c.closed {
 		c.mu.Unlock()
-		if err == nil {
-			err = fmt.Errorf("clientproto: client closed")
-		}
-		return nil, err
+		return nil, fmt.Errorf("clientproto: client closed")
+	}
+	if err := c.readErr; err != nil {
+		c.mu.Unlock()
+		// The connection is already known dead and this frame was never
+		// sent, so the operation is as retryable as any pre-commit loss.
+		return nil, fmt.Errorf("%w: %v: %w", ErrConnLost, err, kvtxn.ErrAborted)
 	}
 	c.pending[key] = ch
 	c.mu.Unlock()
@@ -125,12 +148,30 @@ func (c *MuxClient) send(kind frameKind, session, req uint32, payload []byte) (c
 		c.mu.Lock()
 		delete(c.pending, key)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("clientproto: send: %w", err)
+		// A failed write proves the connection is dead: mark the client lost
+		// immediately (the failover dialer keys off Lost(); waiting for the
+		// read loop to notice would keep handing out this dead connection)
+		// and fail the other pending waits now rather than on the EOF.
+		c.fail(fmt.Errorf("clientproto: send failed: %w", err))
+		// A failed send can at worst have put a torn frame on the wire,
+		// which the server cannot act on — safe to classify retryable.
+		return nil, fmt.Errorf("%w: send: %v: %w", ErrConnLost, err, kvtxn.ErrAborted)
 	}
 	return ch, nil
 }
 
+// Lost reports whether the client's connection has failed or been closed;
+// the failover dialer uses it to decide when to redial.
+func (c *MuxClient) Lost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed || c.readErr != nil
+}
+
 // connLost reports the connection-level error behind a closed reply channel.
+// It wraps both ErrConnLost and kvtxn.ErrAborted: an operation that never
+// got its reply died with its session, so before the commit point it is
+// safely retryable (Commit reclassifies its own losses as ErrCommitUnknown).
 func (c *MuxClient) connLost() error {
 	c.mu.Lock()
 	err := c.readErr
@@ -138,7 +179,7 @@ func (c *MuxClient) connLost() error {
 	if err == nil {
 		err = fmt.Errorf("clientproto: client closed")
 	}
-	return fmt.Errorf("clientproto: connection lost: %w", err)
+	return fmt.Errorf("%w: %v: %w", ErrConnLost, err, kvtxn.ErrAborted)
 }
 
 // replyError converts a reply frame into the operation's error result,
@@ -326,6 +367,10 @@ func (t *MuxTxn) ReadAsync(key string) kvtxn.ReadFuture {
 		f.done, f.err = true, fmt.Errorf("%w: session settled", kvtxn.ErrAborted)
 		return f
 	}
+	if t.sendErr != nil {
+		f.done, f.err = true, t.sendErr
+		return f
+	}
 	t.nextReq++
 	ch, err := t.c.send(frameRead, t.session, t.nextReq, []byte(key))
 	if err != nil {
@@ -418,25 +463,37 @@ func (t *MuxTxn) Commit() error {
 		}
 	}
 	t.pend = nil
+	// From here the COMMIT frame is fully on the wire, so a connection loss
+	// no longer proves the transaction didn't commit. A server-REPORTED
+	// abort (an error reply that arrived) is still an authoritative decision
+	// and stays retryable; a conn-loss error is not a decision at all and
+	// must surface as ErrCommitUnknown — at-most-once acknowledgement.
+	lostAck := firstErr != nil && errors.Is(firstErr, ErrConnLost)
 	select {
 	case reply, ok := <-ch:
 		if !ok {
-			if firstErr != nil {
+			if firstErr != nil && !lostAck {
 				return firstErr
 			}
-			return t.c.connLost()
+			return fmt.Errorf("%w: %v", ErrCommitUnknown, t.c.connLost())
 		}
 		err := t.c.replyError(reply)
 		reply.release()
 		if err != nil {
-			if firstErr != nil {
+			if firstErr != nil && !lostAck {
 				return firstErr
 			}
 			return err
 		}
+		if lostAck {
+			// The decision arrived, so earlier acks on the same ordered
+			// stream must have too; a lost ack with a received decision
+			// means the decision governs.
+			return nil
+		}
 		return firstErr
 	case <-t.ctx.Done():
-		return fmt.Errorf("clientproto: %w while awaiting commit decision (outcome unknown)", t.ctx.Err())
+		return fmt.Errorf("%w: %v while awaiting decision", ErrCommitUnknown, t.ctx.Err())
 	}
 }
 

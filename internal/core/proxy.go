@@ -128,6 +128,12 @@ type Config struct {
 	DisableDurability bool
 	// FullCheckpointEvery is the full-checkpoint cadence (Figure 11a).
 	FullCheckpointEvery int
+
+	// Replicator, when set, mirrors every recovery-log append to a hot
+	// standby and gates boundary acks on its Barrier (see Replicator).
+	// Ignored with DisableDurability — the WAL is the replication stream,
+	// so no WAL means nothing to replicate.
+	Replicator Replicator
 }
 
 // BoundaryMode selects how an epoch boundary's commit stage runs relative
@@ -241,8 +247,13 @@ type Proxy struct {
 	// single flush wave (see commitUnified). nil selects the inline path.
 	unified []storage.EpochCommitBatcher
 
+	// tees are the per-shard replication taps on the recovery logs (nil
+	// without a Replicator); armed once primeReplicator has seeded history.
+	tees []*replTee
+
 	mu       sync.Mutex
 	closed   bool
+	draining bool // Shutdown in progress: the epoch loop stops driving
 	epoch    uint64
 	batchIdx int // read batches already issued this epoch
 
@@ -286,6 +297,50 @@ func New(store storage.Backend, cfg Config) (*Proxy, error) {
 // New, it recovers instead of reinitializing when the coordinator shard's
 // recovery log holds a committed checkpoint.
 func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
+	p, err := newProxy(stores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.bootstrap(); err != nil {
+		return nil, err
+	}
+	return p.start()
+}
+
+// NewShardedFromRecoveries builds a proxy from pre-built recovery states
+// instead of scanning the stores' logs: the promotion path of hot-standby
+// failover (internal/replica), where the standby has already run
+// wal.Recover/RecoverWithFloor over its warm, locally replicated copy of
+// every shard's log. recs must be per-shard and coordinator-first, exactly
+// what the cold path's phase 1 would have produced; phase 2 (rollback,
+// state rebuild, deterministic replay, recovery-epoch commit) then runs
+// unchanged against the given stores, so a promoted standby and a
+// cold-restarted proxy reach identical state by construction.
+func NewShardedFromRecoveries(stores []storage.Backend, cfg Config, recs []*wal.Recovery) (*Proxy, error) {
+	p, err := newProxy(stores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DisableDurability {
+		return nil, errors.New("core: recovery injection needs durability enabled")
+	}
+	if len(recs) != len(stores) {
+		return nil, fmt.Errorf("core: %d recoveries for %d stores", len(recs), len(stores))
+	}
+	if !recs[0].HasCommit {
+		return nil, errors.New("core: coordinator recovery has no commit record")
+	}
+	if err := p.recoverFromRecoveries(recs); err != nil {
+		return nil, err
+	}
+	return p.start()
+}
+
+// newProxy runs the construction shared by every entry point: validation,
+// shard assembly, recovery-unit creation (tee-wrapped when replicating), and
+// the unified-commit probe. The caller then bootstraps or injects recovery
+// state and calls start.
+func newProxy(stores []storage.Backend, cfg Config) (*Proxy, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("core: at least one storage backend required")
 	}
@@ -311,14 +366,17 @@ func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
 			epochWrites: make(map[string]bool),
 		}
 		if !cfg.DisableDurability {
-			l, err := wal.New(st, wal.Config{
-				Key:                 cfg.Key,
-				Shard:               i,
-				Shards:              len(stores),
-				PadPosEntries:       cfg.ReadBatches*cfg.ReadBatchSize + cfg.WriteBatchSize,
-				PadStashEntries:     cfg.Params.StashLimit,
-				FullCheckpointEvery: cfg.FullCheckpointEvery,
-			})
+			var logStore storage.LogStore = st
+			if cfg.Replicator != nil {
+				tapped, tee := newReplTee(st, i, cfg.Replicator)
+				logStore = tapped
+				p.tees = append(p.tees, tee)
+			}
+			wcfg, err := WALConfigFor(cfg, i, len(stores))
+			if err != nil {
+				return nil, err
+			}
+			l, err := wal.New(logStore, wcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -329,10 +387,16 @@ func NewSharded(stores []storage.Backend, cfg Config) (*Proxy, error) {
 	if !cfg.DisableDurability {
 		p.unified = unifiedCommitStores(stores)
 	}
-	if err := p.bootstrap(); err != nil {
+	return p, nil
+}
+
+// start arms replication and launches the epoch loop once the proxy's state
+// is built (bootstrap or injected recovery).
+func (p *Proxy) start() (*Proxy, error) {
+	if err := p.primeReplicator(); err != nil {
 		return nil, err
 	}
-	if cfg.BatchInterval > 0 {
+	if p.cfg.BatchInterval > 0 {
 		p.loop.Add(1)
 		go p.epochLoop()
 	}
@@ -514,6 +578,17 @@ func (p *Proxy) recover(coordRec *wal.Recovery) error {
 			return err
 		}
 	}
+	return p.recoverFromRecoveries(recs)
+}
+
+// recoverFromRecoveries is recovery phase 2, shared by the cold path above
+// and the hot-standby promotion path (NewShardedFromRecoveries, which built
+// recs from its replicated log copies instead of scanning storage): rollback,
+// state rebuild, deterministic replay, and the recovery-epoch commit.
+func (p *Proxy) recoverFromRecoveries(recs []*wal.Recovery) error {
+	committed := recs[0].CommittedEpoch
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
 	// The recovery epoch must cover every logged epoch of the dead
 	// generation: the pipelined boundary can leave batch records of
 	// committed+1 AND committed+2 behind, and the next generation reuses
@@ -679,6 +754,41 @@ func (p *Proxy) Close() error {
 	return nil
 }
 
+// Shutdown drains the proxy: the epoch loop stops driving new slots, the
+// current epoch is sealed and committed so every already-accepted commit
+// request resolves truthfully, and then the proxy closes. Unlike Close,
+// which fate-shares the unfinished epoch (its transactions abort), Shutdown
+// is the graceful SIGTERM path — clients that got past Commit's admission
+// get a durable epoch, not ErrClosed.
+func (p *Proxy) Shutdown() error {
+	p.mu.Lock()
+	if p.closed || p.draining {
+		p.mu.Unlock()
+		return p.Close()
+	}
+	p.draining = true
+	p.mu.Unlock()
+	// Wake the epoch loop so it observes draining and stops scheduling.
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	p.loop.Wait()
+	// Seal and commit whatever the final epoch holds. EndEpoch runs the full
+	// boundary (write batch, WAL records, storage commit), so transactions
+	// admitted before draining commit durably. Errors fail-stop the proxy
+	// like any boundary error; Close below still reaps the wreckage.
+	err := p.EndEpoch()
+	if errors.Is(err, ErrClosed) {
+		err = nil
+	}
+	p.committers.Wait()
+	if cerr := p.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // failAllLocked wakes every fetch and commit waiter with err.
 func (p *Proxy) failAllLocked(err error) {
 	for _, sh := range p.shards {
@@ -703,7 +813,7 @@ func (p *Proxy) epochLoop() {
 	defer timer.Stop()
 	for {
 		p.mu.Lock()
-		closed := p.closed
+		closed := p.closed || p.draining
 		p.mu.Unlock()
 		if closed {
 			return
@@ -713,7 +823,7 @@ func (p *Proxy) epochLoop() {
 		case <-timer.C:
 		case <-p.kick:
 			p.mu.Lock()
-			closed = p.closed
+			closed = p.closed || p.draining
 			fire := false
 			// An eager kick may only accelerate a read-batch slot. The
 			// epoch boundary stays on the Δ timer: routing a full-queue
@@ -1118,6 +1228,14 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 // and recover). Either way the boundary slot is freed for the next seal.
 func (p *Proxy) commitBoundary(job *boundaryJob) error {
 	err := p.runCommit(job)
+	if err == nil && p.cfg.Replicator != nil {
+		// Replication barrier: in replica-acked mode the acks below addition-
+		// ally stand on the standby holding every record of this epoch. The
+		// epoch is already durably committed locally, so Barrier degrades
+		// rather than fails (see Replicator) — a non-nil error here means the
+		// replicator itself is broken, and fail-stop is the honest outcome.
+		err = p.cfg.Replicator.Barrier()
+	}
 	p.mu.Lock()
 	p.inflight = nil
 	if err == nil {

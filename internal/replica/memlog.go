@@ -1,0 +1,85 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+)
+
+// memlog is the standby's warm in-memory copy of one shard's recovery log.
+// It implements storage.LogStore so the ordinary wal recovery runs over it
+// unchanged at promotion. The load-bearing invariant is seq alignment:
+// record seq i here holds the same bytes as seq i in the primary's store
+// log. It holds because the primary mirrors each record with the seq its
+// store assigned, applyAt refuses gaps (a lossy reconnect resyncs from
+// offset 0 and duplicates are dropped by seq), and neither side truncates.
+type memlog struct {
+	mu   sync.Mutex
+	recs [][]byte
+	base uint64 // seq of recs[0]; store logs start at 1
+}
+
+func newMemlog() *memlog { return &memlog{base: 1} }
+
+// applyAt installs the record carried by a stream frame at its store seq.
+// Duplicates (from a resync replaying history) report applied=false; a gap
+// is a protocol violation — the caller drops the connection and resyncs.
+func (m *memlog) applyAt(seq uint64, rec []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.base + uint64(len(m.recs))
+	switch {
+	case seq < next:
+		return false, nil
+	case seq > next:
+		return false, fmt.Errorf("replica: log gap: have through seq %d, got seq %d", next-1, seq)
+	}
+	m.recs = append(m.recs, append([]byte(nil), rec...))
+	return true, nil
+}
+
+// Append implements storage.LogStore.
+func (m *memlog) Append(record []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, record)
+	return m.base + uint64(len(m.recs)) - 1, nil
+}
+
+// Scan implements storage.LogStore.
+func (m *memlog) Scan(from uint64) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from < m.base {
+		from = m.base
+	}
+	idx := int(from - m.base)
+	if idx >= len(m.recs) {
+		return nil, nil
+	}
+	out := make([][]byte, len(m.recs)-idx)
+	copy(out, m.recs[idx:])
+	return out, nil
+}
+
+// Truncate implements storage.LogStore.
+func (m *memlog) Truncate(before uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if before <= m.base {
+		return nil
+	}
+	drop := before - m.base
+	if drop > uint64(len(m.recs)) {
+		drop = uint64(len(m.recs))
+	}
+	m.recs = append([][]byte(nil), m.recs[drop:]...)
+	m.base += drop
+	return nil
+}
+
+// LastSeq implements storage.LogStore.
+func (m *memlog) LastSeq() (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base + uint64(len(m.recs)) - 1, nil
+}

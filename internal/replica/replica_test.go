@@ -1,0 +1,7 @@
+package replica
+
+import "testing"
+
+func TestFailoverConformance(t *testing.T) {
+	RunFailoverConformance(t)
+}

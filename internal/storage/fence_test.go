@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMemFence pins the in-process fencing contract: a newer acquisition
+// fences every older view's mutations, reads stay open, and the raw backend
+// (token 0) is never fenced — deployments that don't opt in are unaffected.
+func TestMemFence(t *testing.T) {
+	m := NewMemBackend(8)
+	defer m.Close()
+
+	v1, t1, err := m.AcquireFence()
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	if _, err := v1.Append([]byte("a")); err != nil {
+		t.Fatalf("append through live fence view: %v", err)
+	}
+
+	v2, t2, err := m.AcquireFence()
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if t2 <= t1 {
+		t.Fatalf("tokens must strictly increase: %d then %d", t1, t2)
+	}
+
+	if _, err := v1.Append([]byte("b")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale view append: got %v, want ErrFenced", err)
+	}
+	if err := v1.WriteBucket(0, 1, [][]byte{{1}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale view bucket write: got %v, want ErrFenced", err)
+	}
+	if err := v1.CommitEpoch(1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale view commit: got %v, want ErrFenced", err)
+	}
+	if err := v1.RollbackTo(0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale view rollback: got %v, want ErrFenced", err)
+	}
+	// Reads through the stale view keep working: the fenced-out generation
+	// may still observe state while failing over, it just cannot change it.
+	if _, err := v1.Scan(0); err != nil {
+		t.Fatalf("stale view scan: %v", err)
+	}
+	if _, err := v1.LastSeq(); err != nil {
+		t.Fatalf("stale view last-seq: %v", err)
+	}
+
+	if _, err := v2.Append([]byte("c")); err != nil {
+		t.Fatalf("current view append: %v", err)
+	}
+	// The raw backend never acquired a fence and stays writable (token 0).
+	if _, err := m.Append([]byte("raw")); err != nil {
+		t.Fatalf("raw backend append: %v", err)
+	}
+	// Closing the stale view must not close the shared store.
+	if err := v1.Close(); err != nil {
+		t.Fatalf("stale view close: %v", err)
+	}
+	if _, err := v2.Append([]byte("d")); err != nil {
+		t.Fatalf("append after stale view close: %v", err)
+	}
+}
+
+// TestRemoteFence pins wire-level fencing: the server tracks the highest
+// token per served backend, binds acquisitions to connections, and rejects
+// mutations from superseded connections with an error that still satisfies
+// errors.Is(err, ErrFenced) client-side.
+func TestRemoteFence(t *testing.T) {
+	srv, err := NewServer(NewMemBackend(8), "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+
+	primary, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial primary: %v", err)
+	}
+	defer primary.Close()
+	standby, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial standby: %v", err)
+	}
+	defer standby.Close()
+	legacy, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial legacy: %v", err)
+	}
+	defer legacy.Close()
+
+	pv, t1, err := primary.AcquireFence()
+	if err != nil {
+		t.Fatalf("primary fence: %v", err)
+	}
+	if _, err := pv.Append([]byte("a")); err != nil {
+		t.Fatalf("primary append: %v", err)
+	}
+
+	sv, t2, err := standby.AcquireFence()
+	if err != nil {
+		t.Fatalf("standby fence: %v", err)
+	}
+	if t2 <= t1 {
+		t.Fatalf("tokens must strictly increase: %d then %d", t1, t2)
+	}
+
+	if _, err := pv.Append([]byte("b")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie append: got %v, want ErrFenced", err)
+	}
+	if err := pv.CommitEpoch(1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie commit: got %v, want ErrFenced", err)
+	}
+	// The zombie can still read — promotion's log-tail top-up depends on
+	// reads surviving a lost fence, and ciphertext was never secret from
+	// the wire anyway.
+	recs, err := pv.Scan(0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("zombie scan: %v (%d records)", err, len(recs))
+	}
+
+	if _, err := sv.Append([]byte("c")); err != nil {
+		t.Fatalf("promoted append: %v", err)
+	}
+	// A connection that never fenced is a legacy client and stays writable.
+	if _, err := legacy.Append([]byte("d")); err != nil {
+		t.Fatalf("legacy append: %v", err)
+	}
+}

@@ -23,6 +23,8 @@ type MemBackend struct {
 
 	log     [][]byte
 	logBase uint64 // sequence number of log[0]
+
+	fence fenceRegister // proxy-generation fencing (see Fenceable)
 }
 
 var _ Backend = (*MemBackend)(nil)

@@ -42,6 +42,10 @@ const (
 	// batches instead of one frame + round trip per slot.
 	wireReadSlots
 	wireWriteBuckets
+	// wireFence acquires a proxy-generation fence token (see Fenceable):
+	// the server binds the new token to this connection and from then on
+	// rejects mutating ops from any connection holding an older token.
+	wireFence
 )
 
 const (
@@ -98,10 +102,37 @@ type Server struct {
 	backend Backend
 	ln      net.Listener
 
+	// fence is the served backend's proxy-generation register: fencing at
+	// the wire covers any backend (disk groups included) without the backend
+	// itself implementing Fenceable, and a zombie proxy's stale connection
+	// is exactly the thing being fenced.
+	fence fenceRegister
+
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 	done  chan struct{}
 	wg    sync.WaitGroup
+}
+
+// connState is per-connection protocol state: the fence token this
+// connection most recently acquired (0 = never fenced; such connections are
+// legacy/unfenced and always pass, so non-HA deployments are unaffected).
+// Handlers for one connection run concurrently, hence the lock.
+type connState struct {
+	mu    sync.Mutex
+	token uint64
+}
+
+func (cs *connState) setToken(t uint64) {
+	cs.mu.Lock()
+	cs.token = t
+	cs.mu.Unlock()
+}
+
+func (cs *connState) getToken() uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.token
 }
 
 // NewServer starts serving backend on the given address ("host:port"; use
@@ -129,6 +160,32 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error {
 	close(s.done)
 	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Drain stops accepting new connections, waits up to grace for the existing
+// ones to finish on their own (clients closing after their last request),
+// then closes whatever is left. Graceful shutdown (SIGTERM) uses it so a
+// proxy's in-flight epoch-boundary barrier is answered rather than torn.
+func (s *Server) Drain(grace time.Duration) error {
+	close(s.done)
+	err := s.ln.Close()
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
@@ -169,6 +226,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 1<<16)
 	var wmu sync.Mutex
 	w := bufio.NewWriterSize(conn, 1<<16)
+	cs := &connState{}
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	// Bounded worker pool: slow backends (e.g. latency-injected) must not
@@ -200,7 +258,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the response write both finish with its bytes.
 			defer putWireBuf(fb)
 			rb := getWireBuf()
-			status, resp := s.handle(op, payload, rb.b[:0])
+			status, resp := s.handle(cs, op, payload, rb.b[:0])
 			if len(resp)+9 > maxFrame {
 				// A response the peer's readFrame would reject must become a
 				// clean per-request error, not a connection-killing frame.
@@ -225,17 +283,38 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// mutatingOp reports whether an op changes store state and is therefore
+// subject to proxy-generation fencing. Reads stay unfenced: the store is
+// untrusted and its ciphertext readable by anyone on the wire anyway.
+func mutatingOp(op wireOp) bool {
+	switch op {
+	case wireWriteBucket, wireWriteBuckets, wireCommitEpoch, wireRollbackTo,
+		wireKVPut, wireKVDelete, wireLogAppend, wireLogTruncate:
+		return true
+	}
+	return false
+}
+
 // handle executes one request. The payload may alias a pooled frame: every
 // slice handed to the backend is copied out first (copyBytes/str), so the
 // caller may release the frame as soon as handle returns. The response is
 // encoded into scratch (a pooled buffer's spare capacity) and returned.
-func (s *Server) handle(op wireOp, payload, scratch []byte) (byte, []byte) {
+func (s *Server) handle(cs *connState, op wireOp, payload, scratch []byte) (byte, []byte) {
 	enc := encoder{buf: scratch}
 	fail := func(err error) (byte, []byte) {
 		return statusErr, []byte(err.Error())
 	}
+	if mutatingOp(op) {
+		if err := s.fence.check(cs.getToken()); err != nil {
+			return fail(err)
+		}
+	}
 	d := decoder{buf: payload}
 	switch op {
+	case wireFence:
+		token := s.fence.acquire()
+		cs.setToken(token)
+		enc.u64(token)
 	case wireReadSlot:
 		bucket, slot := int(d.u32()), int(d.u32())
 		if d.err != nil {
@@ -636,11 +715,36 @@ func (c *Client) call(op wireOp, payload []byte) (response, error) {
 		return response{}, fmt.Errorf("storage: connection lost: %w", err)
 	}
 	if resp.status != statusOK {
-		err := fmt.Errorf("%w: %s", ErrRemote, string(resp.payload))
+		msg := string(resp.payload)
+		err := fmt.Errorf("%w: %s", ErrRemote, msg)
+		if strings.HasPrefix(msg, ErrFenced.Error()) {
+			// Reconstruct the sentinel so errors.Is(err, ErrFenced) holds
+			// across the wire: a fenced-out proxy must be able to tell "I am
+			// a zombie" from an ordinary storage failure.
+			err = fmt.Errorf("%w: %w", ErrRemote, ErrFenced)
+		}
 		resp.release()
 		return response{}, err
 	}
 	return resp, nil
+}
+
+// AcquireFence implements Fenceable over the wire: the server binds the new
+// token to THIS connection, so the client itself is the returned view — its
+// later mutating ops are checked server-side against the highest token
+// issued for the served backend.
+func (c *Client) AcquireFence() (Backend, uint64, error) {
+	resp, err := c.call(wireFence, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.release()
+	d := decoder{buf: resp.payload}
+	token := d.u64()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return c, token, nil
 }
 
 // Close closes the connection.

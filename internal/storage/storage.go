@@ -26,6 +26,11 @@ var (
 	ErrNoSuchSlot = errors.New("storage: no such slot")
 	// ErrClosed is returned by operations on a closed backend.
 	ErrClosed = errors.New("storage: backend closed")
+	// ErrFenced is returned for mutating operations issued through a fence
+	// view whose generation has been superseded (see Fenceable): a newer
+	// proxy generation owns the store, and the older generation must
+	// fail-stop rather than corrupt the log or bucket tree it no longer owns.
+	ErrFenced = errors.New("storage: fenced: a newer proxy generation owns this store")
 )
 
 // SlotRef addresses one physical slot of a bucket for a vectored read.
@@ -159,6 +164,30 @@ type EpochCommitBatcher interface {
 	// one physical log. Shards on distinct streams fall back to inline
 	// commits, where explicit barrier order supplies the same guarantee.
 	CommitStream() any
+}
+
+// Fenceable is an optional Backend capability for proxy-generation fencing,
+// the storage half of hot-standby failover (internal/replica). AcquireFence
+// registers a new proxy generation with the store: the returned token is
+// strictly greater than every token issued before, and the returned view is
+// bound to it. Mutating operations (bucket writes, epoch commit/rollback, log
+// append/truncate, KV writes) issued through a view whose token has been
+// superseded fail with ErrFenced; reads stay unfenced (the store is untrusted
+// and readable by anyone holding the wire anyway).
+//
+// The contract is the standard fencing one: an operation concurrent with an
+// AcquireFence may be admitted as if it preceded the acquisition, but every
+// mutating operation STARTED after AcquireFence returns on a stale view
+// fails. A promoted standby therefore acquires its fence first and only then
+// reads the log tail and rolls the tree back — anything a zombie primary
+// slipped in before the fence is observed by that scan, and anything after
+// it fails loudly (the proxy fail-stops on any boundary error).
+//
+// Backends without the capability (plain disk dirs opened in-process) simply
+// do not fence; the remote Server fences at the wire for whatever backend it
+// serves, which covers every multi-proxy deployment.
+type Fenceable interface {
+	AcquireFence() (view Backend, token uint64, err error)
 }
 
 func checkBucket(bucket, n int) error {

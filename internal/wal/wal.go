@@ -306,6 +306,21 @@ func IsCommitRecord(rec []byte) bool {
 	return len(rec) > 0 && rec[0] == kindCommit
 }
 
+// DecodeCommitEpoch opens a raw log record and, when it is a commit record,
+// returns the epoch it commits. ok is false (with no error) for other record
+// kinds. The replication standby uses this to track the primary's committed
+// epoch from the mirrored stream without running a full recovery per record.
+func (l *Log) DecodeCommitEpoch(rec []byte) (epoch uint64, ok bool, err error) {
+	if !IsCommitRecord(rec) {
+		return 0, false, nil
+	}
+	var cr commitRecord
+	if err := l.open(rec, &cr); err != nil {
+		return 0, false, err
+	}
+	return cr.Epoch, true, nil
+}
+
 // AppendCommit durably marks epoch as committed. After this record is
 // persisted the epoch's transactions may be acknowledged to clients.
 func (l *Log) AppendCommit(epoch uint64) error {

@@ -33,6 +33,7 @@ import (
 
 	"obladi/internal/core"
 	"obladi/internal/cryptoutil"
+	"obladi/internal/replica"
 	"obladi/internal/ringoram"
 	"obladi/internal/storage"
 )
@@ -116,17 +117,35 @@ type Options struct {
 
 	// Parallelism caps concurrent storage requests. Default 64.
 	Parallelism int
+
+	// ReplicaListen, when non-empty, enables hot-standby replication: the
+	// proxy listens on this address for a standby, mirrors every
+	// recovery-log record to it, and fences the storage backends under its
+	// proxy generation so a standby that later promotes revokes this
+	// proxy's write authority. See DESIGN.md ("Proxy replication and
+	// failover"). Requires durability.
+	ReplicaListen string
+	// ReplicaAcked gates commit acknowledgements on standby receipt: the
+	// epoch boundary additionally waits until the attached standby holds
+	// every log record (degrading to local-durable, loudly, when no
+	// standby keeps up). Without it replication is best-effort warmth that
+	// only shortens failover.
+	ReplicaAcked bool
+	// LeaseTimeout is the failover detector's patience: a standby promotes
+	// after this long without a frame from the primary. Default 750ms.
+	LeaseTimeout time.Duration
 }
 
 // DB is an oblivious transactional key-value store.
 type DB struct {
 	proxy    *core.Proxy
 	backends []storage.Backend
+	sender   *replica.Sender // non-nil when ReplicaListen is set
 }
 
-// Open creates (or, when the backends' recovery logs hold a committed
-// checkpoint, recovers) a DB.
-func Open(opt Options) (*DB, error) {
+// normalize applies Options defaults and derives the crypto key and
+// per-shard ORAM parameters shared by Open and OpenStandby.
+func normalize(opt Options) (Options, ringoram.Params, *cryptoutil.Key, error) {
 	if opt.MaxKeys <= 0 {
 		opt.MaxKeys = 8192
 	}
@@ -155,7 +174,7 @@ func Open(opt Options) (*DB, error) {
 	} else {
 		key, err = cryptoutil.NewKey()
 		if err != nil {
-			return nil, err
+			return opt, ringoram.Params{}, nil, err
 		}
 	}
 	// Each shard gets its own ORAM sized for its slice of the key space.
@@ -174,43 +193,47 @@ func Open(opt Options) (*DB, error) {
 		ValueSize: opt.MaxValueSize,
 	}
 	if err := params.Validate(); err != nil {
-		return nil, err
+		return opt, params, nil, err
 	}
+	return opt, params, key, nil
+}
 
-	var backends []storage.Backend
+// openBackends builds the per-shard storage backends (remote or embedded).
+func openBackends(opt Options, params ringoram.Params) ([]storage.Backend, error) {
 	if opt.RemoteAddr != "" {
-		addrs, aerr := splitAddrs(opt.RemoteAddr)
-		if aerr != nil {
-			return nil, aerr
+		addrs, err := splitAddrs(opt.RemoteAddr)
+		if err != nil {
+			return nil, err
 		}
 		if len(addrs) != opt.Shards {
 			return nil, fmt.Errorf("obladi: %d shards need %d comma-separated storage addresses in RemoteAddr, got %d", opt.Shards, opt.Shards, len(addrs))
 		}
-		backends, err = storage.DialMulti(addrs)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		for i := 0; i < opt.Shards; i++ {
-			mem := storage.NewMemBackend(params.Geometry().NumBuckets)
-			var backend storage.Backend
-			switch opt.SimulatedLatency {
-			case "":
-				backend = mem
-			case "server":
-				backend = storage.WithLatency(mem, storage.ProfileServer)
-			case "server-wan":
-				backend = storage.WithLatency(mem, storage.ProfileServerWAN)
-			case "dynamo":
-				backend = storage.WithLatency(mem, storage.ProfileDynamo)
-			default:
-				return nil, fmt.Errorf("obladi: unknown latency profile %q", opt.SimulatedLatency)
-			}
-			backends = append(backends, backend)
-		}
+		return storage.DialMulti(addrs)
 	}
+	var backends []storage.Backend
+	for i := 0; i < opt.Shards; i++ {
+		mem := storage.NewMemBackend(params.Geometry().NumBuckets)
+		var backend storage.Backend
+		switch opt.SimulatedLatency {
+		case "":
+			backend = mem
+		case "server":
+			backend = storage.WithLatency(mem, storage.ProfileServer)
+		case "server-wan":
+			backend = storage.WithLatency(mem, storage.ProfileServerWAN)
+		case "dynamo":
+			backend = storage.WithLatency(mem, storage.ProfileDynamo)
+		default:
+			return nil, fmt.Errorf("obladi: unknown latency profile %q", opt.SimulatedLatency)
+		}
+		backends = append(backends, backend)
+	}
+	return backends, nil
+}
 
-	proxy, err := core.NewSharded(backends, core.Config{
+// coreConfig maps Options onto the proxy configuration.
+func coreConfig(opt Options, params ringoram.Params, key *cryptoutil.Key) core.Config {
+	return core.Config{
 		Params:              params,
 		Key:                 key,
 		ReadBatches:         opt.ReadBatches,
@@ -222,12 +245,145 @@ func Open(opt Options) (*DB, error) {
 		Parallelism:         opt.Parallelism,
 		DisableDurability:   opt.DisableDurability,
 		FullCheckpointEvery: opt.FullCheckpointEvery,
+	}
+}
+
+// fenceBackends claims a proxy generation on every fence-capable backend and
+// returns the fenced views to run through. Called whenever replication is in
+// play: writing through a fenced view is what lets a later generation (a
+// promoted standby) revoke this proxy's write authority instead of racing it.
+func fenceBackends(backends []storage.Backend) []storage.Backend {
+	out := make([]storage.Backend, len(backends))
+	for i, b := range backends {
+		out[i] = b
+		if f, ok := b.(storage.Fenceable); ok {
+			if view, _, err := f.AcquireFence(); err == nil {
+				out[i] = view
+			}
+		}
+	}
+	return out
+}
+
+// Open creates (or, when the backends' recovery logs hold a committed
+// checkpoint, recovers) a DB.
+func Open(opt Options) (*DB, error) {
+	opt, params, key, err := normalize(opt)
+	if err != nil {
+		return nil, err
+	}
+	backends, err := openBackends(opt, params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := coreConfig(opt, params, key)
+	var sender *replica.Sender
+	if opt.ReplicaListen != "" {
+		if opt.DisableDurability {
+			storage.CloseAll(backends)
+			return nil, errors.New("obladi: ReplicaListen requires durability (the recovery log is the replication stream)")
+		}
+		sender, err = replica.NewSender(opt.ReplicaListen, replica.SenderConfig{
+			Shards: opt.Shards,
+			Acked:  opt.ReplicaAcked,
+		})
+		if err != nil {
+			storage.CloseAll(backends)
+			return nil, err
+		}
+		cfg.Replicator = sender
+		backends = fenceBackends(backends)
+	}
+	proxy, err := core.NewSharded(backends, cfg)
+	if err != nil {
+		if sender != nil {
+			sender.Close()
+		}
+		storage.CloseAll(backends)
+		return nil, err
+	}
+	return &DB{proxy: proxy, backends: backends, sender: sender}, nil
+}
+
+// OpenStandby runs as a hot standby of the primary replicating at
+// primaryAddr (its ReplicaListen address). It mirrors the primary's
+// recovery logs into memory, blocks until the primary's lease expires (or
+// ctx is done, which aborts with ctx's error), then promotes: fences the
+// storage backends — revoking the dead (or zombie) primary's write
+// authority — tops its warm logs up from the durable tail, runs crash
+// recovery over them, and returns a live DB. Options must match the
+// primary's (same KeySeed, shards, batching and storage addresses);
+// KeySeed is required since the standby must open the primary's sealed
+// records. Every transaction the primary acknowledged is visible in the
+// returned DB — acknowledgements stand on the durable log the promotion
+// replays.
+func OpenStandby(ctx context.Context, primaryAddr string, opt Options) (*DB, error) {
+	opt, params, key, err := normalize(opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.KeySeed == nil {
+		return nil, errors.New("obladi: OpenStandby requires KeySeed (must match the primary's)")
+	}
+	if opt.DisableDurability {
+		return nil, errors.New("obladi: OpenStandby requires durability")
+	}
+	backends, err := openBackends(opt, params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := coreConfig(opt, params, key)
+	base, err := core.WALConfigFor(cfg, 0, opt.Shards)
+	if err != nil {
+		storage.CloseAll(backends)
+		return nil, err
+	}
+	sb, err := replica.NewStandby(primaryAddr, backends, replica.StandbyConfig{
+		LeaseTimeout: opt.LeaseTimeout,
+		Decode:       &base,
 	})
 	if err != nil {
 		storage.CloseAll(backends)
 		return nil, err
 	}
-	return &DB{proxy: proxy, backends: backends}, nil
+	if err := sb.WaitPrimaryDown(ctx); err != nil {
+		sb.Stop()
+		storage.CloseAll(backends)
+		return nil, err
+	}
+	res, err := sb.Promote(base)
+	if err != nil {
+		storage.CloseAll(backends)
+		return nil, err
+	}
+	var sender *replica.Sender
+	if opt.ReplicaListen != "" {
+		sender, err = replica.NewSender(opt.ReplicaListen, replica.SenderConfig{
+			Shards: opt.Shards,
+			Acked:  opt.ReplicaAcked,
+		})
+		if err != nil {
+			storage.CloseAll(backends)
+			return nil, err
+		}
+		cfg.Replicator = sender
+	}
+	var proxy *core.Proxy
+	if res.Recoveries != nil {
+		proxy, err = core.NewShardedFromRecoveries(res.Stores, cfg, res.Recoveries)
+	} else {
+		// The dead primary never committed a first boot; nothing to carry
+		// over, so bootstrap cold on the fenced views.
+		proxy, err = core.NewSharded(res.Stores, cfg)
+	}
+	if err != nil {
+		if sender != nil {
+			sender.Close()
+		}
+		storage.CloseAll(backends)
+		return nil, err
+	}
+	return &DB{proxy: proxy, backends: res.Stores, sender: sender}, nil
 }
 
 // splitAddrs parses a comma-separated address list, trimming surrounding
@@ -344,6 +500,16 @@ func (db *DB) Epoch() uint64 { return db.proxy.Epoch() }
 // Shards returns the number of key-space partitions.
 func (db *DB) Shards() int { return db.proxy.Shards() }
 
+// ReplicaAddr returns the bound replica-listener address when this DB
+// replicates to a hot standby (Options.ReplicaListen), "" otherwise. With a
+// ":0" listen spec this is how a standby learns the actual port.
+func (db *DB) ReplicaAddr() string {
+	if db.sender == nil {
+		return ""
+	}
+	return db.sender.Addr()
+}
+
 // Stats is a snapshot of proxy counters, the public view of the trusted
 // proxy's bookkeeping: epochs and transaction fates, batch-slot utilization
 // (how much of the fixed schedule carried real work), and the storage wire
@@ -401,10 +567,38 @@ func (db *DB) Stats() Stats {
 // Close shuts the proxy down; in-flight transactions abort.
 func (db *DB) Close() error {
 	err := db.proxy.Close()
+	if db.sender != nil {
+		db.sender.Close()
+	}
 	if cerr := storage.CloseAll(db.backends); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// Shutdown drains the DB gracefully (the SIGTERM path): the epoch schedule
+// stops, the current epoch seals and commits so every accepted transaction
+// resolves truthfully, and only then does the proxy close. Prefer it over
+// Close when the process is being retired rather than killed.
+func (db *DB) Shutdown() error {
+	err := db.proxy.Shutdown()
+	if db.sender != nil {
+		db.sender.Close()
+	}
+	if cerr := storage.CloseAll(db.backends); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReplicationStats reports the primary-side replication state: whether a
+// standby is attached, stream/ack offsets, and how many barriers degraded
+// to local-durable. Zero-valued unless ReplicaListen was set.
+func (db *DB) ReplicationStats() (replica.SenderStats, bool) {
+	if db.sender == nil {
+		return replica.SenderStats{}, false
+	}
+	return db.sender.Stats(), true
 }
 
 // Txn is a transaction handle. Operations must not be called concurrently,
