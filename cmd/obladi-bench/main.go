@@ -28,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-scale data sizes and run lengths")
 	scale := flag.Float64("latency-scale", 0, "storage latency scale factor (0 = default)")
 	seed := flag.Uint64("seed", 42, "random seed")
+	scaleSessions := flag.Int("scale-sessions", 0, "override the scale experiment's session sweep with one point (0 = default sweep)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json with machine-readable results")
 	jsonDir := flag.String("json-dir", ".", "directory for -json output files")
 	flag.Parse()
@@ -38,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.Config{Quick: *quick, LatencyScale: *scale, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, LatencyScale: *scale, Seed: *seed, ScaleSessions: *scaleSessions}
 
 	names := bench.Names()
 	if *experiment != "all" {

@@ -78,6 +78,9 @@ func main() {
 	replicaAck := flag.Bool("replica-ack", false, "gate commit acks on standby receipt (replica-acked mode; needs -replica-listen)")
 	standbyOf := flag.String("standby-of", "", "run as hot standby of the primary replicating at this address; promote on lease expiry")
 	lease := flag.Duration("lease", 750*time.Millisecond, "standby promotes after this long without a frame from the primary")
+	maxSessions := flag.Int("max-sessions-per-conn", 0, "shed transaction sessions beyond this many per client connection (0 = default cap)")
+	maxPendingReads := flag.Int("max-pending-reads", 0, "per-session cap on outstanding async reads; excess applies read-loop backpressure (0 = default)")
+	noAdmission := flag.Bool("no-admission", false, "disable epoch admission control: queue reads without bound instead of shedding at the slot budget")
 	flag.Parse()
 
 	if addr, err := pprofserve.Start(*pprofAddr); err != nil {
@@ -98,6 +101,12 @@ func main() {
 		ReplicaListen:  *replicaListen,
 		ReplicaAcked:   *replicaAck,
 		LeaseTimeout:   *lease,
+
+		DisableAdmission: *noAdmission,
+	}
+	srvOpt := clientproto.ServerOptions{
+		MaxSessionsPerConn:        *maxSessions,
+		MaxPendingReadsPerSession: *maxPendingReads,
 	}
 	if *seed != "" {
 		opt.KeySeed = []byte(*seed)
@@ -122,7 +131,7 @@ func main() {
 			log.Fatalf("standby: %v", err)
 		}
 		fmt.Printf("obladi-proxy: promoted to primary (replayed %d logged reads)\n", db.Stats().RecoveryReplayed)
-		serve(db, clientproto.NewServerListener(clientproto.WrapDB(db), ln), *storageAddr, *interval, *readBatches)
+		serve(db, clientproto.NewServerListenerOpts(clientproto.WrapDB(db), ln, srvOpt), *storageAddr, *interval, *readBatches)
 		return
 	}
 
@@ -133,7 +142,7 @@ func main() {
 	if addr := db.ReplicaAddr(); addr != "" {
 		fmt.Printf("obladi-proxy: replica=%s (hot standby attach point)\n", addr)
 	}
-	srv, err := clientproto.NewServer(clientproto.WrapDB(db), *listen)
+	srv, err := clientproto.NewServerOpts(clientproto.WrapDB(db), *listen, srvOpt)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
@@ -160,5 +169,6 @@ func serve(db *obladi.DB, srv *clientproto.Server, storageAddr string, interval 
 		db.Close()
 	}
 	st := db.Stats()
-	fmt.Printf("obladi-proxy: %d epochs, %d committed, %d aborted\n", st.Epochs, st.Committed, st.Aborted)
+	fmt.Printf("obladi-proxy: %d epochs, %d committed, %d aborted, %d reads shed\n",
+		st.Epochs, st.Committed, st.Aborted, st.ShedReads)
 }

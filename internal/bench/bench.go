@@ -24,6 +24,9 @@ type Config struct {
 	LatencyScale float64
 	// Seed makes experiments deterministic where possible.
 	Seed uint64
+	// ScaleSessions overrides the session sweep of the scale experiment
+	// with a single point (0 = the default sweep).
+	ScaleSessions int
 }
 
 func (c *Config) setDefaults() {
@@ -58,6 +61,11 @@ type Row struct {
 	Shards  int     `json:"shards,omitempty"`
 	P50ms   float64 `json:"p50_ms,omitempty"`
 	P99ms   float64 `json:"p99_ms,omitempty"`
+	// Scale-experiment annotations: concurrent session count, offered
+	// (attempted) load in txns/s, and the fraction of it load-shed.
+	Sessions int     `json:"sessions,omitempty"`
+	Offered  float64 `json:"offered_txns_per_sec,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // WriteJSON writes one experiment's rows as BENCH_<experiment>-style JSON:
@@ -111,6 +119,7 @@ var experiments = []struct {
 	{"recovery", "crash-recovery time: serial vs parallel segment replay at 1/2/4 workers (beyond the paper)", Recovery},
 	{"hotpath", "proxy CPU hot path: executor slot pipeline and single-shard mem throughput, with allocs/slot (beyond the paper)", HotPath},
 	{"failover", "hot-standby replication tax (standalone vs replicated vs replica-acked) and measured failover timeline (beyond the paper)", Failover},
+	{"scale", "overload control: committed throughput, p99 and shed rate vs session count (to 100k+) and vs offered load past saturation (beyond the paper)", Scale},
 }
 
 // Names lists all experiment ids.

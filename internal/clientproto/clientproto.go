@@ -31,29 +31,76 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"obladi/internal/kvtxn"
 )
 
+// ServerOptions bounds a server's per-connection resources. The zero value
+// selects the defaults; both knobs exist because an overloaded (or buggy, or
+// adversarial) client must be able to cost the proxy only a bounded amount
+// of memory and goroutines, whatever it sends.
+type ServerOptions struct {
+	// MaxSessionsPerConn caps concurrently open mux sessions on one
+	// connection; a Begin past the cap is refused with a shed reply
+	// (retryable after earlier sessions settle). Default 16384.
+	MaxSessionsPerConn int
+	// MaxPendingReadsPerSession caps a session's concurrently-resolving
+	// read futures. A session pipelining reads faster than batches serve
+	// them blocks its worker at the cap, which backpressures the
+	// connection's read loop through the bounded op queue — instead of
+	// spawning an unbounded resolver goroutine per read. Default 64.
+	MaxPendingReadsPerSession int
+}
+
+func (o *ServerOptions) setDefaults() {
+	if o.MaxSessionsPerConn <= 0 {
+		o.MaxSessionsPerConn = 16384
+	}
+	if o.MaxPendingReadsPerSession <= 0 {
+		o.MaxPendingReadsPerSession = 64
+	}
+}
+
+// ServerStats is a snapshot of the wire server's overload counters.
+type ServerStats struct {
+	// OpenSessions is the current count of open mux sessions over all
+	// connections.
+	OpenSessions int64
+	// ShedSessions counts Begins refused by the per-connection session cap.
+	ShedSessions uint64
+}
+
 // Server serves both client protocols over a kvtxn.DB, auto-detecting per
 // connection.
 type Server struct {
-	db kvtxn.DB
-	ln net.Listener
-	wg sync.WaitGroup
+	db  kvtxn.DB
+	ln  net.Listener
+	wg  sync.WaitGroup
+	opt ServerOptions
+
+	// Overload counters, atomic: sessions update them from every
+	// connection's read loop and Stats snapshots them concurrently.
+	openSessions atomic.Int64
+	shedSessions atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
 	closed bool
 }
 
-// NewServer starts listening on addr.
+// NewServer starts listening on addr with default ServerOptions.
 func NewServer(db kvtxn.DB, addr string) (*Server, error) {
+	return NewServerOpts(db, addr, ServerOptions{})
+}
+
+// NewServerOpts starts listening on addr with explicit resource bounds.
+func NewServerOpts(db kvtxn.DB, addr string, opt ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("clientproto: listen: %w", err)
 	}
-	return NewServerListener(db, ln), nil
+	return NewServerListenerOpts(db, ln, opt), nil
 }
 
 // NewServerListener serves on an already-bound listener. A standby proxy
@@ -62,10 +109,24 @@ func NewServer(db kvtxn.DB, addr string) (*Server, error) {
 // the promoted standby starts accepting — so clients' failover address lists
 // stay static and a dial into the failover window costs latency, not errors.
 func NewServerListener(db kvtxn.DB, ln net.Listener) *Server {
-	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]bool)}
+	return NewServerListenerOpts(db, ln, ServerOptions{})
+}
+
+// NewServerListenerOpts is NewServerListener with explicit resource bounds.
+func NewServerListenerOpts(db kvtxn.DB, ln net.Listener, opt ServerOptions) *Server {
+	opt.setDefaults()
+	s := &Server{db: db, ln: ln, opt: opt, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// Stats returns a snapshot of the server's overload counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		OpenSessions: s.openSessions.Load(),
+		ShedSessions: s.shedSessions.Load(),
+	}
 }
 
 // Addr returns the listening address.

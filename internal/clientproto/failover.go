@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
+	"obladi/internal/core"
 	"obladi/internal/kvtxn"
 )
 
@@ -61,6 +63,65 @@ type FailoverClient struct {
 	mu     sync.Mutex
 	cur    *MuxClient
 	closed bool
+
+	// Shed pacing: when the primary is overloaded (not dead) it answers
+	// with retryable sheds, and a retry loop that replays immediately turns
+	// one saturated epoch into a retry storm that keeps it saturated.
+	// noteShed arms a jittered, exponentially-growing pause that the next
+	// Begin serves out; noteOK disarms it. Guarded by shedMu (not mu: a
+	// paced Begin must not block connection management).
+	shedMu      sync.Mutex
+	shedBackoff time.Duration
+	shedUntil   time.Time
+}
+
+// noteShed records a server load-shed: the next Begin waits out a jittered
+// backoff that doubles with consecutive sheds (BackoffMin..BackoffMax).
+func (fc *FailoverClient) noteShed() {
+	fc.shedMu.Lock()
+	defer fc.shedMu.Unlock()
+	if fc.shedBackoff == 0 {
+		fc.shedBackoff = fc.cfg.BackoffMin
+	} else if fc.shedBackoff *= 2; fc.shedBackoff > fc.cfg.BackoffMax {
+		fc.shedBackoff = fc.cfg.BackoffMax
+	}
+	fc.shedUntil = time.Now().Add(jitter(fc.shedBackoff))
+}
+
+// noteOK records a successfully-settled transaction, disarming shed pacing.
+func (fc *FailoverClient) noteOK() {
+	fc.shedMu.Lock()
+	fc.shedBackoff = 0
+	fc.shedUntil = time.Time{}
+	fc.shedMu.Unlock()
+}
+
+// shedWait serves out any armed shed backoff (or returns early when ctx
+// ends; the caller's Begin then carries ctx's cancellation anyway).
+func (fc *FailoverClient) shedWait(ctx context.Context) {
+	fc.shedMu.Lock()
+	until := fc.shedUntil
+	fc.shedMu.Unlock()
+	d := time.Until(until)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// jitter spreads d over [d/2, d): synchronized clients that all shed on the
+// same saturated epoch must not all retry on the same later one.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(half)
 }
 
 // DialMuxFailover connects to the first reachable address and returns the
@@ -122,7 +183,9 @@ func (fc *FailoverClient) client() (*MuxClient, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("clientproto: no proxy reachable within %v (last: %w)", fc.cfg.MaxWait, lastErr)
 		}
-		time.Sleep(backoff)
+		// Jittered: a fleet of clients orphaned by the same failover must
+		// not sweep the address list in lockstep.
+		time.Sleep(jitter(backoff))
 		if backoff *= 2; backoff > fc.cfg.BackoffMax {
 			backoff = fc.cfg.BackoffMax
 		}
@@ -170,7 +233,11 @@ func (fc *FailoverClient) Close() error {
 }
 
 // FailoverDB adapts a FailoverClient to kvtxn.DB so workload suites run
-// unchanged across a failover.
+// unchanged across a failover. It also carries the shed-pacing half of
+// overload control: a transaction that dies with a load-shed (core.ErrShed
+// across the wire) arms a jittered backoff that the next Begin waits out, so
+// generic retry loops — which see sheds as ordinary retryable aborts — pace
+// themselves instead of hammering a saturated proxy.
 type FailoverDB struct {
 	C *FailoverClient
 }
@@ -181,10 +248,79 @@ var (
 )
 
 // Begin implements kvtxn.DB.
-func (d FailoverDB) Begin() kvtxn.Txn { return d.C.Begin() }
+func (d FailoverDB) Begin() kvtxn.Txn { return d.BeginCtx(context.Background()) }
 
 // BeginCtx implements kvtxn.CtxDB.
-func (d FailoverDB) BeginCtx(ctx context.Context) kvtxn.Txn { return d.C.BeginCtx(ctx) }
+func (d FailoverDB) BeginCtx(ctx context.Context) kvtxn.Txn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.C.shedWait(ctx)
+	return &pacedTxn{t: d.C.BeginCtx(ctx), fc: d.C}
+}
 
 // Close implements kvtxn.DB.
 func (d FailoverDB) Close() error { return d.C.Close() }
+
+// pacedTxn observes a transaction's outcome for shed pacing: sheds arm the
+// client's backoff, a clean settle disarms it. Everything else passes
+// through to the underlying MuxTxn, including read pipelining.
+type pacedTxn struct {
+	t  *MuxTxn
+	fc *FailoverClient
+}
+
+var _ kvtxn.AsyncTxn = (*pacedTxn)(nil)
+
+// observe routes a settled outcome into the pacing state.
+func (p *pacedTxn) observe(err error) error {
+	switch {
+	case err == nil:
+		p.fc.noteOK()
+	case errors.Is(err, core.ErrShed):
+		p.fc.noteShed()
+	}
+	return err
+}
+
+func (p *pacedTxn) Read(key string) ([]byte, bool, error) {
+	v, found, err := p.t.Read(key)
+	if err != nil && errors.Is(err, core.ErrShed) {
+		p.fc.noteShed()
+	}
+	return v, found, err
+}
+
+// ReadAsync implements kvtxn.AsyncTxn.
+func (p *pacedTxn) ReadAsync(key string) kvtxn.ReadFuture {
+	return pacedFuture{f: p.t.ReadAsync(key), fc: p.fc}
+}
+
+type pacedFuture struct {
+	f  kvtxn.ReadFuture
+	fc *FailoverClient
+}
+
+func (pf pacedFuture) Wait(ctx context.Context) ([]byte, bool, error) {
+	v, found, err := pf.f.Wait(ctx)
+	if err != nil && errors.Is(err, core.ErrShed) {
+		pf.fc.noteShed()
+	}
+	return v, found, err
+}
+
+func (p *pacedTxn) ReadMany(keys []string) ([]kvtxn.Value, error) {
+	out, err := p.t.ReadMany(keys)
+	if err != nil && errors.Is(err, core.ErrShed) {
+		p.fc.noteShed()
+	}
+	return out, err
+}
+
+func (p *pacedTxn) Write(key string, value []byte) error { return p.t.Write(key, value) }
+
+func (p *pacedTxn) Delete(key string) error { return p.t.Delete(key) }
+
+func (p *pacedTxn) Commit() error { return p.observe(p.t.Commit()) }
+
+func (p *pacedTxn) Abort() { p.t.Abort() }

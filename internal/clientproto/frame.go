@@ -40,7 +40,8 @@ import (
 // Reply kinds and payloads:
 //
 //	frameOK  — read: found(u8) value; others: empty
-//	frameErr — code(u8) message; code 1 marks a retryable transaction abort
+//	frameErr — code(u8) message; code 1 marks a retryable transaction abort,
+//	           code 2 a load-shed (retryable after backing off ~one epoch)
 const muxMagic = "\x00OB2"
 
 type frameKind uint8
@@ -62,6 +63,11 @@ const (
 const (
 	errCodeGeneric uint8 = 0
 	errCodeAborted uint8 = 1 // transaction aborted; retrying is appropriate
+	// errCodeShed marks a load-shed: the server refused the operation
+	// because it is saturated (admission gate or session cap), not because
+	// the transaction conflicted. Retryable like errCodeAborted, but the
+	// client should back off roughly an epoch first instead of retrying hot.
+	errCodeShed uint8 = 2
 )
 
 // muxMaxFrame bounds a single frame; generous for any key/value the proxy

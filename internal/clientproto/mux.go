@@ -29,6 +29,12 @@ const muxSessionQueue = 128
 type muxSession struct {
 	id  uint32
 	ops chan frame
+	// readSem bounds the session's concurrently-resolving read futures: the
+	// worker acquires a slot before spawning a resolver goroutine and blocks
+	// at the cap, backpressuring the connection's read loop through ops
+	// instead of growing goroutines (and their pending replies) without
+	// bound.
+	readSem chan struct{}
 }
 
 // replyFunc sends one reply frame; it is safe for concurrent use. The
@@ -77,11 +83,26 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 				f.release()
 				continue
 			}
-			ms := &muxSession{id: f.session, ops: make(chan frame, muxSessionQueue)}
+			if len(sessions) >= s.opt.MaxSessionsPerConn {
+				// Session cap: shed the Begin instead of growing the worker
+				// map without bound. Retryable once earlier sessions settle.
+				s.shedSessions.Add(1)
+				reply(frameErr, f.session, f.req, encodeErrPayload(errCodeShed,
+					fmt.Sprintf("connection session cap (%d) reached", s.opt.MaxSessionsPerConn)), nil)
+				f.release()
+				continue
+			}
+			ms := &muxSession{
+				id:      f.session,
+				ops:     make(chan frame, muxSessionQueue),
+				readSem: make(chan struct{}, s.opt.MaxPendingReadsPerSession),
+			}
 			sessions[f.session] = ms
+			s.openSessions.Add(1)
 			workers.Add(1)
 			go func() {
 				defer workers.Done()
+				defer s.openSessions.Add(-1)
 				s.runSession(ctx, ms, reply)
 			}()
 			ms.ops <- f
@@ -139,10 +160,15 @@ func (s *Server) runSession(ctx context.Context, ms *muxSession, reply replyFunc
 			// both branches, so the frame releases at the loop bottom while
 			// the read is still in flight.
 			if atx, ok := tx.(kvtxn.AsyncTxn); ok {
+				// Acquire a resolver slot first: at the cap the worker blocks
+				// here (not the whole server — ops and the TCP window absorb
+				// the stall), keeping the per-session goroutine count bounded.
+				ms.readSem <- struct{}{}
 				fut := atx.ReadAsync(string(f.payload))
 				reads.Add(1)
 				go func(req uint32) {
 					defer reads.Done()
+					defer func() { <-ms.readSem }()
 					v, found, err := fut.Wait(ctx)
 					if !found {
 						v = nil
@@ -237,10 +263,14 @@ func foundByte(found bool) []byte {
 
 // errReply encodes err as a frameErr payload, classifying retryable aborts
 // so the client can reconstruct errors.Is(err, kvtxn.ErrAborted) across the
-// wire.
+// wire. Load-sheds get their own code so the client can also reconstruct
+// errors.Is(err, core.ErrShed) and back off instead of retrying hot.
 func errReply(err error) []byte {
 	code := errCodeGeneric
-	if errors.Is(err, kvtxn.ErrAborted) || errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrEpochFull) {
+	switch {
+	case errors.Is(err, core.ErrShed):
+		code = errCodeShed
+	case errors.Is(err, kvtxn.ErrAborted) || errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrEpochFull):
 		code = errCodeAborted
 	}
 	return encodeErrPayload(code, err.Error())

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"obladi/internal/core"
 	"obladi/internal/kvtxn"
 )
 
@@ -184,7 +185,8 @@ func (c *MuxClient) connLost() error {
 
 // replyError converts a reply frame into the operation's error result,
 // reconstructing retryable aborts so errors.Is(err, kvtxn.ErrAborted) holds
-// across the wire.
+// across the wire — and load-sheds so errors.Is(err, core.ErrShed) does too,
+// letting the client back off instead of retrying hot.
 func (c *MuxClient) replyError(f frame) error {
 	switch f.kind {
 	case frameOK:
@@ -194,8 +196,11 @@ func (c *MuxClient) replyError(f frame) error {
 		if err != nil {
 			return fmt.Errorf("clientproto: malformed error reply")
 		}
-		if code == errCodeAborted {
+		switch code {
+		case errCodeAborted:
 			return fmt.Errorf("%w: %s", kvtxn.ErrAborted, msg)
+		case errCodeShed:
+			return fmt.Errorf("%w: %w: %s", kvtxn.ErrAborted, core.ErrShed, msg)
 		}
 		return fmt.Errorf("clientproto: %s", msg)
 	default:

@@ -1,0 +1,138 @@
+package clientproto
+
+// Wire-level overload-control tests with a scripted server: the server
+// decides exactly which operations shed, which pins the client half of the
+// contract — sheds are retryable aborts, but the failover client must pace
+// its Begins with jittered backoff instead of hammering an overloaded (not
+// dead) primary or sweeping the address list.
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obladi/internal/core"
+	"obladi/internal/kvtxn"
+)
+
+// shedServer accepts mux connections, counting them, and replies to every
+// frame: Begin/Abort/Read/Write get OK, Commit gets a load-shed until the
+// shed budget runs out, then OK.
+func shedServer(t *testing.T, shedCommits int) (addr string, conns *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	conns = new(atomic.Int64)
+	var sheds atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer c.Close()
+				magic := make([]byte, len(muxMagic))
+				if _, err := io.ReadFull(c, magic); err != nil {
+					return
+				}
+				r := bufio.NewReaderSize(c, 1<<16)
+				for {
+					f, err := readMuxFrame(r)
+					if err != nil {
+						return
+					}
+					var reply []byte
+					if f.kind == frameCommit && sheds.Add(1) <= int64(shedCommits) {
+						reply = appendFrame2(nil, frameErr, f.session, f.req,
+							encodeErrPayload(errCodeShed, "epoch out of slots"), nil)
+					} else {
+						reply = appendFrame(nil, frame{kind: frameOK, session: f.session, req: f.req})
+					}
+					f.release()
+					if _, err := c.Write(reply); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), conns
+}
+
+// TestShedBackoffNoRetryStorm pins the retry-storm fix: retryable sheds
+// from an overloaded primary make the failover client pace subsequent
+// Begins with growing jittered backoff — on the SAME connection, never by
+// redialing the address list — and a successful commit disarms the pacing.
+func TestShedBackoffNoRetryStorm(t *testing.T) {
+	addr, conns := shedServer(t, 3)
+	fc, err := DialMuxFailover(FailoverConfig{
+		Addrs:      []string{addr},
+		BackoffMin: 20 * time.Millisecond,
+		BackoffMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	db := FailoverDB{C: fc}
+
+	start := time.Now()
+	var shedSeen int
+	for i := 0; i < 4; i++ {
+		tx := db.Begin()
+		err := tx.Commit()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, core.ErrShed) || !errors.Is(err, kvtxn.ErrAborted) {
+			t.Fatalf("commit %d: %v, want a retryable shed", i, err)
+		}
+		shedSeen++
+	}
+	if shedSeen != 3 {
+		t.Fatalf("saw %d sheds, want 3", shedSeen)
+	}
+	// Three sheds arm backoffs of 20/40/80ms (jittered to at least half),
+	// each served by the following Begin: the sequence cannot complete in
+	// under 10+20+40 = 70ms. A storming client finishes in microseconds.
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Fatalf("4 attempts took %v: sheds are not backing off", elapsed)
+	}
+	// Overloaded is not dead: the client must never have redialed.
+	if n := conns.Load(); n != 1 {
+		t.Fatalf("%d connections dialed, want 1 (shed retries must not sweep the address list)", n)
+	}
+	// The successful commit disarmed pacing: the next Begin is immediate.
+	fc.shedMu.Lock()
+	armed := fc.shedBackoff != 0 || !fc.shedUntil.IsZero()
+	fc.shedMu.Unlock()
+	if armed {
+		t.Fatal("pacing still armed after a successful commit")
+	}
+}
+
+// TestShedPacingJitterSpreads sanity-checks that the jitter helper spreads
+// delays over [d/2, d) rather than synchronizing a fleet on one retry tick.
+func TestShedPacingJitterSpreads(t *testing.T) {
+	const d = time.Second
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d {
+			t.Fatalf("jitter(%v) = %v, want [%v, %v)", d, j, d/2, d)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("64 jitter draws produced %d distinct values: not jittering", len(seen))
+	}
+}

@@ -69,7 +69,7 @@ func (t *Txn) ReadAsync(key string) *Future {
 		f.done, f.err = true, err
 		return f
 	}
-	f.ch = t.p.queueFetch(t.epoch, key)
+	f.ch = t.p.queueFetch(t.epoch, t.inner.TS(), key)
 	f.hadFetch = f.ch != nil
 	return f
 }
@@ -130,7 +130,7 @@ func (f *Future) Wait(ctx context.Context) ([]byte, bool, error) {
 		case errors.Is(err, mvtso.ErrNeedFetch):
 			// The version cache no longer holds the base (possible only
 			// across batch races); queue again and keep waiting.
-			f.ch = t.p.queueFetch(t.epoch, f.key)
+			f.ch = t.p.queueFetch(t.epoch, t.inner.TS(), f.key)
 		case errors.Is(err, mvtso.ErrAborted):
 			return f.resolve(nil, false, fmt.Errorf("%w: %v", ErrAborted, err))
 		default:

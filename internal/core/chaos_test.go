@@ -304,6 +304,9 @@ func TestEagerKickNeverFiresBoundary(t *testing.T) {
 	cfg.EagerBatches = true
 	cfg.ReadBatches = 1
 	cfg.ReadBatchSize = 1
+	// Admission control would shed the over-budget read before it queues;
+	// the leak this test pins needs a key queued past the slot budget.
+	cfg.DisableAdmission = true
 	backend := storage.NewMemBackend(cfg.Params.Geometry().NumBuckets)
 	p, err := New(backend, cfg)
 	if err != nil {

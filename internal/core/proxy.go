@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"obladi/internal/cryptoutil"
@@ -134,6 +135,13 @@ type Config struct {
 	// Ignored with DisableDurability — the WAL is the replication stream,
 	// so no WAL means nothing to replicate.
 	Replicator Replicator
+
+	// DisableAdmission turns off the overload-control admission gate
+	// (admission.go): fetches queue without bound again and excess load
+	// dies at the epoch seal with ErrEpochFull instead of being shed
+	// immediately with a retry hint. Ablation/back-compat knob; fair
+	// per-session scheduling stays on either way.
+	DisableAdmission bool
 }
 
 // BoundaryMode selects how an epoch boundary's commit stage runs relative
@@ -193,6 +201,15 @@ type Stats struct {
 	Executor         oramexec.Stats
 	StashPeak        int
 	RecoveryReplayed int
+
+	// Overload-control counters (admission.go). ShedReads counts fetches
+	// refused by the admission gate; AdmittedSessions counts sessions that
+	// were granted at least one batch slot; ReadQueueDepth is the current
+	// number of admitted-but-unscheduled fetch keys across shards (a gauge,
+	// bounded by the gate at shards × R × bread).
+	ShedReads        uint64
+	AdmittedSessions uint64
+	ReadQueueDepth   int
 }
 
 // fetchWaiter is one transaction blocked on a base-version fetch.
@@ -211,14 +228,19 @@ type shard struct {
 
 	// The fields below are guarded by Proxy.mu.
 
-	// fetchQueue holds keys awaiting an ORAM read this epoch, in arrival
-	// order, deduplicated; waiters are woken when the key's base installs.
-	fetchQueue []string
+	// Admitted fetch scheduling (admission.go): sessQ/ring hold each
+	// session's queued keys in arrival order for round-robin draining,
+	// pending dedups keys already scheduled for a fetch this epoch, and
+	// queuedKeys counts admitted-but-unscheduled keys (the quantity the
+	// admission gate bounds). Waiters live in queued, keyed by key, and
+	// are woken when the key's base version installs.
+	sessQ      map[mvtso.Timestamp]*sessionFetchQueue
+	ring       []*sessionFetchQueue
+	rr         int
+	pending    map[string]bool
+	queuedKeys int
 	queued     map[string][]*fetchWaiter
 	fetched    map[string]bool // keys whose base version is resident
-
-	// epochWrites tracks distinct keys written this epoch (bwrite guard).
-	epochWrites map[string]bool
 }
 
 // shardOf routes a key to one of n shards by FNV-1a hash. The mapping is
@@ -272,6 +294,12 @@ type Proxy struct {
 	kick      chan struct{} // wakes the epoch loop (eager batches, close)
 	loop      sync.WaitGroup
 	ablateSeq uint64 // unique tokens for the DisableReadCache ablation
+
+	// Overload-control counters. Atomics (the PR 2 Stats-race pattern):
+	// sheds are counted on the client-facing fast path and read by Stats
+	// snapshots concurrently with batch execution.
+	shedReads        atomic.Uint64
+	admittedSessions atomic.Uint64
 
 	stats        Stats
 	replayedLast int
@@ -359,11 +387,12 @@ func newProxy(stores []storage.Backend, cfg Config) (*Proxy, error) {
 	p.boundaryDone = sync.NewCond(&p.mu)
 	for i, st := range stores {
 		sh := &shard{
-			id:          i,
-			store:       st,
-			queued:      make(map[string][]*fetchWaiter),
-			fetched:     make(map[string]bool),
-			epochWrites: make(map[string]bool),
+			id:      i,
+			store:   st,
+			sessQ:   make(map[mvtso.Timestamp]*sessionFetchQueue),
+			pending: make(map[string]bool),
+			queued:  make(map[string][]*fetchWaiter),
+			fetched: make(map[string]bool),
 		}
 		if !cfg.DisableDurability {
 			var logStore storage.LogStore = st
@@ -387,6 +416,14 @@ func newProxy(stores []storage.Backend, cfg Config) (*Proxy, error) {
 	if !cfg.DisableDurability {
 		p.unified = unifiedCommitStores(stores)
 	}
+	// Write-batch capacity is enforced inside the CCU, under the lock that
+	// also finalizes epochs: a write admitted into a CCU generation is
+	// charged against that generation's budget, so boundary races cannot
+	// oversubscribe the write batch (see mvtso.SetWriteBudget).
+	nshards := len(p.shards)
+	p.ccu.SetWriteBudget(nshards, cfg.WriteBatchSize, func(key string) int {
+		return shardOf(key, nshards)
+	})
 	return p, nil
 }
 
@@ -698,7 +735,7 @@ func (p *Proxy) PendingFetches() int {
 	defer p.mu.Unlock()
 	n := 0
 	for _, sh := range p.shards {
-		n += len(sh.fetchQueue)
+		n += sh.queuedKeys
 	}
 	return n
 }
@@ -710,6 +747,11 @@ func (p *Proxy) Stats() Stats {
 	s := p.stats
 	s.Shards = len(p.shards)
 	s.ConflictAborts, s.CascadingAborts = p.ccu.Stats()
+	s.ShedReads = p.shedReads.Load()
+	s.AdmittedSessions = p.admittedSessions.Load()
+	for _, sh := range p.shards {
+		s.ReadQueueDepth += sh.queuedKeys
+	}
 	for _, sh := range p.shards {
 		es := sh.exec.Stats()
 		s.Executor.RemoteReads += es.RemoteReads
@@ -798,7 +840,7 @@ func (p *Proxy) failAllLocked(err error) {
 			}
 		}
 		sh.queued = make(map[string][]*fetchWaiter)
-		sh.fetchQueue = nil
+		sh.resetFetchQueuesLocked()
 	}
 	for ts, ch := range p.waiters {
 		ch <- err
@@ -832,7 +874,7 @@ func (p *Proxy) epochLoop() {
 			// pipelined, a premature seal).
 			if p.cfg.EagerBatches && p.batchIdx < p.cfg.ReadBatches {
 				for _, sh := range p.shards {
-					if len(sh.fetchQueue) >= p.cfg.ReadBatchSize {
+					if sh.queuedKeys >= p.cfg.ReadBatchSize {
 						fire = true
 						break
 					}
@@ -905,20 +947,17 @@ func (p *Proxy) StepReadBatch() error {
 	}
 	batches := make([]shardReadBatch, len(p.shards))
 	for i, sh := range p.shards {
-		n := len(sh.fetchQueue)
-		if n > p.cfg.ReadBatchSize {
-			n = p.cfg.ReadBatchSize
-		}
-		keys := append([]string(nil), sh.fetchQueue[:n]...)
-		sh.fetchQueue = sh.fetchQueue[n:]
-		waiters := make(map[string][]*fetchWaiter, n)
+		// Fair drain: one key per session per pass (admission.go), up to
+		// bread slots.
+		keys := sh.takeBatchLocked(p.cfg.ReadBatchSize)
+		waiters := make(map[string][]*fetchWaiter, len(keys))
 		for _, k := range keys {
 			waiters[k] = sh.queued[k]
 			delete(sh.queued, k)
 		}
 		batches[i] = shardReadBatch{sh: sh, keys: keys, waiters: waiters}
 		p.stats.ReadBatchSlots += uint64(p.cfg.ReadBatchSize)
-		p.stats.RealReads += uint64(n)
+		p.stats.RealReads += uint64(len(keys))
 	}
 	p.batchIdx++
 	batchIdx := p.batchIdx - 1
@@ -1095,7 +1134,7 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 			}
 		}
 		sh.queued = make(map[string][]*fetchWaiter)
-		sh.fetchQueue = nil
+		sh.resetFetchQueuesLocked()
 	}
 	p.mu.Unlock()
 
@@ -1107,8 +1146,10 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 	for _, w := range out.Writes {
 		i := shardOf(w.Key, len(p.shards))
 		if len(shardOps[i]) == p.cfg.WriteBatchSize {
-			// Capacity guard at Write() keeps this from happening; if a
-			// race slips through, the epoch cannot commit these writes.
+			// Unreachable: the CCU charges every admitted write against the
+			// epoch generation's budget under its own lock (SetWriteBudget),
+			// so the finalized write set cannot exceed it. Fail-stop if the
+			// invariant ever breaks — the epoch cannot commit these writes.
 			return nil, p.failBoundary(fmt.Errorf("core: shard %d write set exceeds write batch (%d)", i, p.cfg.WriteBatchSize))
 		}
 		shardOps[i] = append(shardOps[i], oramexec.WriteOp{Key: w.Key, Value: w.Value, Tombstone: w.Tombstone})
@@ -1211,7 +1252,6 @@ func (p *Proxy) sealEpoch() (*boundaryJob, error) {
 	}
 	for _, sh := range p.shards {
 		sh.fetched = make(map[string]bool)
-		sh.epochWrites = make(map[string]bool)
 	}
 	p.batchIdx = 0
 	p.epoch++

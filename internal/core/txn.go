@@ -77,15 +77,8 @@ func (t *Txn) Write(key string, value []byte) error {
 	if len(value) > t.p.cfg.Params.ValueSize {
 		return fmt.Errorf("%w: %d > %d", ErrValueTooLarge, len(value), t.p.cfg.Params.ValueSize)
 	}
-	if err := t.reserveWriteSlot(key); err != nil {
-		t.inner.Abort()
-		return err
-	}
 	if err := t.inner.Write(key, value); err != nil {
-		if errors.Is(err, mvtso.ErrAborted) {
-			return fmt.Errorf("%w: %v", ErrAborted, err)
-		}
-		return err
+		return t.mapWriteErr(err)
 	}
 	return nil
 }
@@ -95,17 +88,25 @@ func (t *Txn) Delete(key string) error {
 	if err := t.check(key); err != nil {
 		return err
 	}
-	if err := t.reserveWriteSlot(key); err != nil {
-		t.inner.Abort()
-		return err
-	}
 	if err := t.inner.Delete(key); err != nil {
-		if errors.Is(err, mvtso.ErrAborted) {
-			return fmt.Errorf("%w: %v", ErrAborted, err)
-		}
-		return err
+		return t.mapWriteErr(err)
 	}
 	return nil
+}
+
+// mapWriteErr translates a CCU write refusal into the proxy's error space. A
+// write-budget refusal aborts the whole transaction (its writes cannot all
+// land this epoch; partial commit is not an option) as a retryable
+// epoch-capacity abort.
+func (t *Txn) mapWriteErr(err error) error {
+	if errors.Is(err, mvtso.ErrWriteBatchFull) {
+		t.inner.Abort()
+		return fmt.Errorf("%w: %v", ErrEpochFull, err)
+	}
+	if errors.Is(err, mvtso.ErrAborted) {
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	return err
 }
 
 // Commit requests commit and blocks until the epoch decides the
@@ -213,28 +214,12 @@ func (t *Txn) check(key string) error {
 	return nil
 }
 
-// reserveWriteSlot enforces the write-batch capacity of the key's shard. A
-// transaction whose writes overflow any one shard's quota aborts as a whole,
-// so cross-shard transactions stay atomic.
-func (t *Txn) reserveWriteSlot(key string) error {
-	p := t.p
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sh := p.shards[shardOf(key, len(p.shards))]
-	if sh.epochWrites[key] {
-		return nil
-	}
-	if len(sh.epochWrites) >= p.cfg.WriteBatchSize {
-		return fmt.Errorf("%w: shard %d write batch full (%d keys)", ErrEpochFull, sh.id, p.cfg.WriteBatchSize)
-	}
-	sh.epochWrites[key] = true
-	return nil
-}
-
-// queueFetch enqueues key on its shard's next read batch and returns a
-// channel delivering the fetch outcome, or nil if the key is already resident
-// (no fetch needed) or an immediate error channel for a dead epoch.
-func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
+// queueFetch enqueues key on its shard's next read batch (under the
+// admission gate, filed under the requesting session ts for fair
+// scheduling) and returns a channel delivering the fetch outcome, or nil if
+// the key is already resident (no fetch needed) or an immediate error
+// channel for a dead epoch or a shed.
+func (p *Proxy) queueFetch(epoch uint64, ts mvtso.Timestamp, key string) <-chan error {
 	p.mu.Lock()
 	immediate := func(err error) <-chan error {
 		p.mu.Unlock()
@@ -253,12 +238,17 @@ func (p *Proxy) queueFetch(epoch uint64, key string) <-chan error {
 		p.mu.Unlock()
 		return nil
 	}
-	w := &fetchWaiter{key: key, done: make(chan error, 1)}
-	if _, queuedAlready := sh.queued[key]; !queuedAlready {
-		sh.fetchQueue = append(sh.fetchQueue, key)
+	if !sh.pending[key] {
+		// The key needs a new batch slot — ask the admission gate.
+		if err := p.admitFetchLocked(sh, ts, key); err != nil {
+			return immediate(err)
+		}
 	}
+	// Already scheduled by another session: just join its waiters — no new
+	// slot is consumed, so no gate check.
+	w := &fetchWaiter{key: key, done: make(chan error, 1)}
 	sh.queued[key] = append(sh.queued[key], w)
-	full := len(sh.fetchQueue) >= p.cfg.ReadBatchSize
+	full := sh.queuedKeys >= p.cfg.ReadBatchSize
 	p.mu.Unlock()
 	if full && p.cfg.EagerBatches {
 		select {
@@ -289,8 +279,14 @@ func (t *Txn) payCacheSlot(key string) <-chan error {
 	t.paidSlots[key] = true
 	p.ablateSeq++
 	token := fmt.Sprintf("\x00rc-%d", p.ablateSeq)
+	if err := p.admitFetchLocked(sh, t.inner.TS(), token); err != nil {
+		delete(t.paidSlots, key)
+		p.mu.Unlock()
+		ch := make(chan error, 1)
+		ch <- err
+		return ch
+	}
 	w := &fetchWaiter{key: token, done: make(chan error, 1)}
-	sh.fetchQueue = append(sh.fetchQueue, token)
 	sh.queued[token] = append(sh.queued[token], w)
 	p.mu.Unlock()
 	return w.done

@@ -7,6 +7,8 @@ package kvtxn
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
+	"time"
 
 	"obladi/internal/core"
 )
@@ -156,9 +158,13 @@ func wrapAbort(err error) error {
 
 // RunWithRetries executes fn in a transaction, retrying on aborts up to
 // maxRetries times. fn must be idempotent. The final Commit is included in
-// the retry scope.
+// the retry scope. Load-sheds (core.ErrShed: the proxy is saturated, not
+// conflicted) retry too, but behind a jittered exponential backoff — an
+// immediate replay would land in the same exhausted epoch and keep the
+// proxy saturated.
 func RunWithRetries(db DB, maxRetries int, fn func(Txn) error) error {
 	var last error
+	shedBackoff := time.Millisecond
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		tx := db.Begin()
 		err := fn(tx)
@@ -172,6 +178,12 @@ func RunWithRetries(db DB, maxRetries int, fn func(Txn) error) error {
 		}
 		if !errors.Is(err, ErrAborted) {
 			return err
+		}
+		if errors.Is(err, core.ErrShed) {
+			time.Sleep(shedBackoff/2 + rand.N(shedBackoff/2+1))
+			if shedBackoff *= 2; shedBackoff > 250*time.Millisecond {
+				shedBackoff = 250 * time.Millisecond
+			}
 		}
 		last = err
 	}

@@ -61,6 +61,9 @@ var (
 	// ErrNeedFetch signals that the key's base version is not resident;
 	// the proxy must schedule an ORAM read and call InstallBase.
 	ErrNeedFetch = errors.New("mvtso: base version not resident")
+	// ErrWriteBatchFull reports that the epoch's write budget for the key's
+	// shard is spent (b_write distinct keys); see SetWriteBudget.
+	ErrWriteBatchFull = errors.New("mvtso: epoch write batch full")
 )
 
 // version is one entry in a key's version chain.
@@ -102,6 +105,13 @@ type Manager struct {
 	chains map[string]*chain
 	txns   map[Timestamp]*Txn
 
+	// Write-budget accounting (SetWriteBudget); zero writePerShard means
+	// unlimited.
+	writePerShard int
+	writeShardOf  func(string) int
+	writeCounts   []int
+	writeKeys     map[string]struct{}
+
 	// epoch statistics
 	statConflictAborts  int64
 	statCascadingAborts int64
@@ -130,6 +140,57 @@ func (m *Manager) Begin() *Txn {
 	}
 	m.txns[t.ts] = t
 	return t
+}
+
+// SetWriteBudget enforces the epoch write batch at the write itself: at most
+// perShard distinct written keys per shard per epoch generation, refused with
+// ErrWriteBatchFull. The budget lives with the CCU — charged under the same
+// lock that finalizes the epoch, reset by FinalizeEpoch/AbortAll themselves —
+// so a transaction racing the boundary can never carry a charge into a
+// generation that forgot it. (A proxy-side reservation map, reset a beat
+// after FinalizeEpoch, has exactly that hole: a transaction beginning in the
+// finalize window reserves against the dying epoch, the reset wipes the
+// reservation, and the next seal overflows its write batch.)
+func (m *Manager) SetWriteBudget(shards, perShard int, shardOf func(string) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writePerShard = perShard
+	m.writeShardOf = shardOf
+	m.writeCounts = make([]int, shards)
+	m.writeKeys = make(map[string]struct{})
+}
+
+// reserveWriteLocked charges key against the epoch's write budget. A charge
+// sticks until the boundary even if the writer aborts — mirroring the write
+// batch the seal pads and executes.
+func (m *Manager) reserveWriteLocked(key string) error {
+	if m.writePerShard <= 0 {
+		return nil
+	}
+	if _, ok := m.writeKeys[key]; ok {
+		return nil
+	}
+	sh := 0
+	if m.writeShardOf != nil {
+		sh = m.writeShardOf(key)
+	}
+	if m.writeCounts[sh] >= m.writePerShard {
+		return fmt.Errorf("%w: shard %d at %d keys", ErrWriteBatchFull, sh, m.writePerShard)
+	}
+	m.writeKeys[key] = struct{}{}
+	m.writeCounts[sh]++
+	return nil
+}
+
+// resetWriteBudgetLocked opens the next generation's budget.
+func (m *Manager) resetWriteBudgetLocked() {
+	if m.writePerShard <= 0 {
+		return
+	}
+	for i := range m.writeCounts {
+		m.writeCounts[i] = 0
+	}
+	m.writeKeys = make(map[string]struct{})
 }
 
 // Status returns a transaction's current state.
@@ -241,6 +302,9 @@ func (t *Txn) write(key string, value []byte, tombstone bool) error {
 	}
 	if t.status != StatusActive {
 		return ErrNotActive
+	}
+	if err := m.reserveWriteLocked(key); err != nil {
+		return err
 	}
 	c := m.chains[key]
 	if c == nil {
@@ -427,6 +491,7 @@ func (m *Manager) FinalizeEpoch() Outcome {
 	// Reset for the next epoch.
 	m.chains = make(map[string]*chain)
 	m.txns = make(map[Timestamp]*Txn)
+	m.resetWriteBudgetLocked()
 	return out
 }
 
@@ -444,6 +509,7 @@ func (m *Manager) AbortAll() []Timestamp {
 	}
 	m.chains = make(map[string]*chain)
 	m.txns = make(map[Timestamp]*Txn)
+	m.resetWriteBudgetLocked()
 	sort.Slice(aborted, func(i, j int) bool { return aborted[i] < aborted[j] })
 	return aborted
 }

@@ -1,0 +1,96 @@
+package mvtso
+
+import (
+	"errors"
+	"testing"
+)
+
+func budgetManager(perShard int) *Manager {
+	m := NewManager()
+	// Two shards: keys starting 'a' on shard 0, everything else on shard 1.
+	m.SetWriteBudget(2, perShard, func(key string) int {
+		if key[0] == 'a' {
+			return 0
+		}
+		return 1
+	})
+	return m
+}
+
+func TestWriteBudgetRefusesAtCap(t *testing.T) {
+	m := budgetManager(2)
+	tx := m.Begin()
+	must(t, tx.Write("a1", []byte("v")))
+	must(t, tx.Write("a2", []byte("v")))
+	err := tx.Write("a3", []byte("v"))
+	if !errors.Is(err, ErrWriteBatchFull) {
+		t.Fatalf("third distinct key on a budget of 2: %v, want ErrWriteBatchFull", err)
+	}
+	// The refusal does not abort in the CCU (the proxy decides that); the
+	// other shard's budget is untouched.
+	must(t, tx.Write("b1", []byte("v")))
+}
+
+func TestWriteBudgetChargesPerKeyNotPerWrite(t *testing.T) {
+	m := budgetManager(2)
+	t1, t2 := m.Begin(), m.Begin()
+	must(t, t1.Write("a1", []byte("v1")))
+	must(t, t1.Write("a1", []byte("v2"))) // rewrite: no new charge
+	must(t, t2.Write("a1", []byte("v3"))) // same key, other txn: no new charge
+	must(t, t2.Write("a2", []byte("v")))  // second and last slot
+	if err := t2.Write("a3", []byte("v")); !errors.Is(err, ErrWriteBatchFull) {
+		t.Fatalf("budget ignored cross-txn dedup: %v", err)
+	}
+}
+
+// TestWriteBudgetResetsWithGeneration pins the boundary-race fix: the budget
+// resets inside FinalizeEpoch (and AbortAll), under the same lock, so a
+// transaction beginning in the new generation gets the new budget — and every
+// write the new generation admits is charged against it. The old proxy-side
+// reservation map was reset a beat after finalize; writes slipping into that
+// window carried no reservation and oversubscribed the next epoch's batch.
+func TestWriteBudgetResetsWithGeneration(t *testing.T) {
+	m := budgetManager(1)
+	tx := m.Begin()
+	must(t, tx.Write("a1", []byte("v")))
+	must(t, tx.Commit())
+	if err := m.Begin().Write("a2", []byte("v")); !errors.Is(err, ErrWriteBatchFull) {
+		t.Fatal("budget should be spent before the boundary")
+	}
+	out := m.FinalizeEpoch()
+	if len(out.Writes) != 1 || out.Writes[0].Key != "a1" {
+		t.Fatalf("unexpected write set %+v", out.Writes)
+	}
+	// New generation, fresh budget — atomically with the finalize.
+	tx2 := m.Begin()
+	must(t, tx2.Write("a2", []byte("v")))
+	if err := tx2.Write("a3", []byte("v")); !errors.Is(err, ErrWriteBatchFull) {
+		t.Fatalf("new generation budget not enforced: %v", err)
+	}
+
+	m.AbortAll()
+	must(t, m.Begin().Write("a4", []byte("v")))
+}
+
+func TestWriteBudgetChargeSticksAfterAbort(t *testing.T) {
+	// An aborted writer's charge stays until the boundary: the slot was
+	// promised to this epoch's batch, and releasing it early would let the
+	// write set oscillate around the cap.
+	m := budgetManager(1)
+	tx := m.Begin()
+	must(t, tx.Write("a1", []byte("v")))
+	tx.Abort()
+	if err := m.Begin().Write("a2", []byte("v")); !errors.Is(err, ErrWriteBatchFull) {
+		t.Fatalf("abort released the epoch's write charge: %v", err)
+	}
+	m.FinalizeEpoch()
+	must(t, m.Begin().Write("a2", []byte("v")))
+}
+
+func TestWriteBudgetUnlimitedByDefault(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	for i := 0; i < 100; i++ {
+		must(t, tx.Write(string(rune('a'+i%26))+string(rune('0'+i/26)), []byte("v")))
+	}
+}

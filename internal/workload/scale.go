@@ -1,0 +1,244 @@
+package workload
+
+// The scale harness: drive very many (100k+) concurrent sessions against a
+// set of kvtxn.DB handles and measure what overload actually does — offered
+// versus committed throughput, committed-transaction latency percentiles,
+// and the shed rate. Sessions are open-loop by default (each issues
+// transactions on its own exponential clock, whether or not the system keeps
+// up), which is the load model that exposes saturation honestly: a
+// closed-loop driver self-throttles and hides the overload it was meant to
+// create. Sheds are recorded, not retried — the point is to measure the
+// shed rate at a given offered load, and a retrying session would convert
+// sheds into added offered load and skew the sweep.
+//
+// The harness takes kvtxn.DB handles rather than dialing connections itself
+// so it stays layering-neutral: benchmarks hand it MuxDB/FailoverDB wire
+// handles (sessions spread round-robin across connections), unit tests hand
+// it an embedded engine.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"obladi/internal/core"
+	"obladi/internal/kvtxn"
+)
+
+// ScaleConfig drives one RunScale measurement.
+type ScaleConfig struct {
+	// DBs are the transaction handles sessions are spread over,
+	// round-robin. With wire handles, each is one mux connection carrying
+	// Sessions/len(DBs) concurrent sessions. Required.
+	DBs []kvtxn.DB
+	// Sessions is the concurrent session count. Required.
+	Sessions int
+	// Duration is the measurement window. Required.
+	Duration time.Duration
+	// Mix chooses keys and the read/write split. Required.
+	Mix *Mix
+	// Pace is the mean per-session gap between transactions, drawn
+	// exponentially (a Poisson session). Offered load ≈ Sessions/Pace.
+	// Zero runs closed-loop: every session issues back-to-back
+	// transactions, measuring capacity rather than a fixed offered load.
+	Pace time.Duration
+	// OpsPerTxn is the operation count per transaction (default 2).
+	OpsPerTxn int
+	// Seed makes key choice and pacing deterministic.
+	Seed uint64
+}
+
+// ScaleResult is one RunScale measurement.
+type ScaleResult struct {
+	Sessions int
+	Elapsed  time.Duration
+	// Attempted counts transactions issued; OfferedRate is their rate.
+	Attempted int
+	// Committed transactions, with their latency distribution.
+	Committed      int
+	P50, P99, PMax time.Duration
+	// Shed counts transactions refused by overload control (ErrShed);
+	// Aborted counts ordinary retryable aborts (conflicts, epoch ends).
+	Shed    int
+	Aborted int
+	// OtherErrs counts everything else; FirstOtherErr samples one. A
+	// non-zero count usually means the harness or stack is broken, not
+	// overloaded.
+	OtherErrs     int
+	FirstOtherErr error
+}
+
+// OfferedRate is the attempted-transaction rate in txns/s.
+func (r ScaleResult) OfferedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Attempted) / r.Elapsed.Seconds()
+}
+
+// CommitRate is the committed-transaction rate in txns/s.
+func (r ScaleResult) CommitRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the fraction of attempted transactions that were shed.
+func (r ScaleResult) ShedRate() float64 {
+	if r.Attempted == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Attempted)
+}
+
+// sessionStats is one session goroutine's private tally, merged after the
+// run; 100k sessions contending on one shared mutex per transaction would
+// measure the harness, not the system.
+type sessionStats struct {
+	attempted int
+	committed int
+	shed      int
+	aborted   int
+	other     int
+	firstErr  error
+	latencies []time.Duration
+}
+
+// RunScale runs the configured sessions for the window and merges their
+// tallies. It returns an error only for a misconfiguration; stack errors
+// during the run land in OtherErrs so a sweep completes and reports them.
+func RunScale(cfg ScaleConfig) (ScaleResult, error) {
+	if len(cfg.DBs) == 0 || cfg.Sessions <= 0 || cfg.Duration <= 0 || cfg.Mix == nil {
+		return ScaleResult{}, errors.New("workload: ScaleConfig needs DBs, Sessions, Duration and Mix")
+	}
+	if cfg.OpsPerTxn <= 0 {
+		cfg.OpsPerTxn = 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	stats := make([]sessionStats, cfg.Sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runSession(ctx, cfg, i, &stats[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := ScaleResult{Sessions: cfg.Sessions, Elapsed: elapsed}
+	var all []time.Duration
+	for i := range stats {
+		s := &stats[i]
+		res.Attempted += s.attempted
+		res.Committed += s.committed
+		res.Shed += s.shed
+		res.Aborted += s.aborted
+		res.OtherErrs += s.other
+		if res.FirstOtherErr == nil {
+			res.FirstOtherErr = s.firstErr
+		}
+		all = append(all, s.latencies...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)*50/100]
+		res.P99 = all[len(all)*99/100]
+		res.PMax = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// runSession is one session's life: pace, run a transaction, tally.
+func runSession(ctx context.Context, cfg ScaleConfig, i int, st *sessionStats) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1))
+	db := cfg.DBs[i%len(cfg.DBs)]
+	// Desynchronize session clocks: an initial uniform phase in [0, Pace)
+	// turns simultaneous start-up into a steady Poisson stream.
+	if cfg.Pace > 0 {
+		if !sleepCtx(ctx, time.Duration(rng.Float64()*float64(cfg.Pace))) {
+			return
+		}
+	}
+	for ctx.Err() == nil {
+		st.attempted++
+		lat, err := runScaleTxn(ctx, db, cfg, rng)
+		switch {
+		case err == nil:
+			st.committed++
+			st.latencies = append(st.latencies, lat)
+		case errors.Is(err, core.ErrShed):
+			st.shed++
+		case errors.Is(err, kvtxn.ErrAborted):
+			st.aborted++
+		case ctx.Err() != nil:
+			// The window closed mid-transaction; not an error of interest.
+			return
+		default:
+			st.other++
+			if st.firstErr == nil {
+				st.firstErr = err
+			}
+		}
+		if cfg.Pace > 0 {
+			gap := time.Duration(rng.ExpFloat64() * float64(cfg.Pace))
+			if !sleepCtx(ctx, gap) {
+				return
+			}
+		}
+	}
+}
+
+// runScaleTxn executes one transaction of the configured shape and returns
+// its latency on commit.
+func runScaleTxn(ctx context.Context, db kvtxn.DB, cfg ScaleConfig, rng *rand.Rand) (time.Duration, error) {
+	start := time.Now()
+	var tx kvtxn.Txn
+	if cdb, ok := db.(kvtxn.CtxDB); ok {
+		tx = cdb.BeginCtx(ctx)
+	} else {
+		tx = db.Begin()
+	}
+	for o := 0; o < cfg.OpsPerTxn; o++ {
+		op := cfg.Mix.Next(rng)
+		var err error
+		if op.Kind == OpRead {
+			_, _, err = tx.Read(op.Key)
+		} else {
+			err = tx.Write(op.Key, []byte(fmt.Sprintf("v%d", rng.IntN(1000))))
+		}
+		if err != nil {
+			tx.Abort()
+			return 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports whether the full sleep
+// happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,86 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"obladi/internal/enginetest"
+	"obladi/internal/kvtxn"
+	"obladi/internal/workload"
+)
+
+// TestRunScaleEmbedded sanity-checks the harness over an embedded engine:
+// tallies add up, committed work happens, and with a tight slot budget the
+// shed column is populated rather than everything hanging on queues.
+func TestRunScaleEmbedded(t *testing.T) {
+	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{
+		NumBlocks:     512,
+		ValueSize:     64,
+		ReadBatches:   2,
+		ReadBatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.DB.Close()
+
+	mix := workload.NewMix(workload.NewZipfian(256, 0.99), 0.9, "s-")
+	res, err := workload.RunScale(workload.ScaleConfig{
+		DBs:      []kvtxn.DB{eng.DB},
+		Sessions: 64,
+		Duration: 500 * time.Millisecond,
+		Mix:      mix,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("closed-loop run committed nothing")
+	}
+	if res.Shed == 0 {
+		t.Fatal("64 closed-loop sessions on an 8-slot epoch never shed")
+	}
+	if res.OtherErrs > 0 {
+		t.Fatalf("%d unexpected errors, first: %v", res.OtherErrs, res.FirstOtherErr)
+	}
+	if got := res.Committed + res.Shed + res.Aborted; got > res.Attempted {
+		t.Fatalf("tallies exceed attempts: %d > %d", got, res.Attempted)
+	}
+	if res.P99 < res.P50 || res.PMax < res.P99 {
+		t.Fatalf("percentiles disordered: p50=%v p99=%v max=%v", res.P50, res.P99, res.PMax)
+	}
+	if v := eng.Violation(); v != nil {
+		t.Error(v)
+	}
+}
+
+// TestRunScalePacedOffersLoad checks the open-loop pacing: offered load
+// tracks Sessions/Pace rather than system capacity.
+func TestRunScalePacedOffersLoad(t *testing.T) {
+	eng, err := enginetest.NewObladi(enginetest.ObladiOptions{NumBlocks: 512, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.DB.Close()
+
+	mix := workload.NewMix(workload.NewUniform(256), 1.0, "p-")
+	res, err := workload.RunScale(workload.ScaleConfig{
+		DBs:      []kvtxn.DB{eng.DB},
+		Sessions: 50,
+		Duration: time.Second,
+		Mix:      mix,
+		Pace:     100 * time.Millisecond, // ~500 txns/s offered
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect offered ≈ 500/s; allow a wide band (scheduling, ramp-in).
+	if got := res.OfferedRate(); got < 200 || got > 900 {
+		t.Fatalf("offered rate %f txns/s, want ~500", got)
+	}
+	if res.OtherErrs > 0 {
+		t.Fatalf("%d unexpected errors, first: %v", res.OtherErrs, res.FirstOtherErr)
+	}
+}

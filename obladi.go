@@ -49,6 +49,11 @@ var (
 	ErrClosed = core.ErrClosed
 	// ErrValueTooLarge reports a value exceeding MaxValueSize.
 	ErrValueTooLarge = core.ErrValueTooLarge
+	// ErrShed reports that admission control refused an operation because
+	// the current epoch's batch-slot budget is spoken for. It also matches
+	// ErrAborted and ErrEpochFull, so generic retry loops handle it; shed-
+	// aware clients can match it specifically to back off for an epoch.
+	ErrShed = core.ErrShed
 )
 
 // Options configures a DB. The zero value is usable for small embedded
@@ -89,6 +94,12 @@ type Options struct {
 	// epoch's batches start, instead of overlapping them. Slower on
 	// high-latency storage; useful as an ablation baseline.
 	SyncEpochBoundary bool
+	// DisableAdmission turns off the overload-control admission gate: reads
+	// past the epoch's remaining batch-slot budget queue unboundedly and
+	// abort at the seal instead of shedding immediately with a retryable
+	// ErrShed. Useful only as an ablation baseline; see DESIGN.md
+	// ("Overload and admission control").
+	DisableAdmission bool
 
 	// Z, S, A tune the Ring ORAM (reals/dummies per bucket, eviction
 	// rate). Zero selects 8/12/8, suitable for small stores; the paper's
@@ -241,6 +252,7 @@ func coreConfig(opt Options, params ringoram.Params, key *cryptoutil.Key) core.C
 		WriteBatchSize:      opt.WriteBatchSize,
 		BatchInterval:       opt.BatchInterval,
 		EagerBatches:        opt.EagerBatches,
+		DisableAdmission:    opt.DisableAdmission,
 		Boundary:            boundaryMode(opt),
 		Parallelism:         opt.Parallelism,
 		DisableDurability:   opt.DisableDurability,
@@ -541,6 +553,13 @@ type Stats struct {
 	StashPeak int
 	// RecoveryReplayed counts logged reads replayed by crash recovery.
 	RecoveryReplayed int
+	// ShedReads counts reads refused by the admission gate (overload).
+	ShedReads uint64
+	// AdmittedSessions counts sessions that got at least one fetch admitted.
+	AdmittedSessions uint64
+	// ReadQueueDepth is the current admitted-but-unscheduled fetch count
+	// across shards (instantaneous, not cumulative).
+	ReadQueueDepth int
 }
 
 // Stats returns a snapshot of proxy counters.
@@ -561,6 +580,9 @@ func (db *DB) Stats() Stats {
 		StorageWriteCalls: s.Executor.WriteCalls,
 		StashPeak:         s.StashPeak,
 		RecoveryReplayed:  s.RecoveryReplayed,
+		ShedReads:         s.ShedReads,
+		AdmittedSessions:  s.AdmittedSessions,
+		ReadQueueDepth:    s.ReadQueueDepth,
 	}
 }
 
